@@ -1,0 +1,1 @@
+"""Benchmark package regenerating every table and figure of the paper."""

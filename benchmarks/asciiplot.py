@@ -1,0 +1,6 @@
+"""Benchmark-side alias of :mod:`repro.textplot` (kept for the
+benchmark modules' imports)."""
+
+from repro.textplot import bars, scatter
+
+__all__ = ["bars", "scatter"]

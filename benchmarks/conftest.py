@@ -1,0 +1,64 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper artefact (table/figure) or an
+ablation.  Numbers are printed to stdout (run with ``-s`` to watch) and
+persisted as JSON + plain text under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote them.
+
+``REPRO_BENCH_SCALE`` (a float in (0, 1]) rescales every data set's
+dimensions; unset uses the laptop-scale registry defaults documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale():
+    """Optional global dimension scale from the environment."""
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    return float(raw) if raw else None
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist a benchmark artefact as <name>.json and <name>.txt."""
+
+    def _save(name: str, payload, text: str = ""):
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str)
+        )
+        if text:
+            (results_dir / f"{name}.txt").write_text(text)
+        return results_dir / f"{name}.json"
+
+    return _save
+
+
+def render_table(headers, rows, title=""):
+    """Render a plain-text table (also what lands in results/*.txt)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Experiment X7 -- codec family comparison (rate-distortion).
+
+The paper's background section surveys prediction-based (SZ) and
+transform-based (ZFP/SSEM) compressors and the fixed-rate/-accuracy/
+-precision mode taxonomy.  Having implemented one codec of each family
+plus an embedded-coding stage, this benchmark draws the actual
+rate-distortion picture on one smooth climate field and one rough one:
+
+* SZ (Lorenzo) -- error-bounded, the paper's substrate;
+* regression (SZ2-style) -- error-bounded, block hyperplanes;
+* transform (block DCT + uniform quantization) -- Theorem 2;
+* embedded (block DCT + bitplanes) -- fixed-rate, the EC face.
+
+Expected shape: Lorenzo wins on smooth data at high quality (its
+stencil is sharper than an 8x8 hyperplane); the transform codecs are
+competitive at low rates; every codec's curve is monotone.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.datasets.registry import get_dataset
+from repro.metrics.analysis import rate_distortion_curve
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import SZCompressor, decompress
+from repro.sz.hybrid import HybridCompressor
+from repro.sz.interp import InterpolationCompressor
+from repro.sz.legacy import Sz11Compressor
+from repro.sz.regression import RegressionCompressor
+from repro.transform.compressor import TransformCompressor
+from repro.transform.embedded import EmbeddedTransformCompressor
+
+BOUNDS = (1e-2, 1e-3, 1e-4, 1e-5)  # value-range-relative
+RATES = (1.0, 2.0, 4.0, 8.0)  # bits/value for the embedded codec
+
+
+def _curves(field: np.ndarray):
+    out = {}
+    out["sz"] = rate_distortion_curve(
+        field,
+        lambda d, b: SZCompressor(b, mode="rel").compress(d),
+        decompress,
+        BOUNDS,
+    )
+    out["regression"] = rate_distortion_curve(
+        field,
+        lambda d, b: RegressionCompressor(b, mode="rel").compress(d),
+        decompress,
+        BOUNDS,
+    )
+    out["hybrid"] = rate_distortion_curve(
+        field,
+        lambda d, b: HybridCompressor(b, mode="rel", block_size=16).compress(d),
+        decompress,
+        BOUNDS,
+    )
+    out["sz1.1"] = rate_distortion_curve(
+        field,
+        lambda d, b: Sz11Compressor(b, mode="rel").compress(d),
+        decompress,
+        BOUNDS,
+    )
+    out["interp"] = rate_distortion_curve(
+        field,
+        lambda d, b: InterpolationCompressor(b, mode="rel").compress(d),
+        decompress,
+        BOUNDS,
+    )
+    out["transform"] = rate_distortion_curve(
+        field,
+        lambda d, b: TransformCompressor(b, mode="rel").compress(d),
+        decompress,
+        BOUNDS,
+    )
+    out["embedded"] = rate_distortion_curve(
+        field,
+        lambda d, r: EmbeddedTransformCompressor(
+            mode="fixed_rate", rate=r
+        ).compress(d),
+        decompress,
+        RATES,
+    )
+    return out
+
+
+def test_codec_rate_distortion(benchmark, save_result):
+    from repro.baselines.lossless import lossless_baseline
+
+    ds = get_dataset("ATM", scale=bench_scale())
+    payload = {}
+    text_blocks = []
+    for fname in ("TS", "U850"):
+        field = ds.field(fname)
+        curves = _curves(field)
+        # the paper's Section II-A yardstick: shuffle+DEFLATE lossless
+        _, ll_ratio = lossless_baseline(field)
+        curves["lossless"] = [
+            {
+                "bound": 0.0,
+                "bit_rate": 8.0 * field.itemsize / ll_ratio,
+                "compression_ratio": ll_ratio,
+                "psnr": float("inf"),
+            }
+        ]
+        payload[fname] = curves
+        rows = []
+        for codec, pts in curves.items():
+            for p in pts:
+                rows.append(
+                    (
+                        codec,
+                        f"{p['bound']:.0e}",
+                        f"{p['bit_rate']:.2f}",
+                        f"{p['psnr']:.1f}",
+                    )
+                )
+        text_blocks.append(
+            render_table(
+                ["codec", "knob", "bits/value", "PSNR"],
+                rows,
+                title=f"X7 -- rate-distortion on ATM/{fname}",
+            )
+        )
+    text = "\n\n".join(text_blocks)
+    print("\n" + text)
+    save_result("ablation_codecs", payload, text)
+
+    for fname, curves in payload.items():
+        for codec, pts in curves.items():
+            if codec == "lossless":
+                # the paper's Section II-A claim: CR "up to 2 in general"
+                assert pts[0]["compression_ratio"] < 2.5, fname
+                continue
+            rates = [p["bit_rate"] for p in pts]
+            psnrs = [p["psnr"] for p in pts]
+            # monotone rate-distortion trade-off per codec
+            assert rates == sorted(rates), (fname, codec)
+            assert psnrs == sorted(psnrs), (fname, codec)
+    # at the tightest bound, Lorenzo beats no-prediction-style codecs
+    # on the smooth field (it spends fewer bits for the same quality)
+    ts = payload["TS"]
+    assert ts["sz"][-1]["bit_rate"] < ts["transform"][-1]["bit_rate"]
+    # the IPDPS'17 lineage: SZ 1.4's multidimensional Lorenzo beats
+    # SZ 1.1's flat 1-D curve fitting on 2-D data at every bound
+    for p14, p11 in zip(ts["sz"], ts["sz1.1"]):
+        assert p14["bit_rate"] < p11["bit_rate"]
+
+    field = ds.field("TS")
+    comp = SZCompressor(1e-4, mode="rel")
+    benchmark(comp.compress, field)
+
+
+def test_budget_allocation(benchmark, save_result):
+    """The HACC/Mira scenario (paper intro): best uniform PSNR within a
+    byte budget, via the fixed-PSNR control surface."""
+    from repro.core.allocation import psnr_for_budget
+
+    ds = get_dataset("NYX", scale=bench_scale())
+    fields = list(ds.fields())
+    raw = sum(d.nbytes for _, d in fields)
+
+    rows = []
+    payload = {}
+    for factor in (4.0, 8.0, 16.0):
+        result = psnr_for_budget(fields, int(raw / factor))
+        worst = min(
+            psnr(d, decompress(result.blobs[n])) for n, d in fields
+        )
+        payload[str(factor)] = {
+            "target_psnr": result.target_psnr,
+            "total_bytes": result.total_bytes,
+            "worst_field_psnr": float(worst),
+        }
+        rows.append(
+            (
+                f"{factor:.0f}x",
+                f"{result.target_psnr:.2f}",
+                f"{raw / result.total_bytes:.2f}x",
+                f"{worst:.2f}",
+            )
+        )
+        assert result.total_bytes <= raw / factor
+    text = render_table(
+        ["requested", "uniform PSNR", "achieved", "worst field dB"],
+        rows,
+        title="X7b -- snapshot budget allocation (NYX)",
+    )
+    print("\n" + text)
+    save_result("ablation_budget", payload, text)
+
+    # more budget => higher quality
+    assert (
+        payload["4.0"]["target_psnr"]
+        > payload["8.0"]["target_psnr"]
+        > payload["16.0"]["target_psnr"]
+    )
+
+    benchmark.pedantic(
+        psnr_for_budget,
+        args=(fields, int(raw / 8.0)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""Experiment X2 -- the fixed-PSNR step's overhead is negligible.
+
+The paper claims the only overhead over plain SZ is evaluating Eq. 8
+once per field, "which is negligible".  This benchmark measures it:
+time the bound derivation alone against a full compression of the same
+field, for both the closed form and the histogram-refined variant.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.core.fixed_psnr import FixedPSNRCompressor, psnr_to_relative_bound
+from repro.datasets.registry import get_dataset
+from repro.sz.compressor import SZCompressor
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_fixed_psnr_overhead(benchmark, save_result):
+    ds = get_dataset("ATM", scale=bench_scale())
+    field = ds.field("T500")
+    target = 80.0
+
+    eb_rel = psnr_to_relative_bound(target)
+    sz = SZCompressor(error_bound=eb_rel, mode="rel")
+
+    t_compress = _best_of(lambda: sz.compress(field))
+    t_eq8 = _best_of(lambda: psnr_to_relative_bound(target), repeats=20)
+    refined = FixedPSNRCompressor(target, refine="histogram")
+    t_refined = _best_of(lambda: refined.derive_bound(field))
+
+    rows = [
+        ("SZ compression of the field", f"{1e3 * t_compress:.3f} ms", "1x"),
+        (
+            "Eq. 8 closed-form derivation",
+            f"{1e6 * t_eq8:.3f} us",
+            f"{100 * t_eq8 / t_compress:.4f}%",
+        ),
+        (
+            "histogram-refined derivation",
+            f"{1e3 * t_refined:.3f} ms",
+            f"{100 * t_refined / t_compress:.2f}%",
+        ),
+    ]
+    text = render_table(
+        ["step", "time", "vs compression"],
+        rows,
+        title="X2 -- overhead of the fixed-PSNR step (ATM/T500, 80 dB)",
+    )
+    print("\n" + text)
+    save_result(
+        "ablation_overhead",
+        {
+            "compress_s": t_compress,
+            "eq8_s": t_eq8,
+            "refined_s": t_refined,
+            "eq8_fraction": t_eq8 / t_compress,
+            "refined_fraction": t_refined / t_compress,
+        },
+        text,
+    )
+
+    # The paper's claim: closed-form overhead is negligible (<0.1 %).
+    assert t_eq8 / t_compress < 1e-3
+    # Even the refined derivation stays a modest fraction of compression.
+    assert t_refined / t_compress < 2.0
+
+    benchmark(psnr_to_relative_bound, target)

@@ -1,0 +1,55 @@
+"""Experiment X6 -- parallel decompositions preserve semantics.
+
+The paper's motivating workload is compressing 100+ fields per CESM
+snapshot on cluster nodes.  Two decompositions matter: per-field task
+parallelism (executor) and intra-field slab chunking.  This benchmark
+verifies the parallel paths are byte-identical / bound-preserving and
+measures the slab-chunked codec against the monolithic one.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.datasets.registry import get_dataset
+from repro.metrics.distortion import max_abs_error, psnr
+from repro.parallel.chunking import compress_chunked, decompress_chunked
+from repro.sz.compressor import compress, decompress
+
+
+def test_chunked_vs_monolithic(benchmark, save_result):
+    ds = get_dataset("Hurricane", scale=bench_scale())
+    field = ds.field("Pf").astype(np.float64)
+    eb_rel = 1e-4
+    vr = float(field.max() - field.min())
+    eb_abs = eb_rel * vr
+
+    mono_blob = compress(field, eb_rel, mode="rel")
+    mono = decompress(mono_blob)
+
+    rows = []
+    payload = {}
+    for n_chunks in (1, 2, 4, 8):
+        blob = compress_chunked(field, eb_rel, mode="rel", n_chunks=n_chunks)
+        recon = decompress_chunked(blob)
+        assert max_abs_error(field, recon) <= eb_abs * (1 + 1e-9)
+        p = psnr(field, recon)
+        cr = field.nbytes / len(blob)
+        payload[n_chunks] = {"psnr": float(p), "cr": float(cr)}
+        rows.append((n_chunks, f"{p:.2f}", f"{cr:.2f}"))
+    rows.append(
+        ("mono", f"{psnr(field, mono):.2f}", f"{field.nbytes / len(mono_blob):.2f}")
+    )
+
+    text = render_table(
+        ["slabs", "PSNR", "CR"],
+        rows,
+        title="X6 -- slab-chunked vs monolithic compression (Hurricane/Pf)",
+    )
+    print("\n" + text)
+    save_result("ablation_parallel", payload, text)
+
+    # Chunking costs at most a few percent of ratio and ~0 quality.
+    assert abs(payload[8]["psnr"] - psnr(field, mono)) < 1.0
+    assert payload[8]["cr"] > 0.85 * field.nbytes / len(mono_blob)
+
+    benchmark(compress_chunked, field, eb_rel, mode="rel", n_chunks=4)

@@ -1,0 +1,97 @@
+"""Experiment X5 -- the paper's future work: low compression-quality
+targets.
+
+Table II shows the closed form overshooting by 2-5 dB at 20-40 dB
+targets.  The refined calibration mode derives the bound from the
+field's own value distribution instead of the uniform assumption.  This
+benchmark sweeps the low-target regime on representative fields of all
+three data sets and reports |deviation| for both derivations.
+
+Expected shape: refinement cuts the deviation wherever the target is
+achievable; where it is not (the snap MSE saturates below the target
+MSE -- sparse hydrometeors), both derivations overshoot and the
+refined one must not be worse.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.core.fixed_psnr import FixedPSNRCompressor
+from repro.datasets.registry import get_dataset
+from repro.metrics.distortion import psnr
+
+TARGETS = (15.0, 20.0, 25.0, 30.0, 40.0)
+FIELDS = (
+    ("ATM", "CLDHGH"),
+    ("ATM", "PRECL"),
+    ("NYX", "baryon_density"),
+    ("NYX", "temperature"),
+    ("Hurricane", "QICE"),
+    ("Hurricane", "U"),
+)
+
+
+def test_refined_low_psnr(benchmark, save_result):
+    scale = bench_scale()
+    records = []
+    rows = []
+    for dataset, field in FIELDS:
+        data = get_dataset(dataset, scale=scale).field(field)
+        for target in TARGETS:
+            plain = FixedPSNRCompressor(target)
+            refined = FixedPSNRCompressor(target, refine="histogram")
+            p_plain = psnr(data, plain.decompress(plain.compress(data)))
+            p_ref = psnr(data, refined.decompress(refined.compress(data)))
+            records.append(
+                {
+                    "dataset": dataset,
+                    "field": field,
+                    "target": target,
+                    "plain": float(p_plain),
+                    "refined": float(p_ref),
+                }
+            )
+            rows.append(
+                (
+                    f"{dataset}/{field}",
+                    f"{target:.0f}",
+                    f"{p_plain:.2f}",
+                    f"{p_ref:.2f}",
+                )
+            )
+
+    text = render_table(
+        ["field", "target", "actual (Eq.8)", "actual (refined)"],
+        rows,
+        title="X5 -- low-PSNR targets: closed form vs refined calibration",
+    )
+    print("\n" + text)
+
+    plain_dev = np.mean([abs(r["plain"] - r["target"]) for r in records])
+    ref_dev = np.mean([abs(r["refined"] - r["target"]) for r in records])
+    summary = {
+        "records": records,
+        "mean_abs_deviation_plain": float(plain_dev),
+        "mean_abs_deviation_refined": float(ref_dev),
+    }
+    save_result("ablation_refined_low_psnr", summary, text)
+    print(
+        f"\nmean |deviation|: Eq.8 {plain_dev:.2f} dB -> refined {ref_dev:.2f} dB"
+    )
+
+    # Refinement must improve the regime the paper flags as weak.  The
+    # mean only moves a little because saturated cases (targets below
+    # the field's achievable-PSNR floor) dominate it; so also check the
+    # hit counts directly.
+    assert ref_dev < plain_dev
+    hits_refined = sum(1 for r in records if abs(r["refined"] - r["target"]) < 0.5)
+    hits_plain = sum(1 for r in records if abs(r["plain"] - r["target"]) < 0.5)
+    assert hits_refined >= hits_plain + 5
+    assert hits_refined >= len(records) // 3
+    # And per record it never makes things materially worse.
+    for r in records:
+        assert abs(r["refined"] - r["target"]) <= abs(r["plain"] - r["target"]) + 0.3
+
+    data = get_dataset("ATM", scale=scale).field("PRECL")
+    comp = FixedPSNRCompressor(25.0, refine="histogram")
+    benchmark(comp.derive_bound, data)

@@ -1,0 +1,171 @@
+"""Experiment X8 -- the time dimension: compression vs decimation.
+
+The paper's introduction motivates everything with HACC's predicament:
+storage forces *temporal decimation* (keep every k-th snapshot),
+"degrading the consecutiveness of simulation in time dimension and
+losing important information unexpectedly".  This benchmark plays out
+the alternative on a synthetic evolving field:
+
+* **decimation k**: keep every k-th snapshot exactly, interpolate the
+  rest -- worst-case quality collapses between checkpoints;
+* **fixed-PSNR, every snapshot**: compress all snapshots at the target
+  that matches decimation's storage -- quality is uniform in time;
+* **temporal prediction**: the streaming codec's extra rate win on
+  slowly evolving data, and its graceful degradation on fast dynamics.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import render_table
+from repro.baselines.decimation import decimation_quality
+from repro.core.fixed_psnr import estimate_psnr_from_bound
+from repro.datasets.temporal import snapshot_series
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import compress
+from repro.sz.temporal import compress_series, decompress_series
+
+SHAPE = (96, 96)
+STEPS = 24
+
+
+def test_compression_vs_decimation(benchmark, save_result):
+    snaps = list(
+        snapshot_series(SHAPE, STEPS, seed=42, velocity=(0.2, 0.2),
+                        diffusion=0.03, forcing=0.01)
+    )
+    raw = sum(s.nbytes for s in snaps)
+
+    # Decimation at k=6 stores 1/6 of the snapshots (plus the last).
+    k = 6
+    dec_quality = decimation_quality(snaps, k)
+    dec_bytes = raw * (len([i for i in range(0, STEPS, k)]) + 1) / STEPS
+    dec_finite = [q for q in dec_quality if np.isfinite(q)]
+
+    # Fixed-PSNR on EVERY snapshot, tuned to roughly the same bytes:
+    # search the target that matches decimation's storage.
+    lo_t, hi_t = 30.0, 120.0
+    for _ in range(12):
+        mid = 0.5 * (lo_t + hi_t)
+        blobs = compress_series(snaps, target_psnr=mid, keyframe_interval=8)
+        total = sum(len(b) for b in blobs)
+        if total <= dec_bytes:
+            lo_t = mid
+        else:
+            hi_t = mid
+    target = lo_t
+    blobs = compress_series(snaps, target_psnr=target, keyframe_interval=8)
+    comp_bytes = sum(len(b) for b in blobs)
+    comp_quality = [
+        psnr(s, r) for s, r in zip(snaps, decompress_series(blobs))
+    ]
+
+    rows = [
+        (
+            f"decimation k={k}",
+            f"{dec_bytes / 1e6:.2f} MB",
+            "inf (kept)",
+            f"{min(dec_finite):.1f}",
+            f"{np.mean(dec_finite):.1f}",
+        ),
+        (
+            f"fixed-PSNR {target:.0f} dB, all steps",
+            f"{comp_bytes / 1e6:.2f} MB",
+            f"{max(comp_quality):.1f}",
+            f"{min(comp_quality):.1f}",
+            f"{np.mean(comp_quality):.1f}",
+        ),
+    ]
+    text = render_table(
+        ["strategy", "storage", "best step dB", "worst step dB", "mean dB"],
+        rows,
+        title=f"X8a -- every-snapshot compression vs temporal decimation "
+        f"({STEPS} steps of {SHAPE})",
+    )
+    print("\n" + text)
+
+    payload = {
+        "decimation": {
+            "k": k,
+            "bytes": dec_bytes,
+            "per_step_psnr": [float(q) for q in dec_quality],
+        },
+        "compression": {
+            "target": target,
+            "bytes": comp_bytes,
+            "per_step_psnr": [float(q) for q in comp_quality],
+        },
+    }
+
+    # The paper's point: at equal storage, compression's WORST step
+    # beats decimation's worst step by a wide margin.
+    assert comp_bytes <= dec_bytes * 1.05
+    assert min(comp_quality) > min(dec_finite) + 10.0
+
+    # -- X8b: temporal-prediction gain vs dynamics speed --------------
+    gain_rows = []
+    gains = {}
+    for label, vel, forcing in (
+        ("slow", 0.05, 0.002),
+        ("medium", 0.3, 0.01),
+        ("fast", 1.5, 0.05),
+    ):
+        series = list(
+            snapshot_series((64, 64), 12, seed=7, velocity=(vel, vel),
+                            diffusion=0.02, forcing=forcing)
+        )
+        eb = 1e-3
+        temporal = sum(
+            len(b)
+            for b in compress_series(
+                series, error_bound=eb, mode="abs", keyframe_interval=12
+            )
+        )
+        independent = sum(len(compress(s, eb, mode="abs")) for s in series)
+        gains[label] = independent / temporal
+        gain_rows.append((label, f"{vel}", f"{gains[label]:.2f}x"))
+    text2 = render_table(
+        ["dynamics", "cells/step", "temporal gain"],
+        gain_rows,
+        title="X8b -- temporal-prediction gain vs dynamics speed",
+    )
+    print("\n" + text2)
+    payload["temporal_gain"] = gains
+    save_result("ablation_temporal", payload, text + "\n\n" + text2)
+
+    # gain decreases monotonically with dynamics speed ...
+    assert gains["slow"] > gains["medium"] > gains["fast"] - 0.05
+    # ... and is a real win on slow dynamics
+    assert gains["slow"] > 1.2
+
+    # -- X8c: temporal prediction order ---------------------------------
+    # Second differences triple the lattice-noise variance first
+    # differences double, so order 1 wins at tight bounds even on
+    # steadily advecting data (the same trade-off behind SZ's spatial
+    # default).  Verify the measured ordering so the documentation's
+    # claim stays true.
+    steady = list(
+        snapshot_series((64, 64), 12, seed=2, velocity=(0.4, 0.4),
+                        diffusion=0.0, forcing=0.0)
+    )
+    order_bytes = {}
+    for order in (1, 2):
+        order_bytes[order] = sum(
+            len(b)
+            for b in compress_series(
+                steady, error_bound=1e-3, mode="abs",
+                keyframe_interval=12, temporal_order=order,
+            )
+        )
+    payload["order_bytes"] = order_bytes
+    text3 = render_table(
+        ["order", "bytes"],
+        [(k, v) for k, v in order_bytes.items()],
+        title="X8c -- temporal prediction order (steady advection, eb=1e-3)",
+    )
+    print("\n" + text3)
+    save_result("ablation_temporal", payload, text + "\n\n" + text2 + "\n\n" + text3)
+    assert order_bytes[1] < order_bytes[2] * 1.05
+
+    benchmark(
+        lambda: compress_series(snaps[:4], target_psnr=70.0, keyframe_interval=8)
+    )

@@ -1,0 +1,117 @@
+"""Experiment X4 -- throughput: vectorized lattice SZ vs the literal
+sequential recurrence, plus predictor ablation.
+
+Two claims are measured:
+
+* the exact vectorization (DESIGN.md section 2.1) is orders of
+  magnitude faster than the per-point reference implementation while
+  producing identical codes;
+* the predictor affects only the *compression ratio*, never the PSNR
+  (Theorem 3) -- Lorenzo buys its keep in bit rate, not in distortion.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import render_table
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import SZCompressor, decompress
+from repro.sz.predictors import lorenzo_difference
+from repro.sz.quantizer import LatticeQuantizer
+from repro.sz.reference import sequential_lorenzo_quantize
+
+
+def test_vectorized_vs_reference_speed(benchmark, save_result):
+    rng = np.random.default_rng(99)
+    x = np.cumsum(np.cumsum(rng.normal(size=(48, 64)), 0), 1)
+    eb = 1e-3
+
+    def vectorized():
+        quant = LatticeQuantizer(eb, float(x[0, 0]))
+        k = quant.quantize(x)
+        return lorenzo_difference(k)
+
+    t0 = time.perf_counter()
+    q_ref, _ = sequential_lorenzo_quantize(x, eb)
+    t_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(50):
+        q_vec = vectorized()
+    t_vec = (time.perf_counter() - t0) / 50
+
+    assert np.array_equal(q_ref, q_vec)
+    speedup = t_ref / t_vec
+
+    rows = [
+        ("sequential reference", f"{1e3 * t_ref:.2f} ms", "1x"),
+        ("vectorized lattice", f"{1e3 * t_vec:.3f} ms", f"{speedup:.0f}x"),
+    ]
+    text = render_table(
+        ["implementation", "quantize+predict 48x64", "speedup"],
+        rows,
+        title="X4a -- exact vectorization speedup",
+    )
+    print("\n" + text)
+    save_result(
+        "ablation_throughput",
+        {"t_reference_s": t_ref, "t_vectorized_s": t_vec, "speedup": speedup},
+        text,
+    )
+    assert speedup > 20.0
+
+    benchmark(vectorized)
+
+
+def test_predictor_ablation(benchmark, save_result):
+    """Same PSNR (Theorem 3), different compression ratio."""
+    rng = np.random.default_rng(7)
+    x = np.cumsum(np.cumsum(rng.normal(size=(192, 256)), 0), 1)
+    eb_rel = np.sqrt(3) * 10 ** (-80.0 / 20.0)  # 80 dB target
+
+    rows = []
+    stats = {}
+    for predictor in ("lorenzo", "lorenzo1d", "none"):
+        comp = SZCompressor(eb_rel, mode="rel", predictor=predictor)
+        blob = comp.compress(x)
+        p = psnr(x, decompress(blob))
+        cr = x.nbytes / len(blob)
+        stats[predictor] = {"psnr": float(p), "cr": float(cr)}
+        rows.append((predictor, f"{p:.2f}", f"{cr:.2f}"))
+
+    text = render_table(
+        ["predictor", "actual PSNR", "compression ratio"],
+        rows,
+        title="X4b -- predictor ablation at an 80 dB target",
+    )
+    print("\n" + text)
+    save_result("ablation_predictors", stats, text)
+
+    psnrs = [v["psnr"] for v in stats.values()]
+    # Theorem 3: PSNR within a fraction of a dB across predictors ...
+    assert max(psnrs) - min(psnrs) < 0.5
+    # ... while the ratio ordering shows the predictor's real job.
+    assert stats["lorenzo"]["cr"] > stats["lorenzo1d"]["cr"] > stats["none"]["cr"]
+
+    comp = SZCompressor(eb_rel, mode="rel", predictor="lorenzo")
+    benchmark(comp.compress, x)
+
+
+def test_roundtrip_throughput(benchmark, save_result):
+    """End-to-end codec throughput on a 1 MB field."""
+    rng = np.random.default_rng(3)
+    x = np.cumsum(np.cumsum(rng.normal(size=(512, 256)), 0), 1)  # 1 MiB
+    comp = SZCompressor(1e-4, mode="rel")
+
+    def roundtrip():
+        return decompress(comp.compress(x))
+
+    recon = benchmark(roundtrip)
+    assert recon.shape == x.shape
+    mb = x.nbytes / 2**20
+    # record MB/s from the benchmark's own stats after the run
+    save_result(
+        "ablation_roundtrip_size",
+        {"field_mib": mb, "note": "throughput = field_mib / benchmark mean"},
+    )

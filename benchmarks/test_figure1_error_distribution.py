@@ -1,0 +1,77 @@
+"""Experiment F1 -- paper Figure 1: distribution of SZ prediction errors
+with the uniform quantization bins overlaid, on one ATM field.
+
+The paper plots the (percentage) histogram of Lorenzo prediction errors
+of a CESM-ATM field and marks the uniform bin boundaries
+``p1, p2, ..., p2n``.  We regenerate the same series: per-bin
+percentages of the prediction-error distribution around zero, and
+verify the two structural facts the paper reads off the plot --
+symmetry about zero and a sharp peak in the central bins (that's what
+makes Huffman coding of the codes effective).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.core.fixed_psnr import psnr_to_absolute_bound
+from repro.datasets.registry import get_dataset
+from repro.sz.predictors import prediction_errors
+
+
+def test_figure1_prediction_error_histogram(benchmark, save_result):
+    ds = get_dataset("ATM", scale=bench_scale())
+    field = ds.field("TS")  # a production-like smooth climate field
+
+    pe = benchmark(prediction_errors, field.astype(np.float64))
+
+    # Uniform quantization layout at a representative 60 dB target:
+    # bin size delta = 2*eb, bins centred like SZ's code-0 bin.
+    vr = float(field.max() - field.min())
+    eb = psnr_to_absolute_bound(60.0, vr)
+    delta = 2.0 * eb
+    n_side = 12  # bins shown on each side, like the paper's figure
+    # 2*n_side+1 bins; the central one spans [-delta/2, +delta/2).
+    edges = delta * (np.arange(-n_side, n_side + 2) - 0.5)
+    counts, _ = np.histogram(pe, bins=edges)
+    pct = 100.0 * counts / pe.size
+
+    rows = [
+        (f"bin {i - n_side:+d}", f"[{edges[i]:+.3e}, {edges[i+1]:+.3e})",
+         f"{pct[i]:.2f}%")
+        for i in range(len(pct))
+    ]
+    text = render_table(
+        ["bin", "interval", "mass"],
+        rows,
+        title=(
+            "Figure 1 -- Lorenzo prediction-error distribution on ATM/TS "
+            f"(delta={delta:.3e}, 60 dB target)"
+        ),
+    )
+    from benchmarks.asciiplot import bars
+
+    text += "\n\n" + bars(
+        pct,
+        labels=[f"{i - n_side:+d}" for i in range(len(pct))],
+        title="Figure 1 rendering (per-bin mass %, quantization bins)",
+    )
+    print("\n" + text)
+
+    center = n_side  # index of the code-0 bin
+    payload = {
+        "field": "TS",
+        "delta": delta,
+        "bin_percent": pct.tolist(),
+        "center_mass_percent": float(pct[center]),
+        "inside_shown_bins_percent": float(pct.sum()),
+    }
+    save_result("figure1", payload, text)
+
+    # Paper-shape assertions: unimodal peak at the centre, symmetric.
+    assert pct[center] == pct.max()
+    left = pct[:center][::-1]
+    right = pct[center + 1 :]
+    # symmetric within a few points of percentage mass
+    assert np.abs(left - right).max() < 5.0
+    # the distribution is concentrated: the few central bins dominate
+    assert pct[center - 1 : center + 2].sum() > 3 * pct[0]

@@ -1,0 +1,99 @@
+"""Experiment F2 -- paper Figure 2: fixed-PSNR on *all* ATM fields.
+
+The paper compresses every one of the 79 ATM fields at user-set PSNRs
+of 40, 80 and 120 dB and plots the actual per-field PSNR against the
+red target line, reporting that >90 % of fields "meet" the demand
+(actual >= user-set) on average.
+
+We regenerate the full per-field series for the same three targets and
+report the meet rate twice: for the paper's plain Eq. 8 derivation and
+for the ``margin_db=0.5`` variant (our synthetic fields lack the
+mass-concentration bias pervasive in production data, which is what
+pushes real fields above the line -- see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.core.fixed_psnr import FixedPSNRCompressor
+from repro.datasets.registry import get_dataset
+from repro.metrics.distortion import psnr
+
+TARGETS = (40.0, 80.0, 120.0)
+MARGIN = 0.5
+
+
+def _series(ds, target, margin):
+    comp = FixedPSNRCompressor(target, margin_db=margin)
+    out = []
+    for name, data in ds.fields():
+        recon = comp.decompress(comp.compress(data))
+        out.append((name, psnr(data, recon)))
+    return out
+
+
+def test_figure2_per_field_psnr(benchmark, save_result):
+    ds = get_dataset("ATM", scale=bench_scale())
+    assert ds.n_fields == 79
+
+    payload = {"targets": list(TARGETS), "fields": ds.field_names, "series": {}}
+    summary_rows = []
+    for target in TARGETS:
+        plain = _series(ds, target, 0.0)
+        with_margin = _series(ds, target, MARGIN)
+        actual = np.array([p for _, p in plain])
+        actual_m = np.array([p for _, p in with_margin])
+        payload["series"][str(target)] = {
+            "plain": {n: float(p) for n, p in plain},
+            "margin": {n: float(p) for n, p in with_margin},
+        }
+        summary_rows.append(
+            (
+                f"{target:.0f} dB",
+                f"{actual.mean():.2f}",
+                f"{actual.std():.2f}",
+                f"{100 * np.mean(actual >= target):.1f}%",
+                f"{100 * np.mean(actual_m >= target):.1f}%",
+            )
+        )
+        # Paper-shape assertions: the series hugs the target line.
+        assert abs(actual.mean() - target) < 4.0
+        # margin variant must meet the paper's >90 % criterion
+        assert np.mean(actual_m >= target) >= 0.9
+
+    text = render_table(
+        ["user-set", "AVG actual", "STDEV", "meet% (Eq.8)", f"meet% (+{MARGIN}dB)"],
+        summary_rows,
+        title="Figure 2 -- fixed-PSNR over all 79 ATM fields",
+    )
+    print("\n" + text)
+
+    # The three panels of the paper's figure, rendered as ASCII.
+    from benchmarks.asciiplot import scatter
+
+    for target in TARGETS:
+        series = [
+            payload["series"][str(target)]["plain"][n] for n in ds.field_names
+        ]
+        panel = scatter(
+            series,
+            hline=target,
+            title=f"\nFigure 2 panel -- user-set PSNR = {target:.0f} dB",
+        )
+        text += "\n" + panel
+    print(text.split("Figure 2 panel", 1)[0])  # summary already printed
+
+    # Per-field series for the 80 dB panel (the paper's middle plot).
+    rows80 = [
+        (n, f"{payload['series']['80.0']['plain'][n]:.2f}")
+        for n in ds.field_names
+    ]
+    text += "\n\n" + render_table(
+        ["field", "actual PSNR @80"], rows80, title="80 dB panel, per field"
+    )
+    save_result("figure2", payload, text)
+
+    # Benchmark one representative field/target compression.
+    data = ds.field("CLDHGH")
+    comp = FixedPSNRCompressor(80.0)
+    benchmark(comp.compress, data)

@@ -1,0 +1,52 @@
+"""Experiment T1 -- paper Table I: the data-set inventory.
+
+Regenerates the inventory table (dimensions, field counts, sizes,
+example fields) from the synthetic registry and benchmarks field
+generation throughput.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.datasets.registry import get_dataset, table1_rows
+
+
+def test_table1_inventory(benchmark, save_result):
+    rows = table1_rows(scale=bench_scale())
+
+    # Paper's Table I for side-by-side comparison.
+    paper = {
+        "NYX": ("2048x2048x2048", 6, "206 GB"),
+        "ATM": ("1800x3600", 79, "1.5 TB"),
+        "Hurricane": ("100x500x500", 13, "62.4 GB"),
+    }
+    table_rows = []
+    for r in rows:
+        p_dim, p_fields, p_size = paper[r["dataset"]]
+        assert r["full_dimensions"] == p_dim
+        assert r["n_fields"] == p_fields
+        table_rows.append(
+            (
+                r["dataset"],
+                r["full_dimensions"],
+                r["n_fields"],
+                p_size,
+                r["instantiated_dimensions"],
+                f"{r['instantiated_size_bytes'] / 1e6:.1f} MB",
+                r["example_fields"],
+            )
+        )
+    text = render_table(
+        ["Dataset", "Dim. (paper)", "Fields", "Paper size", "Bench dim.",
+         "Bench size", "Example fields"],
+        table_rows,
+        title="Table I -- data sets used in the evaluation",
+    )
+    print("\n" + text)
+    save_result("table1", rows, text)
+
+    # Throughput: generating one ATM field (the most common workload).
+    ds = get_dataset("ATM", scale=bench_scale())
+    field = benchmark(ds.field, "CLDHGH")
+    assert field.shape == ds.shape
+    assert np.all(np.isfinite(field))

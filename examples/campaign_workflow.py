@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""End-to-end campaign workflow: simulate -> compress -> analyse.
+
+Integrates the whole stack the way a simulation campaign would use it:
+every step of a multi-field run goes through temporal fixed-PSNR
+compression into one campaign object; post-analysis later pulls single
+(step, field) slices at random and derived quantities off the
+reconstructed data.
+
+Run:  python examples/campaign_workflow.py
+"""
+
+import numpy as np
+
+from repro.datasets.temporal import snapshot_series
+from repro.io.campaign import CampaignReader, CampaignWriter
+from repro.metrics import psnr
+from repro.metrics.derived import vorticity_z
+from repro.metrics.spectral import fidelity_cutoff
+
+
+def main() -> None:
+    steps = 12
+    shape = (64, 64)
+    u_series = list(snapshot_series(shape, steps, seed=11, velocity=(0.15, 0.1)))
+    v_series = list(snapshot_series(shape, steps, seed=12, velocity=(0.1, 0.15)))
+    t_series = list(snapshot_series(shape, steps, seed=13, velocity=(0.1, 0.1)))
+
+    # -- write the campaign: one call per simulation step --------------
+    writer = CampaignWriter(target_psnr=70.0, keyframe_interval=6)
+    for u, v, t in zip(u_series, v_series, t_series):
+        writer.append({"U": u, "V": v, "T": t})
+    blob = writer.to_bytes()
+    raw = steps * 3 * u_series[0].nbytes
+    print(f"campaign        : {steps} steps x 3 fields, "
+          f"{raw / 1e6:.1f} MB -> {len(blob) / 1e6:.2f} MB "
+          f"({raw / len(blob):.1f}x) at 70 dB")
+
+    # -- random access post-analysis -----------------------------------
+    reader = CampaignReader(blob)
+    print(f"index           : steps 0..{reader.n_steps - 1}, "
+          f"fields {reader.fields}")
+
+    step = 9
+    u = reader.load(step, "U")
+    v = reader.load(step, "V")
+    print(f"\nstep {step} analysis (decoded from keyframe 6 + 3 frames):")
+    print(f"  U fidelity     : {psnr(u_series[step], u):.2f} dB")
+    vort_true = vorticity_z(
+        u_series[step].astype(np.float64), v_series[step].astype(np.float64)
+    )
+    vort_rec = vorticity_z(u.astype(np.float64), v.astype(np.float64))
+    print(f"  vorticity      : {psnr(vort_true, vort_rec):.2f} dB")
+    cut = fidelity_cutoff(u_series[step].astype(np.float64), u.astype(np.float64))
+    print(f"  scales intact  : up to {cut:.0%} of Nyquist")
+    print("    (steep-spectrum field: the finest scales carry almost no")
+    print("     energy, so white quantization noise swamps them first --")
+    print("     raise the target PSNR to push the cutoff out)")
+
+    # -- full-series streaming analysis ---------------------------------
+    drift = [
+        psnr(orig, rec)
+        for orig, rec in zip(t_series, reader.load_series("T"))
+    ]
+    print(f"\nT across time   : PSNR {min(drift):.2f}..{max(drift):.2f} dB "
+          f"over {steps} steps (no temporal drift)")
+
+
+if __name__ == "__main__":
+    main()

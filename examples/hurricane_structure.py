@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""3-D Hurricane ISABEL workload: codecs, chunking, and sparse fields.
+
+Demonstrates on volumetric data:
+
+* fixed-PSNR across heterogeneous 3-D fields (vortex winds vs sparse
+  hydrometeors);
+* slab-chunked compression of a single field (how a node-local array
+  larger than a worker's working set streams through the codec);
+* why sparse fields overshoot low PSNR targets, and how the refined
+  calibration mode reacts.
+
+Run:  python examples/hurricane_structure.py
+"""
+
+import numpy as np
+
+from repro.core.fixed_psnr import FixedPSNRCompressor
+from repro.datasets import get_dataset
+from repro.metrics import psnr
+from repro.parallel.chunking import compress_chunked, decompress_chunked
+
+
+def main() -> None:
+    ds = get_dataset("Hurricane")
+    print(f"Hurricane snapshot at {ds.shape} ({ds.nbytes() / 1e6:.1f} MB)\n")
+
+    # -- fixed-PSNR across all 13 fields ------------------------------
+    target = 60.0
+    comp = FixedPSNRCompressor(target)
+    print(f"{'field':<8} {'actual dB':>10} {'CR':>8}   character")
+    kinds = {s.name: s.kind for s in ds.field_specs}
+    for name, data in ds.fields():
+        blob = comp.compress(data)
+        p = psnr(data, comp.decompress(blob))
+        print(f"{name:<8} {p:>10.2f} {data.nbytes / len(blob):>8.1f}   {kinds[name]}")
+
+    # -- slab-chunked compression of the pressure volume --------------
+    pressure = ds.field("Pf").astype(np.float64)
+    blob = compress_chunked(pressure, 1e-4, mode="rel", n_chunks=5)
+    recon = decompress_chunked(blob)
+    print(f"\nchunked Pf     : 5 slabs, PSNR {psnr(pressure, recon):.2f} dB, "
+          f"CR {pressure.nbytes / len(blob):.1f}x")
+
+    # -- the sparse-field effect at a low target ----------------------
+    qice = ds.field("QICE")
+    for refine, label in ((None, "Eq. 8 closed form"), ("histogram", "refined")):
+        c = FixedPSNRCompressor(25.0, refine=refine)
+        p = psnr(qice, c.decompress(c.compress(qice)))
+        print(f"QICE @25 dB ({label:<18}): actual {p:.2f} dB")
+    print("(the eyewall holds nearly all the variance, so the snap MSE")
+    print(" saturates above 25 dB -- no bin size can be that lossy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""One-command reproduction driver.
+
+Runs the full test suite and every benchmark (each regenerating one
+paper table/figure or ablation), then prints a manifest of the
+artefacts written under ``benchmarks/results/``.
+
+Usage:
+    python scripts/run_all_experiments.py [--skip-tests] [--scale S]
+
+``--scale`` forwards REPRO_BENCH_SCALE to the benchmarks (e.g. 0.2
+runs the data sets at 20 % of the paper's full dimensions; unset uses
+the laptop-scale defaults documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+
+def run(cmd, env=None) -> int:
+    print(f"\n$ {' '.join(cmd)}")
+    return subprocess.call(cmd, cwd=REPO, env=env)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-tests", action="store_true")
+    parser.add_argument("--scale", type=float, default=None)
+    args = parser.parse_args()
+
+    if not args.skip_tests:
+        code = run([sys.executable, "-m", "pytest", "tests/", "-q"])
+        if code != 0:
+            print("test suite failed; aborting", file=sys.stderr)
+            return code
+
+    env = dict(os.environ)
+    if args.scale is not None:
+        env["REPRO_BENCH_SCALE"] = str(args.scale)
+    code = run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only", "-q"],
+        env=env,
+    )
+    if code != 0:
+        print("benchmarks failed", file=sys.stderr)
+        return code
+
+    print("\nArtefacts in benchmarks/results/:")
+    for path in sorted(RESULTS.glob("*")):
+        print(f"  {path.name:<40} {path.stat().st_size:>9} bytes")
+    print(
+        "\nCross-reference: DESIGN.md (experiment index), "
+        "EXPERIMENTS.md (paper-vs-measured)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

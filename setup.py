@@ -1,0 +1,28 @@
+"""Package metadata.
+
+Kept in setup.py (no pyproject.toml) deliberately: the reproduction
+targets offline clusters where pip cannot fetch build dependencies, and
+the presence of a pyproject.toml forces pip into PEP-517 build
+isolation (which downloads setuptools/wheel).  A plain setup.py lets
+``pip install -e .`` use the network-free legacy editable path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fixed-PSNR lossy compression for scientific data "
+        "(CLUSTER 2018 reproduction)"
+    ),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="BSD-3-Clause",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["fpzc = repro.cli.main:main"]},
+)

@@ -1,0 +1,86 @@
+"""Fixed-PSNR lossy compression for scientific data.
+
+Reproduction of Tao, Di, Liang, Chen, Cappello, *"Fixed-PSNR Lossy
+Compression for Scientific Data"*, IEEE CLUSTER 2018 (arXiv:1805.07384).
+
+The package provides:
+
+* :mod:`repro.core` -- the paper's contribution: closed-form PSNR/MSE
+  estimation for l2-norm-preserving lossy compressors and the
+  fixed-PSNR error-control mode (plus fixed-NRMSE/fixed-MSE extensions
+  and a histogram-refined estimator for low-PSNR targets).
+* :mod:`repro.sz` -- a complete SZ-1.4-style prediction-based
+  error-bounded compressor (Lorenzo prediction, error-controlled
+  uniform quantization, Huffman + GZIP entropy stages), with an exact
+  vectorized implementation validated against a literal sequential
+  reference.
+* :mod:`repro.transform` -- an orthogonal-transform (block-DCT) codec
+  exercising Theorem 2 of the paper.
+* :mod:`repro.datasets` -- synthetic stand-ins for the CESM-ATM,
+  Hurricane ISABEL and NYX data sets of the paper's Table I.
+* :mod:`repro.metrics`, :mod:`repro.encoding`, :mod:`repro.io`,
+  :mod:`repro.parallel`, :mod:`repro.cli` -- supporting subsystems.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import compress_fixed_psnr, decompress, psnr
+>>> data = np.cumsum(np.random.default_rng(0).normal(size=10000)).reshape(100, 100)
+>>> blob = compress_fixed_psnr(data, target_psnr=80.0)
+>>> recon = decompress(blob)
+>>> abs(psnr(data, recon) - 80.0) < 2.0
+True
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ReproError,
+    CompressionError,
+    DecompressionError,
+    FormatError,
+    ParameterError,
+)
+from repro.metrics.distortion import mse, nrmse, psnr, max_abs_error, value_range
+from repro.metrics.ratio import compression_ratio, bit_rate
+from repro.core.fixed_psnr import (
+    compress_fixed_psnr,
+    psnr_to_relative_bound,
+    psnr_to_absolute_bound,
+    estimate_psnr_from_bound,
+)
+from repro.core.psnr_model import (
+    uniform_quantization_psnr,
+    uniform_quantization_mse,
+    sz_psnr_estimate,
+    QuantizationModel,
+)
+from repro.sz.compressor import SZCompressor, compress, decompress
+from repro.transform.compressor import TransformCompressor
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CompressionError",
+    "DecompressionError",
+    "FormatError",
+    "ParameterError",
+    "mse",
+    "nrmse",
+    "psnr",
+    "max_abs_error",
+    "value_range",
+    "compression_ratio",
+    "bit_rate",
+    "compress_fixed_psnr",
+    "psnr_to_relative_bound",
+    "psnr_to_absolute_bound",
+    "estimate_psnr_from_bound",
+    "uniform_quantization_psnr",
+    "uniform_quantization_mse",
+    "sz_psnr_estimate",
+    "QuantizationModel",
+    "SZCompressor",
+    "compress",
+    "decompress",
+    "TransformCompressor",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro <subcommand>``."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Baselines the paper motivates against.
+
+The introduction describes the practice fixed-quality compression
+replaces: **temporal decimation** -- keep every k-th snapshot and
+discard the rest.  :mod:`repro.baselines.decimation` implements it
+(with interpolated reconstruction) so the benchmarks can compare at
+equal storage.
+"""
+
+from repro.baselines.decimation import (
+    decimate_series,
+    reconstruct_decimated,
+    decimation_quality,
+)
+from repro.baselines.lossless import lossless_baseline, lossless_restore
+
+__all__ = [
+    "decimate_series",
+    "reconstruct_decimated",
+    "decimation_quality",
+    "lossless_baseline",
+    "lossless_restore",
+]

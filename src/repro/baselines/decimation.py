@@ -1,0 +1,88 @@
+"""Temporal decimation: the baseline the paper's intro describes.
+
+HACC "controls the data size by a temporal decimation (i.e., dumping
+the snapshots every k time steps)".  The kept snapshots are exact; the
+dropped ones are simply *gone* -- post-analysis that needs them has to
+interpolate.  This module implements that workflow so benchmarks can
+compare it, at equal storage, against keeping every snapshot with
+error-bounded compression:
+
+* :func:`decimate_series` keeps every k-th snapshot;
+* :func:`reconstruct_decimated` rebuilds the full series by linear
+  interpolation in time (the best generic reconstruction available to
+  an analyst);
+* :func:`decimation_quality` reports the per-step PSNR of that
+  reconstruction, whose sawtooth shape (perfect at kept steps, poor
+  between) is exactly the "losing important information unexpectedly"
+  of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.metrics.distortion import psnr
+
+__all__ = ["decimate_series", "reconstruct_decimated", "decimation_quality"]
+
+
+def decimate_series(
+    snapshots: Sequence[np.ndarray], k: int
+) -> Tuple[List[np.ndarray], List[int]]:
+    """Keep snapshots ``0, k, 2k, ...`` (always including the last one,
+    as checkpoint writers do, so interpolation can bracket the tail).
+
+    Returns ``(kept_snapshots, kept_indices)``.
+    """
+    if k < 1:
+        raise ParameterError("decimation factor must be >= 1")
+    snaps = list(snapshots)
+    if not snaps:
+        raise ParameterError("empty series")
+    kept = list(range(0, len(snaps), k))
+    if kept[-1] != len(snaps) - 1:
+        kept.append(len(snaps) - 1)
+    return [snaps[i] for i in kept], kept
+
+
+def reconstruct_decimated(
+    kept_snapshots: Sequence[np.ndarray],
+    kept_indices: Sequence[int],
+    n_steps: int,
+) -> List[np.ndarray]:
+    """Linear interpolation in time between kept snapshots."""
+    kept_snapshots = list(kept_snapshots)
+    kept_indices = list(kept_indices)
+    if len(kept_snapshots) != len(kept_indices) or not kept_snapshots:
+        raise ParameterError("kept snapshots/indices mismatch")
+    if sorted(kept_indices) != kept_indices or kept_indices[0] != 0:
+        raise ParameterError("kept indices must be sorted and start at 0")
+    if kept_indices[-1] != n_steps - 1:
+        raise ParameterError("last snapshot must be kept")
+    out: List[np.ndarray] = []
+    seg = 0
+    for t in range(n_steps):
+        # advance segment so kept_indices[seg] <= t <= kept_indices[seg+1]
+        while seg + 1 < len(kept_indices) and kept_indices[seg + 1] < t:
+            seg += 1
+        lo_i, lo = kept_indices[seg], kept_snapshots[seg]
+        if t == lo_i or seg + 1 >= len(kept_indices):
+            out.append(np.array(lo, dtype=np.float64))
+            continue
+        hi_i, hi = kept_indices[seg + 1], kept_snapshots[seg + 1]
+        w = (t - lo_i) / (hi_i - lo_i)
+        out.append((1.0 - w) * np.asarray(lo, np.float64) + w * np.asarray(hi, np.float64))
+    return out
+
+
+def decimation_quality(
+    original_series: Sequence[np.ndarray], k: int
+) -> List[float]:
+    """Per-step PSNR of decimate-then-interpolate at factor ``k``."""
+    snaps = list(original_series)
+    kept, idx = decimate_series(snaps, k)
+    recon = reconstruct_decimated(kept, idx, len(snaps))
+    return [psnr(o, r) for o, r in zip(snaps, recon)]

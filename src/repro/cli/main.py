@@ -1,0 +1,443 @@
+"""``fpzc`` -- fixed-PSNR scientific-data compressor CLI.
+
+Subcommands
+-----------
+``compress``    compress a ``.npy`` array (fixed-PSNR, abs or rel bound)
+``decompress``  reconstruct a ``.npy`` from a compressed container
+``info``        print a container's metadata
+``table1``      print the data-set inventory (paper Table I)
+``sweep``       run a fixed-PSNR sweep over a data set (Table II rows)
+
+Examples
+--------
+::
+
+    fpzc compress field.npy -o field.fpz --psnr 80
+    fpzc compress field.npy -o field.fpz --abs 1e-3 --codec transform
+    fpzc decompress field.fpz -o recon.npy
+    fpzc sweep ATM --targets 40 80 120 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    from repro.version import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="fpzc",
+        description="Fixed-PSNR lossy compression for scientific data "
+        "(Tao et al., CLUSTER 2018 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_c = sub.add_parser("compress", help="compress a .npy array")
+    p_c.add_argument("input", help="input .npy file (float32/float64 array)")
+    p_c.add_argument("-o", "--output", required=True, help="output container file")
+    group = p_c.add_mutually_exclusive_group(required=True)
+    group.add_argument("--psnr", type=float, help="target PSNR in dB (fixed-PSNR mode)")
+    group.add_argument("--abs", type=float, dest="abs_bound", help="absolute error bound")
+    group.add_argument(
+        "--rel", type=float, dest="rel_bound", help="value-range-relative error bound"
+    )
+    group.add_argument(
+        "--pw-rel",
+        type=float,
+        dest="pw_rel_bound",
+        help="pointwise relative error bound (sz codec only)",
+    )
+    group.add_argument(
+        "--bit-rate",
+        type=float,
+        dest="bit_rate",
+        help="fixed-rate mode: bits per value (embedded codec)",
+    )
+    p_c.add_argument(
+        "--codec",
+        choices=("sz", "transform", "regression", "hybrid", "interp", "embedded"),
+        default="sz",
+        help="compression codec",
+    )
+    p_c.add_argument(
+        "--refine",
+        action="store_true",
+        help="histogram-refined bound derivation (fixed-PSNR mode only)",
+    )
+    p_c.add_argument(
+        "--entropy",
+        choices=("huffman", "rans"),
+        default="huffman",
+        help="entropy stage for the sz codec",
+    )
+
+    p_d = sub.add_parser("decompress", help="decompress a container")
+    p_d.add_argument("input", help="compressed container file")
+    p_d.add_argument("-o", "--output", required=True, help="output .npy file")
+
+    p_i = sub.add_parser("info", help="print container metadata")
+    p_i.add_argument("input", help="compressed container file")
+
+    sub.add_parser("table1", help="print the data-set inventory (Table I)")
+
+    p_t2 = sub.add_parser(
+        "table2", help="regenerate the paper's Table II across all data sets"
+    )
+    p_t2.add_argument(
+        "--targets",
+        type=float,
+        nargs="+",
+        default=[20.0, 40.0, 60.0, 80.0, 100.0, 120.0],
+    )
+    p_t2.add_argument("--workers", type=int, default=0)
+    p_t2.add_argument(
+        "--report",
+        help="also write the summary to a file (.md -> Markdown, else CSV)",
+    )
+
+    p_g = sub.add_parser(
+        "gen", help="generate a synthetic data-set field as .npy"
+    )
+    p_g.add_argument("dataset", choices=("NYX", "ATM", "Hurricane"))
+    p_g.add_argument("field", help="field name (see `fpzc table1` / docs)")
+    p_g.add_argument("-o", "--output", required=True, help="output .npy file")
+    p_g.add_argument(
+        "--scale", type=float, default=None, help="dimension scale in (0, 1]"
+    )
+
+    p_v = sub.add_parser(
+        "verify", help="check a container's integrity (and optionally fidelity)"
+    )
+    p_v.add_argument("input", help="compressed container file")
+    p_v.add_argument(
+        "--original", help="original .npy to measure reconstruction fidelity"
+    )
+
+    p_a = sub.add_parser(
+        "archive", help="compress a whole data-set snapshot into one archive"
+    )
+    p_a.add_argument("dataset", choices=("NYX", "ATM", "Hurricane"))
+    p_a.add_argument("-o", "--output", required=True, help="output .fpza file")
+    p_a.add_argument("--psnr", type=float, default=80.0, help="target PSNR")
+    p_a.add_argument("--fields", nargs="*", default=None, help="subset of fields")
+
+    p_x = sub.add_parser("extract", help="extract one field from an archive")
+    p_x.add_argument("input", help="input .fpza archive")
+    p_x.add_argument("field", nargs="?", help="field name (omit to list)")
+    p_x.add_argument("-o", "--output", help="output .npy (required with a field)")
+
+    p_s = sub.add_parser("sweep", help="fixed-PSNR sweep over a data set")
+    p_s.add_argument("dataset", choices=("NYX", "ATM", "Hurricane"))
+    p_s.add_argument(
+        "--targets",
+        type=float,
+        nargs="+",
+        default=[20.0, 40.0, 60.0, 80.0, 100.0, 120.0],
+        help="target PSNRs in dB",
+    )
+    p_s.add_argument("--fields", nargs="*", default=None, help="subset of fields")
+    p_s.add_argument("--workers", type=int, default=0, help="worker processes")
+    p_s.add_argument(
+        "--refine", action="store_true", help="histogram-refined derivation"
+    )
+    p_s.add_argument("--json", action="store_true", help="emit JSON records")
+    p_s.add_argument(
+        "--report",
+        help="also write the summary to a file (.md -> Markdown, else CSV)",
+    )
+    return parser
+
+
+def _cmd_compress(args) -> int:
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.errors import ParameterError
+    from repro.sz.compressor import SZCompressor
+    from repro.sz.regression import RegressionCompressor
+    from repro.transform.compressor import TransformCompressor
+    from repro.transform.embedded import EmbeddedTransformCompressor
+
+    data = np.load(args.input)
+    if args.bit_rate is not None:
+        if args.codec != "embedded":
+            raise ParameterError("--bit-rate requires --codec embedded")
+        blob = EmbeddedTransformCompressor(
+            mode="fixed_rate", rate=args.bit_rate
+        ).compress(data)
+    elif args.psnr is not None:
+        if args.codec == "embedded":
+            blob = EmbeddedTransformCompressor(
+                mode="fixed_psnr", rate=args.psnr
+            ).compress(data)
+        else:
+            comp = FixedPSNRCompressor(
+                args.psnr,
+                refine="histogram" if args.refine else None,
+                codec=args.codec,
+            )
+            blob = comp.compress(data)
+    elif args.pw_rel_bound is not None:
+        if args.codec != "sz":
+            raise ParameterError("--pw-rel requires --codec sz")
+        blob = SZCompressor(
+            error_bound=args.pw_rel_bound, mode="pw_rel", entropy=args.entropy
+        ).compress(data)
+    else:
+        mode = "abs" if args.abs_bound is not None else "rel"
+        bound = args.abs_bound if args.abs_bound is not None else args.rel_bound
+        if args.codec == "sz":
+            blob = SZCompressor(
+                error_bound=bound, mode=mode, entropy=args.entropy
+            ).compress(data)
+        elif args.codec == "transform":
+            blob = TransformCompressor(error_bound=bound, mode=mode).compress(data)
+        elif args.codec == "regression":
+            blob = RegressionCompressor(error_bound=bound, mode=mode).compress(data)
+        elif args.codec == "hybrid":
+            from repro.sz.hybrid import HybridCompressor
+
+            blob = HybridCompressor(error_bound=bound, mode=mode).compress(data)
+        elif args.codec == "interp":
+            from repro.sz.interp import InterpolationCompressor
+
+            blob = InterpolationCompressor(
+                error_bound=bound, mode=mode
+            ).compress(data)
+        else:
+            raise ParameterError(
+                "the embedded codec takes --bit-rate or --psnr, not error bounds"
+            )
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    ratio = data.nbytes / len(blob)
+    print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes (CR {ratio:.2f})")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from repro.sz.compressor import decompress
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    recon = decompress(blob)
+    np.save(args.output, recon)
+    print(f"{args.output}: shape {recon.shape}, dtype {recon.dtype}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.io.container import Container
+
+    with open(args.input, "rb") as fh:
+        container = Container.from_bytes(fh.read())
+    info = {
+        "codec": container.codec,
+        "meta": container.meta,
+        "streams": [
+            {"name": name, "bytes": len(payload)}
+            for name, payload in container.streams
+        ],
+    }
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from repro.datasets.registry import table1_rows
+
+    header = (
+        f"{'Dataset':<10} {'Dimensions':>18} {'Fields':>7} "
+        f"{'Snapshot':>12} {'Paper size':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in table1_rows():
+        size_gb = row["full_size_bytes"] / 1e9
+        print(
+            f"{row['dataset']:<10} {row['full_dimensions']:>18} "
+            f"{row['n_fields']:>7} {size_gb:>9.1f} GB {row['paper_data_size']:>11}"
+        )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.parallel.executor import sweep_dataset
+    from repro.report import (
+        render_csv,
+        render_markdown,
+        render_text,
+        summarize_by_target,
+    )
+
+    results = sweep_dataset(
+        args.dataset,
+        targets=args.targets,
+        fields=args.fields,
+        refine="histogram" if args.refine else None,
+        n_workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=2))
+        return 0
+    print(f"{'target':>8} {'field':<16} {'actual':>8} {'dev':>7} {'CR':>8}")
+    for r in results:
+        print(
+            f"{r.target_psnr:>8.1f} {r.field:<16} {r.actual_psnr:>8.2f} "
+            f"{r.deviation:>+7.2f} {r.compression_ratio:>8.2f}"
+        )
+    summaries = summarize_by_target(results)
+    print()
+    print(render_text(summaries, title="Per-target summary (Table II layout)"))
+    if args.report:
+        renderer = render_markdown if args.report.endswith(".md") else render_csv
+        with open(args.report, "w") as fh:
+            fh.write(renderer(summaries))
+        print(f"\nreport written to {args.report}")
+    return 0
+
+
+def _cmd_archive(args) -> int:
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.datasets.registry import get_dataset
+    from repro.errors import ParameterError
+    from repro.io.archive import Archive
+
+    ds = get_dataset(args.dataset)
+    names = args.fields if args.fields else ds.field_names
+    unknown = set(names) - set(ds.field_names)
+    if unknown:
+        raise ParameterError(f"unknown fields: {sorted(unknown)}")
+    comp = FixedPSNRCompressor(args.psnr)
+    arc = Archive.build(((n, ds.field(n)) for n in names), comp)
+    blob = arc.to_bytes()
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    raw = sum(ds.field(n).nbytes for n in names)
+    print(
+        f"{args.output}: {len(names)} fields, {raw} -> {len(blob)} bytes "
+        f"(CR {raw / len(blob):.2f}) at {args.psnr:.1f} dB"
+    )
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from repro.errors import ParameterError
+    from repro.io.archive import Archive
+
+    with open(args.input, "rb") as fh:
+        arc = Archive(fh.read())
+    if args.field is None:
+        for name in arc.names:
+            print(name)
+        return 0
+    if args.output is None:
+        raise ParameterError("-o/--output is required when extracting a field")
+    data = arc.load(args.field)
+    np.save(args.output, data)
+    print(f"{args.output}: shape {data.shape}, dtype {data.dtype}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.parallel.executor import sweep_dataset
+    from repro.report import (
+        render_csv,
+        render_markdown,
+        render_text,
+        summarize_by_target,
+    )
+
+    results = []
+    for dataset in ("NYX", "ATM", "Hurricane"):
+        results.extend(
+            sweep_dataset(dataset, targets=args.targets, n_workers=args.workers)
+        )
+    summaries = summarize_by_target(results)
+    print(render_text(summaries, title="Table II -- fixed-PSNR accuracy"))
+    if args.report:
+        renderer = render_markdown if args.report.endswith(".md") else render_csv
+        with open(args.report, "w") as fh:
+            fh.write(renderer(summaries))
+        print(f"\nreport written to {args.report}")
+    return 0
+
+
+def _cmd_gen(args) -> int:
+    from repro.datasets.registry import get_dataset
+
+    ds = get_dataset(args.dataset, scale=args.scale)
+    data = ds.field(args.field)
+    np.save(args.output, data)
+    print(
+        f"{args.output}: {args.dataset}/{args.field}, shape {data.shape}, "
+        f"dtype {data.dtype}"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.metrics.distortion import distortion_report
+    from repro.sz.compressor import decompress
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    # Container.from_bytes CRC-checks every stream; decompressing
+    # exercises the full pipeline.
+    recon = decompress(blob)
+    print(f"{args.input}: OK (shape {recon.shape}, dtype {recon.dtype})")
+    if args.original:
+        original = np.load(args.original)
+        if original.shape != recon.shape:
+            print("error: original shape mismatch", file=sys.stderr)
+            return 2
+        rep = distortion_report(original, recon)
+        print(
+            f"vs {args.original}: PSNR {rep.psnr:.2f} dB, "
+            f"max|err| {rep.max_abs_error:.3e}, NRMSE {rep.nrmse:.3e}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "info": _cmd_info,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "sweep": _cmd_sweep,
+    "archive": _cmd_archive,
+    "extract": _cmd_extract,
+    "gen": _cmd_gen,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: distortion estimation and fixed-PSNR mode.
+
+* :mod:`repro.core.psnr_model` -- the analytical machinery of Sections
+  III-IV: MSE/NRMSE/PSNR estimation for quantization stages (Eqs. 2-7),
+  both the general non-uniform-bin form and the closed uniform form.
+* :mod:`repro.core.fixed_psnr` -- the fixed-PSNR error-control mode
+  (Eq. 8 and the three-step procedure of Section IV).
+* :mod:`repro.core.modes` -- fixed-NRMSE and fixed-MSE modes (direct
+  corollaries the paper mentions via "such as MSE and PSNR").
+* :mod:`repro.core.calibration` -- histogram-refined bound derivation
+  for low-PSNR targets (the paper's stated future work).
+"""
+
+from repro.core.psnr_model import (
+    QuantizationModel,
+    uniform_quantization_mse,
+    uniform_quantization_psnr,
+    sz_psnr_estimate,
+    psnr_to_mse,
+    mse_to_psnr,
+    nrmse_to_psnr,
+    psnr_to_nrmse,
+)
+from repro.core.fixed_psnr import (
+    FixedPSNRCompressor,
+    compress_fixed_psnr,
+    psnr_to_relative_bound,
+    psnr_to_absolute_bound,
+    estimate_psnr_from_bound,
+)
+from repro.core.modes import compress_fixed_nrmse, compress_fixed_mse
+from repro.core.calibration import (
+    refined_absolute_bound,
+    refined_relative_bound,
+    empirical_quantization_mse,
+)
+from repro.core.allocation import (
+    estimate_bit_rate,
+    psnr_for_budget,
+    BudgetResult,
+)
+
+__all__ = [
+    "QuantizationModel",
+    "uniform_quantization_mse",
+    "uniform_quantization_psnr",
+    "sz_psnr_estimate",
+    "psnr_to_mse",
+    "mse_to_psnr",
+    "nrmse_to_psnr",
+    "psnr_to_nrmse",
+    "FixedPSNRCompressor",
+    "compress_fixed_psnr",
+    "psnr_to_relative_bound",
+    "psnr_to_absolute_bound",
+    "estimate_psnr_from_bound",
+    "compress_fixed_nrmse",
+    "compress_fixed_mse",
+    "refined_absolute_bound",
+    "refined_relative_bound",
+    "empirical_quantization_mse",
+    "estimate_bit_rate",
+    "psnr_for_budget",
+    "BudgetResult",
+]

@@ -1,0 +1,202 @@
+"""Analytical distortion model for l2-norm-preserving lossy compression.
+
+Implements Sections III-IV of the paper:
+
+* Theorem 1/2 say the decompressed-data MSE equals the MSE the
+  quantization (or embedded-coding) stage introduces on prediction
+  errors / transform coefficients, so estimating the latter estimates
+  the former.
+* :class:`QuantizationModel` is the general form (Eqs. 2-5): arbitrary
+  symmetric bins, MSE ~ (1/12) * sum(delta_i^3 * P(m_i)) with P the
+  density of the quantizer input.
+* :func:`uniform_quantization_mse` / :func:`uniform_quantization_psnr`
+  are the uniform-bin closed forms (Eq. 6): with enough bins the density
+  drops out entirely and ``PSNR = 20*log10(vr/delta) + 10*log10(12)``.
+* :func:`sz_psnr_estimate` specialises to SZ where ``delta = 2*eb_abs``
+  (Eq. 7): ``PSNR = 20*log10(vr/eb_abs) + 10*log10(3)``.
+
+Unit conversions between PSNR, NRMSE and MSE are also here because the
+whole paper pivots on them (Eqs. 4-5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "psnr_to_mse",
+    "mse_to_psnr",
+    "nrmse_to_psnr",
+    "psnr_to_nrmse",
+    "uniform_quantization_mse",
+    "uniform_quantization_psnr",
+    "sz_psnr_estimate",
+    "QuantizationModel",
+]
+
+
+# -- unit conversions (Eqs. 4-5) ---------------------------------------
+
+
+def psnr_to_nrmse(psnr: float) -> float:
+    """``NRMSE = 10**(-PSNR/20)`` (inverse of Eq. 5)."""
+    return float(10.0 ** (-float(psnr) / 20.0))
+
+
+def nrmse_to_psnr(nrmse: float) -> float:
+    """``PSNR = -20*log10(NRMSE)`` (Eq. 5)."""
+    if nrmse <= 0:
+        raise ParameterError("NRMSE must be positive for a finite PSNR")
+    return float(-20.0 * np.log10(nrmse))
+
+
+def psnr_to_mse(psnr: float, value_range: float) -> float:
+    """MSE corresponding to a PSNR at a given value range (Eqs. 4-5)."""
+    if value_range <= 0:
+        raise ParameterError("value range must be positive")
+    return float((value_range * psnr_to_nrmse(psnr)) ** 2)
+
+
+def mse_to_psnr(mse: float, value_range: float) -> float:
+    """PSNR corresponding to an MSE at a given value range."""
+    if value_range <= 0:
+        raise ParameterError("value range must be positive")
+    if mse <= 0:
+        raise ParameterError("MSE must be positive for a finite PSNR")
+    return nrmse_to_psnr(float(np.sqrt(mse)) / value_range)
+
+
+# -- uniform quantization closed forms (Eqs. 6-7) ----------------------
+
+
+def uniform_quantization_mse(delta: float) -> float:
+    """Expected MSE of a uniform midpoint quantizer: ``delta**2 / 12``.
+
+    This is Eq. 6 before taking logs: with many bins the quantizer-input
+    density is locally flat, so the error is uniform on
+    ``[-delta/2, +delta/2]`` whatever the distribution is (Theorem 3).
+    """
+    if delta <= 0:
+        raise ParameterError("bin size must be positive")
+    return float(delta) ** 2 / 12.0
+
+
+def uniform_quantization_psnr(value_range: float, delta: float) -> float:
+    """Eq. 6: ``PSNR = 20*log10(vr/delta) + 10*log10(12)``."""
+    if value_range <= 0 or delta <= 0:
+        raise ParameterError("value range and bin size must be positive")
+    return float(20.0 * np.log10(value_range / delta) + 10.0 * np.log10(12.0))
+
+
+def sz_psnr_estimate(
+    value_range: float, eb_abs: Optional[float] = None, eb_rel: Optional[float] = None
+) -> float:
+    """Eq. 7: SZ's predicted PSNR from its error bound.
+
+    SZ sets ``delta = 2*eb_abs``, hence
+    ``PSNR = 20*log10(vr/eb_abs) + 10*log10(3)``.  Exactly one of
+    ``eb_abs`` / ``eb_rel`` must be given; ``eb_rel`` is SZ's
+    value-range-based relative bound ``eb_abs/vr``.
+    """
+    if (eb_abs is None) == (eb_rel is None):
+        raise ParameterError("give exactly one of eb_abs / eb_rel")
+    if value_range <= 0:
+        raise ParameterError("value range must be positive")
+    if eb_abs is None:
+        eb_abs = eb_rel * value_range
+    if eb_abs <= 0:
+        raise ParameterError("error bound must be positive")
+    return float(20.0 * np.log10(value_range / eb_abs) + 10.0 * np.log10(3.0))
+
+
+# -- general (non-uniform) quantization model (Eqs. 2-5) ----------------
+
+
+class QuantizationModel:
+    """Distortion model for a symmetric midpoint quantizer (Eqs. 2-5).
+
+    Parameters
+    ----------
+    bin_edges:
+        Monotonically increasing edges covering the quantizer's input
+        range; bin *i* is ``[edges[i], edges[i+1])`` with midpoint
+        reconstruction.  For the paper's symmetric setting pass edges
+        symmetric about zero.
+
+    The density ``P`` is supplied per call, either as a callable or as
+    an empirical sample (histogram estimate).
+    """
+
+    def __init__(self, bin_edges: np.ndarray) -> None:
+        edges = np.asarray(bin_edges, dtype=np.float64)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ParameterError("need at least two bin edges")
+        if (np.diff(edges) <= 0).any():
+            raise ParameterError("bin edges must be strictly increasing")
+        self.edges = edges
+        self.widths = np.diff(edges)
+        self.midpoints = 0.5 * (edges[:-1] + edges[1:])
+
+    @classmethod
+    def uniform(cls, delta: float, n_bins: int, center: float = 0.0) -> "QuantizationModel":
+        """Uniform model with ``n_bins`` bins of width ``delta`` centred
+        so that ``center`` is a bin midpoint (SZ's layout: code 0 maps
+        to the bin ``[-eb, +eb]``)."""
+        if delta <= 0 or n_bins < 1:
+            raise ParameterError("delta must be positive and n_bins >= 1")
+        # Left edge half a bin below the (n_bins//2)-th midpoint so that
+        # ``center`` is exactly a bin midpoint (code-0 bin = [-eb, +eb]).
+        left = center - delta * (n_bins // 2 + 0.5)
+        edges = left + delta * np.arange(n_bins + 1)
+        return cls(edges)
+
+    def density_from_samples(self, samples: np.ndarray) -> np.ndarray:
+        """Empirical density at the bin midpoints, ``P(m_i)``.
+
+        Mass outside the modelled range is ignored (the escape path of
+        the real compressor handles it); the returned densities are
+        normalised by the total sample count so the model stays
+        conservative.
+        """
+        s = np.asarray(samples, dtype=np.float64).ravel()
+        if s.size == 0:
+            raise ParameterError("need at least one sample")
+        counts, _ = np.histogram(s, bins=self.edges)
+        return counts / (s.size * self.widths)
+
+    def estimate_mse(self, density) -> float:
+        """Eq. 3: ``MSE ~ (1/12) * sum(delta_i^3 * P(m_i))``.
+
+        ``density`` is either a callable evaluated at the midpoints or a
+        precomputed array of densities at the midpoints.  (The paper
+        writes ``1/6`` with the sum running over one symmetric half;
+        summing every bin absorbs the factor 2.)
+        """
+        if callable(density):
+            p = np.asarray(
+                [float(density(m)) for m in self.midpoints], dtype=np.float64
+            )
+        else:
+            p = np.asarray(density, dtype=np.float64)
+            if p.shape != self.midpoints.shape:
+                raise ParameterError("density array must have one value per bin")
+        if (p < 0).any():
+            raise ParameterError("densities must be non-negative")
+        return float(np.sum(self.widths**3 * p) / 12.0)
+
+    def estimate_nrmse(self, density, value_range: float) -> float:
+        """Eq. 4: ``NRMSE = sqrt(MSE)/vr``."""
+        if value_range <= 0:
+            raise ParameterError("value range must be positive")
+        return float(np.sqrt(self.estimate_mse(density)) / value_range)
+
+    def estimate_psnr(self, density, value_range: float) -> float:
+        """Eq. 5: ``PSNR = -20*log10(NRMSE)``."""
+        n = self.estimate_nrmse(density, value_range)
+        if n == 0:
+            return float("inf")
+        return float(-20.0 * np.log10(n))

@@ -1,0 +1,31 @@
+"""Synthetic scientific data sets mirroring the paper's Table I.
+
+The paper evaluates on production snapshots (CESM-ATM climate,
+Hurricane ISABEL, NYX cosmology) that are not redistributable; these
+generators produce deterministic synthetic fields with the same
+dimensionality, field counts, names and statistical character (smooth
+vs. intermittent, bounded vs. heavy-tailed, vortical vs. layered) --
+see DESIGN.md section 2.3 for why this preserves the paper's
+behaviour.
+
+Every generator is seeded by the field name, so data sets are
+reproducible across processes and sessions.
+"""
+
+from repro.datasets.registry import (
+    Dataset,
+    FieldSpec,
+    get_dataset,
+    DATASETS,
+    table1_rows,
+)
+from repro.datasets.spectral import gaussian_random_field
+
+__all__ = [
+    "Dataset",
+    "FieldSpec",
+    "get_dataset",
+    "DATASETS",
+    "table1_rows",
+    "gaussian_random_field",
+]

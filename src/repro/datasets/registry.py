@@ -1,0 +1,148 @@
+"""Data-set registry mirroring the paper's Table I.
+
+``get_dataset("ATM")`` returns a :class:`Dataset` whose fields
+regenerate deterministically on demand; ``scale`` shrinks every spatial
+extent by the given factor so experiments run at laptop scale while the
+full paper dimensions remain one flag away (``scale=1.0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as _dataclass_field
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets import atm, hurricane, nyx
+from repro.errors import ParameterError
+
+__all__ = ["FieldSpec", "Dataset", "DATASETS", "get_dataset", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a data set: its name and statistical class."""
+
+    name: str
+    kind: str
+    slope: float
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named data set at a chosen resolution."""
+
+    name: str
+    full_shape: Tuple[int, ...]
+    shape: Tuple[int, ...]
+    field_specs: Tuple[FieldSpec, ...]
+    _generator: Callable[[str, Sequence[int]], np.ndarray] = _dataclass_field(
+        repr=False
+    )
+
+    @property
+    def field_names(self) -> List[str]:
+        """All field names, in registry order."""
+        return [spec.name for spec in self.field_specs]
+
+    @property
+    def n_fields(self) -> int:
+        """Number of fields (Table I's '# of Fields')."""
+        return len(self.field_specs)
+
+    def field(self, name: str) -> np.ndarray:
+        """Generate the named field at this data set's shape."""
+        return self._generator(name, self.shape)
+
+    def fields(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Iterate ``(name, array)`` over every field."""
+        for spec in self.field_specs:
+            yield spec.name, self.field(spec.name)
+
+    def nbytes_full(self) -> int:
+        """Total single-precision bytes at *full* paper resolution
+        (Table I's 'Data Size' column is per campaign; we report one
+        snapshot)."""
+        per_field = 4 * int(np.prod(self.full_shape))
+        return per_field * self.n_fields
+
+    def nbytes(self) -> int:
+        """Total bytes at the instantiated resolution."""
+        per_field = 4 * int(np.prod(self.shape))
+        return per_field * self.n_fields
+
+
+def _scaled(shape: Sequence[int], scale: float) -> Tuple[int, ...]:
+    if not (0 < scale <= 1.0):
+        raise ParameterError("scale must be in (0, 1]")
+    return tuple(max(8, int(round(s * scale))) for s in shape)
+
+
+_REGISTRY: Dict[str, Tuple[Tuple[int, ...], Dict, Callable, Tuple[int, ...]]] = {
+    # name: (full shape, field registry, generator, default scaled shape)
+    "NYX": (nyx.FULL_SHAPE, nyx.NYX_FIELDS, nyx.generate_nyx_field, (64, 64, 64)),
+    "ATM": (atm.FULL_SHAPE, atm.ATM_FIELDS, atm.generate_atm_field, (180, 360)),
+    "Hurricane": (
+        hurricane.FULL_SHAPE,
+        hurricane.HURRICANE_FIELDS,
+        hurricane.generate_hurricane_field,
+        (25, 125, 125),
+    ),
+}
+
+#: Public list of data-set names, in the paper's Table I order.
+DATASETS = tuple(_REGISTRY)
+
+
+def get_dataset(name: str, scale: float | None = None) -> Dataset:
+    """Instantiate a data set.
+
+    ``scale=None`` uses the laptop-scale default shape; ``scale=1.0``
+    the paper's full dimensions; anything in between scales every
+    extent proportionally.
+    """
+    if name not in _REGISTRY:
+        raise ParameterError(f"unknown data set {name!r}; choose from {DATASETS}")
+    full_shape, registry, generator, default_shape = _REGISTRY[name]
+    shape = default_shape if scale is None else _scaled(full_shape, scale)
+    specs = tuple(
+        FieldSpec(fname, kind, slope) for fname, (kind, slope) in registry.items()
+    )
+    return Dataset(
+        name=name,
+        full_shape=full_shape,
+        shape=shape,
+        field_specs=specs,
+        _generator=generator,
+    )
+
+
+def table1_rows(scale: float | None = None) -> List[Dict]:
+    """Rows of the paper's Table I (plus the instantiated shape).
+
+    Example fields per data set follow the paper's own examples.
+    """
+    examples = {
+        "NYX": "baryon_density, temperature",
+        "ATM": "CLDHGH, CLDLOW",
+        "Hurricane": "QICE, PRECIP, U, V, W",
+    }
+    # Campaign sizes quoted in the paper's Table I (its 'Data Size'
+    # covers many snapshots/time steps; ours is one snapshot).
+    paper_sizes = {"NYX": "206 GB", "ATM": "1.5 TB", "Hurricane": "62.4 GB"}
+    rows = []
+    for name in DATASETS:
+        ds = get_dataset(name, scale=scale)
+        rows.append(
+            {
+                "dataset": name,
+                "full_dimensions": "x".join(str(s) for s in ds.full_shape),
+                "n_fields": ds.n_fields,
+                "full_size_bytes": ds.nbytes_full(),
+                "paper_data_size": paper_sizes[name],
+                "instantiated_dimensions": "x".join(str(s) for s in ds.shape),
+                "instantiated_size_bytes": ds.nbytes(),
+                "example_fields": examples[name],
+            }
+        )
+    return rows

@@ -1,0 +1,96 @@
+"""Statistical characterisation of data-set fields.
+
+DESIGN.md section 2.3 argues the synthetic generators preserve the
+paper's behaviour because they match the *statistical character* of the
+production fields: dynamic range, smoothness, mass concentration,
+tail weight.  This module computes those quantities so the claim is
+measurable (and regression-tested) instead of rhetorical:
+
+* ``smoothness``: 1 - std(Lorenzo prediction error)/std(field); 1 for
+  perfectly predictable fields, ~0 for white noise;
+* ``mass_concentration``: the largest probability mass within any
+  single bin of a 200-bin (0.5 %-of-range) histogram -- the resolution
+  a low-PSNR quantizer sees; saturated fractions and hydrometeor
+  floors show up here;
+* ``tail_weight``: range / (interquartile range) -- heavy-tailed NYX
+  density scores orders of magnitude above Gaussian fields;
+* plus the plain moments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sz.predictors import prediction_errors
+
+__all__ = ["FieldStatistics", "field_statistics", "dataset_profile"]
+
+
+@dataclass(frozen=True)
+class FieldStatistics:
+    """Character summary of one field."""
+
+    name: str
+    shape: tuple
+    minimum: float
+    maximum: float
+    value_range: float
+    std: float
+    smoothness: float
+    mass_concentration: float
+    tail_weight: float
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        d = asdict(self)
+        d["shape"] = list(self.shape)
+        return d
+
+
+def field_statistics(data: np.ndarray, name: str = "") -> FieldStatistics:
+    """Compute the :class:`FieldStatistics` of an array."""
+    x = np.asarray(data, dtype=np.float64)
+    if x.ndim == 0 or x.size == 0:
+        raise ParameterError("data must be a non-empty array")
+    if not np.all(np.isfinite(x)):
+        raise ParameterError("statistics need finite data")
+    lo, hi = float(x.min()), float(x.max())
+    vr = hi - lo
+    std = float(x.std())
+
+    if std > 0:
+        pe_std = float(prediction_errors(x).std())
+        smoothness = float(max(0.0, 1.0 - pe_std / std))
+    else:
+        smoothness = 1.0
+
+    if vr > 0:
+        counts, _ = np.histogram(x, bins=200, range=(lo, hi))
+        mass = float(counts.max() / x.size)
+        q25, q75 = np.percentile(x, [25, 75])
+        iqr = float(q75 - q25)
+        tail = float(vr / iqr) if iqr > 0 else float("inf")
+    else:
+        mass = 1.0
+        tail = 1.0
+
+    return FieldStatistics(
+        name=name,
+        shape=tuple(x.shape),
+        minimum=lo,
+        maximum=hi,
+        value_range=vr,
+        std=std,
+        smoothness=smoothness,
+        mass_concentration=mass,
+        tail_weight=tail,
+    )
+
+
+def dataset_profile(dataset) -> List[FieldStatistics]:
+    """Profile every field of a :class:`repro.datasets.Dataset`."""
+    return [field_statistics(arr, name) for name, arr in dataset.fields()]

@@ -1,0 +1,137 @@
+"""Vectorized variable-length bit packing and a small sequential bit I/O.
+
+The hot path is :func:`pack_codes`: given per-symbol (code, length)
+pairs it produces the concatenated MSB-first bit stream.  Following the
+HPC-Python guides, the only Python-level loop is over *bit positions
+within a code* (bounded by the maximum code length, <= 32), never over
+symbols; each iteration is a full-array NumPy operation.
+
+:class:`BitWriter` / :class:`BitReader` are deliberately simple
+sequential implementations used for small headers and as an oracle in
+tests of the vectorized path.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["pack_codes", "unpack_bits", "BitWriter", "BitReader"]
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> Tuple[bytes, int]:
+    """Pack variable-length codes into a contiguous MSB-first bit stream.
+
+    Parameters
+    ----------
+    codes:
+        Unsigned integer array; the low ``lengths[i]`` bits of
+        ``codes[i]`` are emitted MSB first.
+    lengths:
+        Bit length of each code, ``1 <= lengths[i] <= 57``.
+
+    Returns
+    -------
+    (payload, total_bits):
+        ``payload`` is the packed byte string (zero-padded to a byte
+        boundary); ``total_bits`` the exact number of meaningful bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape or codes.ndim != 1:
+        raise ParameterError("codes and lengths must be equal-length 1-D arrays")
+    if codes.size == 0:
+        return b"", 0
+    if lengths.min() < 1 or lengths.max() > 57:
+        raise ParameterError("code lengths must be in [1, 57]")
+
+    total_bits = int(lengths.sum())
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    max_len = int(lengths.max())
+    # Loop over bit positions inside a code (<= max_len iterations);
+    # each iteration scatters one bit of every sufficiently long code.
+    for j in range(max_len):
+        mask = lengths > j
+        if not mask.any():
+            break
+        shift = (lengths[mask] - 1 - j).astype(np.uint64)
+        bits[offsets[mask] + j] = ((codes[mask] >> shift) & np.uint64(1)).astype(
+            np.uint8
+        )
+    return np.packbits(bits).tobytes(), total_bits
+
+
+def unpack_bits(payload: bytes, total_bits: int) -> np.ndarray:
+    """Inverse of the packing step: return the first ``total_bits`` bits
+    of ``payload`` as a uint8 array of 0/1 values."""
+    if total_bits < 0:
+        raise ParameterError("total_bits must be non-negative")
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    if buf.size * 8 < total_bits:
+        raise ParameterError(
+            f"payload of {buf.size} bytes cannot hold {total_bits} bits"
+        )
+    return np.unpackbits(buf)[:total_bits]
+
+
+class BitWriter:
+    """Sequential MSB-first bit writer (headers, tests, reference path)."""
+
+    def __init__(self) -> None:
+        self._bits: list = []
+
+    def write(self, value: int, n_bits: int) -> None:
+        """Append the low ``n_bits`` bits of ``value``, MSB first."""
+        if n_bits < 0 or n_bits > 64:
+            raise ParameterError("n_bits must be in [0, 64]")
+        if value < 0 or (n_bits < 64 and value >> n_bits):
+            raise ParameterError(f"value {value} does not fit in {n_bits} bits")
+        for j in range(n_bits - 1, -1, -1):
+            self._bits.append((value >> j) & 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes (zero-padded to a byte boundary)."""
+        if not self._bits:
+            return b""
+        return np.packbits(np.asarray(self._bits, dtype=np.uint8)).tobytes()
+
+
+class BitReader:
+    """Sequential MSB-first bit reader matching :class:`BitWriter`."""
+
+    def __init__(self, payload: bytes, total_bits: int | None = None) -> None:
+        buf = np.frombuffer(payload, dtype=np.uint8)
+        self._bits = np.unpackbits(buf)
+        if total_bits is not None:
+            if total_bits > self._bits.size:
+                raise ParameterError("total_bits exceeds payload size")
+            self._bits = self._bits[:total_bits]
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return int(self._bits.size - self._pos)
+
+    def read(self, n_bits: int) -> int:
+        """Read ``n_bits`` bits MSB-first and return them as an int."""
+        if n_bits < 0:
+            raise ParameterError("n_bits must be non-negative")
+        if self._pos + n_bits > self._bits.size:
+            raise ParameterError("bit stream exhausted")
+        value = 0
+        for j in range(n_bits):
+            value = (value << 1) | int(self._bits[self._pos + j])
+        self._pos += n_bits
+        return value

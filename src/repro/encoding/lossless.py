@@ -1,0 +1,60 @@
+"""Trailing lossless stage of the pipeline.
+
+The paper's SZ applies GZIP to the Huffman-encoded bytes (Section
+II-A step 3).  GZIP's algorithm is DEFLATE, which is what :mod:`zlib`
+implements; we expose it behind a small method registry so other
+lossless back-ends could be slotted in.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import DecompressionError, ParameterError
+
+__all__ = ["lossless_compress", "lossless_decompress", "METHODS"]
+
+#: Supported lossless back-ends; one byte id is stored in the container.
+METHODS = {"none": 0, "zlib": 1}
+_IDS = {v: k for k, v in METHODS.items()}
+
+
+def lossless_compress(data: bytes, method: str = "zlib", level: int = 6) -> bytes:
+    """Compress ``data`` with the named lossless back-end.
+
+    ``level`` follows zlib semantics (1 fastest .. 9 best); ignored for
+    ``"none"``.
+    """
+    if method not in METHODS:
+        raise ParameterError(f"unknown lossless method {method!r}")
+    if method == "none":
+        return bytes(data)
+    if not 1 <= level <= 9:
+        raise ParameterError("zlib level must be in [1, 9]")
+    return zlib.compress(bytes(data), level)
+
+
+def lossless_decompress(data: bytes, method: str = "zlib") -> bytes:
+    """Inverse of :func:`lossless_compress`."""
+    if method not in METHODS:
+        raise ParameterError(f"unknown lossless method {method!r}")
+    if method == "none":
+        return bytes(data)
+    try:
+        return zlib.decompress(bytes(data))
+    except zlib.error as exc:  # corrupt stream
+        raise DecompressionError(f"zlib stream corrupt: {exc}") from exc
+
+
+def method_id(method: str) -> int:
+    """Numeric id of a method (for container headers)."""
+    if method not in METHODS:
+        raise ParameterError(f"unknown lossless method {method!r}")
+    return METHODS[method]
+
+
+def method_name(mid: int) -> str:
+    """Inverse of :func:`method_id`."""
+    if mid not in _IDS:
+        raise DecompressionError(f"unknown lossless method id {mid}")
+    return _IDS[mid]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses separate the three failure domains a compressor has:
+bad *parameters* (caller bug), bad *input bytes* (corrupt stream), and
+internal invariant violations during compression itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A caller-supplied parameter is out of range or inconsistent.
+
+    Also a :class:`ValueError` so that generic callers that validate
+    with ``except ValueError`` keep working.
+    """
+
+
+class CompressionError(ReproError):
+    """Compression failed (e.g. non-finite data with strict mode on)."""
+
+
+class DecompressionError(ReproError):
+    """Decompression failed on a syntactically valid container."""
+
+
+class FormatError(DecompressionError):
+    """The byte stream is not a valid container (bad magic, truncation,
+    checksum mismatch, unsupported version)."""

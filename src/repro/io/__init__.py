@@ -1,0 +1,26 @@
+"""Self-describing container format for compressed streams."""
+
+from repro.io.container import (
+    Container,
+    CODEC_SZ,
+    CODEC_TRANSFORM,
+    CODEC_CHUNKED,
+    CODEC_REGRESSION,
+    CODEC_EMBEDDED,
+)
+from repro.io.archive import Archive, write_archive, read_archive_field
+from repro.io.campaign import CampaignWriter, CampaignReader
+
+__all__ = [
+    "Container",
+    "CODEC_SZ",
+    "CODEC_TRANSFORM",
+    "CODEC_CHUNKED",
+    "CODEC_REGRESSION",
+    "CODEC_EMBEDDED",
+    "Archive",
+    "write_archive",
+    "read_archive_field",
+    "CampaignWriter",
+    "CampaignReader",
+]

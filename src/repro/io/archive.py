@@ -1,0 +1,165 @@
+"""Multi-field snapshot archives.
+
+The paper's motivating workload stores ~100 fields per simulation
+snapshot (CESM).  An archive bundles many independently compressed
+fields into one file with a random-access index, so post-analysis can
+extract a single variable without touching the rest -- the access
+pattern climate analysts actually have.
+
+Layout::
+
+    magic    4 bytes  b"FPZA"
+    version  1 byte   + 3 reserved
+    index_len 8 bytes, index_crc32 4 bytes, then UTF-8 JSON index:
+        {"fields": [{"name", "offset", "length", "crc32"}, ...]}
+    field payloads (each a complete FPZC container), concatenated
+
+Offsets are relative to the end of the index, so appending-style
+writers can build the index first.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError, ParameterError
+
+__all__ = ["write_archive", "read_archive_index", "read_archive_field", "Archive"]
+
+MAGIC = b"FPZA"
+VERSION = 1
+
+
+def write_archive(fields: Iterable[Tuple[str, bytes]]) -> bytes:
+    """Bundle ``(name, container_bytes)`` pairs into archive bytes."""
+    entries: List[Dict] = []
+    payloads: List[bytes] = []
+    offset = 0
+    seen = set()
+    for name, blob in fields:
+        if not name:
+            raise ParameterError("field names must be non-empty")
+        if name in seen:
+            raise ParameterError(f"duplicate field name {name!r}")
+        seen.add(name)
+        entries.append(
+            {
+                "name": name,
+                "offset": offset,
+                "length": len(blob),
+                "crc32": zlib.crc32(blob),
+            }
+        )
+        payloads.append(blob)
+        offset += len(blob)
+    if not entries:
+        raise ParameterError("archive needs at least one field")
+    index = json.dumps({"fields": entries}, sort_keys=True).encode("utf-8")
+    return b"".join(
+        [
+            MAGIC,
+            struct.pack("<B3x", VERSION),
+            struct.pack("<QI", len(index), zlib.crc32(index)),
+            index,
+        ]
+        + payloads
+    )
+
+
+def _parse_header(blob: bytes) -> Tuple[List[Dict], int]:
+    """Return (index entries, payload base offset)."""
+    if len(blob) < 20 or blob[:4] != MAGIC:
+        raise FormatError("not an FPZA archive")
+    (version,) = struct.unpack_from("<B", blob, 4)
+    if version != VERSION:
+        raise FormatError(f"unsupported archive version {version}")
+    index_len, index_crc = struct.unpack_from("<QI", blob, 8)
+    base = 20 + index_len
+    if len(blob) < base:
+        raise FormatError("archive truncated in index")
+    index_blob = blob[20:base]
+    if zlib.crc32(index_blob) != index_crc:
+        raise FormatError("archive index failed its CRC check")
+    try:
+        index = json.loads(index_blob.decode("utf-8"))
+        entries = index["fields"]
+        for e in entries:
+            if not isinstance(e, dict):
+                raise TypeError("index entry is not an object")
+            str(e["name"])
+            int(e["offset"])
+            int(e["length"])
+            int(e["crc32"])
+    except (
+        UnicodeDecodeError,
+        json.JSONDecodeError,
+        KeyError,
+        TypeError,
+        ValueError,
+    ) as exc:
+        raise FormatError(f"bad archive index: {exc}") from exc
+    return entries, base
+
+
+def read_archive_index(blob: bytes) -> List[str]:
+    """Field names in archive order (no payloads touched)."""
+    entries, _ = _parse_header(blob)
+    return [e["name"] for e in entries]
+
+
+def read_archive_field(blob: bytes, name: str) -> bytes:
+    """Extract one field's container bytes, CRC-checked."""
+    entries, base = _parse_header(blob)
+    for e in entries:
+        if e["name"] == name:
+            start = base + int(e["offset"])
+            end = start + int(e["length"])
+            if end > len(blob):
+                raise FormatError(f"field {name!r} extends past the archive")
+            payload = blob[start:end]
+            if zlib.crc32(payload) != int(e["crc32"]):
+                raise FormatError(f"field {name!r} failed its CRC check")
+            return payload
+    raise FormatError(f"archive has no field named {name!r}")
+
+
+class Archive:
+    """Convenience wrapper: compress fields in, arrays out.
+
+    >>> arc = Archive.build(dataset.fields(), compressor)
+    >>> arc.names
+    [...]
+    >>> field = arc.load("CLDHGH")
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        self.names = read_archive_index(blob)
+
+    @classmethod
+    def build(cls, fields: Iterable[Tuple[str, np.ndarray]], compressor) -> "Archive":
+        """Compress every ``(name, array)`` with ``compressor`` (any
+        object with a ``compress(array) -> bytes`` method)."""
+        blobs = [(name, compressor.compress(arr)) for name, arr in fields]
+        return cls(write_archive(blobs))
+
+    def to_bytes(self) -> bytes:
+        """The serialized archive."""
+        return self._blob
+
+    def load(self, name: str) -> np.ndarray:
+        """Decompress one field by name."""
+        from repro.sz.compressor import decompress
+
+        return decompress(read_archive_field(self._blob, name))
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names

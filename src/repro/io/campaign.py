@@ -1,0 +1,141 @@
+"""Campaign store: a whole simulation run in one compressed object.
+
+The paper's Table I sizes are *campaigns* -- many snapshots of many
+fields (ATM: 1.5 TB across time steps of 79 fields).  This module
+integrates the package's pieces into that workflow:
+
+* per field, a :class:`repro.sz.temporal.TemporalCompressor` stream
+  (temporal prediction + keyframes);
+* one index mapping ``(step, field)`` to its blob;
+* random access: any field at any *keyframe* step decodes alone; a
+  predicted step decodes after its chain is replayed from the previous
+  keyframe (the reader handles that transparently).
+
+The writer is append-only (snapshots arrive in simulation order); the
+serialized form reuses the archive container with ``step/field`` key
+naming, so the on-disk format needs no new machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.io.archive import read_archive_field, read_archive_index, write_archive
+
+# The temporal codec is imported lazily inside the classes: this module
+# is re-exported by repro.io, which the codec stack itself imports for
+# the container format -- a module-level import here would be circular.
+
+__all__ = ["CampaignWriter", "CampaignReader"]
+
+
+def _key(step: int, field: str) -> str:
+    return f"{step:06d}/{field}"
+
+
+class CampaignWriter:
+    """Append snapshots (dicts of field arrays) and serialize.
+
+    Parameters are forwarded to every field's
+    :class:`~repro.sz.temporal.TemporalCompressor` (``target_psnr`` or
+    ``error_bound``/``mode``, ``keyframe_interval``, ...).
+    """
+
+    def __init__(self, **temporal_options) -> None:
+        self._options = temporal_options
+        self._streams: Dict[str, "TemporalCompressor"] = {}
+        self._blobs: List[Tuple[str, bytes]] = []
+        self._fields: Optional[List[str]] = None
+        self.n_steps = 0
+
+    def append(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Add one simulation step (every step must carry the same
+        fields)."""
+        if not snapshot:
+            raise ParameterError("snapshot has no fields")
+        from repro.sz.temporal import TemporalCompressor
+
+        names = sorted(snapshot)
+        if self._fields is None:
+            self._fields = names
+            for name in names:
+                self._streams[name] = TemporalCompressor(**self._options)
+        elif names != self._fields:
+            raise ParameterError(
+                f"snapshot fields {names} differ from the campaign's "
+                f"{self._fields}"
+            )
+        for name in names:
+            blob = self._streams[name].push(snapshot[name])
+            self._blobs.append((_key(self.n_steps, name), blob))
+        self.n_steps += 1
+
+    def to_bytes(self) -> bytes:
+        """Serialize the campaign (archive container underneath)."""
+        if not self._blobs:
+            raise ParameterError("campaign is empty")
+        return write_archive(self._blobs)
+
+
+class CampaignReader:
+    """Random access into a serialized campaign."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._blob = blob
+        keys = read_archive_index(blob)
+        self.fields = sorted({k.split("/", 1)[1] for k in keys})
+        steps = {int(k.split("/", 1)[0]) for k in keys}
+        self.n_steps = max(steps) + 1
+        expected = {
+            _key(s, f) for s in range(self.n_steps) for f in self.fields
+        }
+        if expected != set(keys):
+            raise ParameterError("campaign index is not a full step*field grid")
+        # keyframe positions per field, discovered lazily
+        self._keyframes: Dict[str, List[int]] = {}
+
+    def _frame_blob(self, step: int, field: str) -> bytes:
+        return read_archive_field(self._blob, _key(step, field))
+
+    def _keyframe_steps(self, field: str) -> List[int]:
+        from repro.io.container import Container
+
+        if field not in self._keyframes:
+            self._keyframes[field] = [
+                s
+                for s in range(self.n_steps)
+                if Container.from_bytes(self._frame_blob(s, field)).meta[
+                    "keyframe"
+                ]
+            ]
+        return self._keyframes[field]
+
+    def load(self, step: int, field: str) -> np.ndarray:
+        """Decode one field at one step (replaying from the nearest
+        preceding keyframe when the step is predicted)."""
+        if not 0 <= step < self.n_steps:
+            raise ParameterError(f"step {step} out of range")
+        if field not in self.fields:
+            raise ParameterError(f"unknown field {field!r}")
+        from repro.sz.temporal import TemporalDecompressor
+
+        keyframes = self._keyframe_steps(field)
+        start = max(k for k in keyframes if k <= step)
+        dec = TemporalDecompressor()
+        out = None
+        for s in range(start, step + 1):
+            out = dec.push(self._frame_blob(s, field))
+        return out
+
+    def load_series(self, field: str) -> Iterable[np.ndarray]:
+        """Decode every step of one field, in order."""
+        from repro.sz.temporal import TemporalDecompressor
+
+        if field not in self.fields:
+            raise ParameterError(f"unknown field {field!r}")
+        dec = TemporalDecompressor()
+        for s in range(self.n_steps):
+            yield dec.push(self._frame_blob(s, field))

@@ -1,0 +1,82 @@
+"""Rate metrics: compression ratio and bit rate.
+
+Compression ratio is ``original_bytes / compressed_bytes`` (higher is
+better); bit rate is ``compressed_bits / n_elements`` (lower is better).
+These are the standard axes of the rate-distortion curves HPC
+compression papers report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["compression_ratio", "bit_rate", "RateReport", "rate_report"]
+
+ArrayOrBytes = Union[np.ndarray, bytes, bytearray, memoryview, int]
+
+
+def _nbytes(obj: ArrayOrBytes) -> int:
+    """Byte size of an array, a bytes-like object, or a raw count."""
+    if isinstance(obj, (int, np.integer)):
+        if obj < 0:
+            raise ParameterError("byte count must be non-negative")
+        return int(obj)
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    raise ParameterError(f"cannot derive a byte size from {type(obj).__name__}")
+
+
+def compression_ratio(original: ArrayOrBytes, compressed: ArrayOrBytes) -> float:
+    """Return ``original_bytes / compressed_bytes``."""
+    o = _nbytes(original)
+    c = _nbytes(compressed)
+    if c == 0:
+        raise ParameterError("compressed size is zero")
+    return o / c
+
+
+def bit_rate(compressed: ArrayOrBytes, n_elements: int) -> float:
+    """Return compressed bits per element."""
+    if n_elements <= 0:
+        raise ParameterError("n_elements must be positive")
+    return 8.0 * _nbytes(compressed) / n_elements
+
+
+@dataclass(frozen=True)
+class RateReport:
+    """Rate metrics for one compression run."""
+
+    original_bytes: int
+    compressed_bytes: int
+    n_elements: int
+    compression_ratio: float
+    bit_rate: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the report as a plain dict (JSON-friendly)."""
+        return asdict(self)
+
+
+def rate_report(original: np.ndarray, compressed: ArrayOrBytes) -> RateReport:
+    """Build a :class:`RateReport` from an array and its compressed bytes."""
+    if not isinstance(original, np.ndarray):
+        raise ParameterError("rate_report needs the original ndarray")
+    o = int(original.nbytes)
+    c = _nbytes(compressed)
+    n = int(original.size)
+    if c == 0 or n == 0:
+        raise ParameterError("degenerate sizes in rate_report")
+    return RateReport(
+        original_bytes=o,
+        compressed_bytes=c,
+        n_elements=n,
+        compression_ratio=o / c,
+        bit_rate=8.0 * c / n,
+    )

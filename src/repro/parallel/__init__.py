@@ -1,0 +1,29 @@
+"""Process-based parallel execution for field sweeps and large arrays.
+
+The paper's motivating scenario is compressing 79+ fields per snapshot
+(CESM) on cluster nodes; this package provides the two parallel
+decompositions that workload needs:
+
+* :mod:`repro.parallel.executor` -- embarrassingly parallel *per-field*
+  sweeps (one field x one target per task), used by the Table II /
+  Figure 2 benchmarks;
+* :mod:`repro.parallel.chunking` -- *intra-field* slab decomposition so
+  a single huge array compresses in parallel and streams;
+* :mod:`repro.parallel.comm` -- small scatter/gather/allreduce helpers
+  in the style of mpi4py collectives, implemented over
+  ``concurrent.futures`` (mpi4py itself is not a dependency).
+"""
+
+from repro.parallel.executor import FieldResult, sweep_dataset, run_field_task
+from repro.parallel.chunking import compress_chunked, decompress_chunked
+from repro.parallel.comm import scatter_gather, allreduce
+
+__all__ = [
+    "FieldResult",
+    "sweep_dataset",
+    "run_field_task",
+    "compress_chunked",
+    "decompress_chunked",
+    "scatter_gather",
+    "allreduce",
+]

@@ -1,0 +1,106 @@
+"""Slab-parallel compression of a single large array.
+
+HPC fields can be far larger than a worker's comfortable working set
+(the paper's NYX snapshot is 32 GB per field).  ``compress_chunked``
+splits the array into slabs along axis 0, compresses each slab as an
+independent SZ container (each slab gets its own lattice anchor), and
+wraps them in an outer CHUNKED container.
+
+Correctness notes:
+
+* the absolute error bound is resolved against the **whole** array
+  before splitting, so relative-bound and fixed-PSNR semantics match
+  the unchunked compressor exactly;
+* the per-point error bound is preserved trivially (each slab obeys
+  it);
+* the overall PSNR estimate is unchanged: every slab quantizes with
+  the same bin size ``delta``, and Eq. 6 depends only on ``delta`` and
+  the global value range.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import FormatError, ParameterError
+from repro.io.container import CODEC_CHUNKED, Container
+from repro.sz.compressor import SZCompressor
+
+__all__ = ["compress_chunked", "decompress_chunked"]
+
+
+def _compress_slab(args) -> bytes:
+    data, eb_abs, options = args
+    return SZCompressor(error_bound=eb_abs, mode="abs", **options).compress(data)
+
+
+def _decompress_slab(blob: bytes) -> np.ndarray:
+    return SZCompressor.decompress(blob)
+
+
+def compress_chunked(
+    data,
+    error_bound: float,
+    mode: str = "abs",
+    n_chunks: int = 4,
+    n_workers: int = 0,
+    **compressor_options,
+) -> bytes:
+    """Compress ``data`` as ``n_chunks`` independent slabs along axis 0.
+
+    ``n_workers=0`` compresses slabs sequentially (deterministic and
+    dependency-free); positive values use a process pool.
+    """
+    arr = np.asarray(data)
+    if arr.ndim == 0 or arr.size == 0:
+        raise ParameterError("data must be a non-empty array")
+    if n_chunks < 1:
+        raise ParameterError("n_chunks must be >= 1")
+    n_chunks = min(n_chunks, arr.shape[0])
+    # Resolve the bound globally so chunked == unchunked semantics.
+    probe = SZCompressor(error_bound=error_bound, mode=mode, **compressor_options)
+    eb_abs = probe.resolve_error_bound(arr)
+    slabs = np.array_split(arr, n_chunks, axis=0)
+    tasks = [(slab, eb_abs, compressor_options) for slab in slabs]
+    if n_workers <= 0:
+        blobs: List[bytes] = [_compress_slab(t) for t in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            blobs = list(pool.map(_compress_slab, tasks))
+    meta = {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "n_chunks": n_chunks,
+        "chunk_rows": [int(s.shape[0]) for s in slabs],
+    }
+    streams = [(f"chunk{i}", blob) for i, blob in enumerate(blobs)]
+    return Container(CODEC_CHUNKED, meta, streams).to_bytes()
+
+
+def decompress_chunked(blob: bytes, n_workers: int = 0) -> np.ndarray:
+    """Decompress a CHUNKED container back into one array."""
+    container = Container.from_bytes(blob)
+    if container.codec != CODEC_CHUNKED:
+        raise FormatError("container is not chunked")
+    meta = container.meta
+    try:
+        n_chunks = int(meta["n_chunks"])
+        shape = tuple(int(s) for s in meta["shape"])
+        chunk_rows = [int(r) for r in meta["chunk_rows"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"bad chunked metadata: {exc}") from exc
+    if len(chunk_rows) != n_chunks or sum(chunk_rows) != shape[0]:
+        raise FormatError("chunk geometry inconsistent with array shape")
+    blobs = [container.stream(f"chunk{i}") for i in range(n_chunks)]
+    if n_workers <= 0:
+        parts = [_decompress_slab(b) for b in blobs]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            parts = list(pool.map(_decompress_slab, blobs))
+    for part, rows in zip(parts, chunk_rows):
+        if part.shape[0] != rows:
+            raise FormatError("slab shape mismatch")
+    return np.concatenate(parts, axis=0)

@@ -1,0 +1,51 @@
+"""MPI-flavoured collective helpers over ``concurrent.futures``.
+
+The mpi4py tutorial's canonical pattern for this workload is
+scatter -> local work -> gather (and an allreduce for global metrics
+like the value range across ranks).  True MPI is unavailable in this
+environment, so these helpers reproduce the collective *semantics* on
+one node with processes; code written against them maps 1:1 onto
+mpi4py collectives on a real cluster.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import reduce
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+from repro.errors import ParameterError
+
+__all__ = ["scatter_gather", "allreduce"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def scatter_gather(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    n_workers: int = 0,
+    chunksize: int = 1,
+) -> List[R]:
+    """Scatter ``items`` over workers, apply ``func``, gather results
+    in input order (``comm.scatter`` + local compute + ``comm.gather``).
+
+    ``func`` must be picklable (module-level) when ``n_workers > 0``.
+    ``n_workers=0`` computes inline.
+    """
+    items = list(items)
+    if n_workers <= 0:
+        return [func(it) for it in items]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(func, items, chunksize=max(1, chunksize)))
+
+
+def allreduce(values: Iterable[T], op: Callable[[T, T], T]) -> T:
+    """Reduce gathered per-rank values with a binary op
+    (``comm.allreduce``); e.g. ``allreduce(ranges, max)`` for a global
+    value range."""
+    values = list(values)
+    if not values:
+        raise ParameterError("allreduce needs at least one value")
+    return reduce(op, values)

@@ -1,0 +1,116 @@
+"""Field-parallel fixed-PSNR sweeps.
+
+One task = (data set, field, target PSNR): compress, decompress,
+measure.  Tasks ship only *names* to the workers -- each worker
+regenerates its field from the deterministic data-set registry, so no
+multi-megabyte arrays cross process boundaries (the scatter pattern the
+mpi4py guide recommends: communicate work descriptions, not payloads).
+
+``n_workers=0`` runs inline, which is what the unit tests and small
+sweeps use; the benchmarks choose a worker count from ``os.cpu_count``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, asdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["FieldResult", "run_field_task", "sweep_dataset", "default_workers"]
+
+
+@dataclass(frozen=True)
+class FieldResult:
+    """Outcome of one (field, target) compression task."""
+
+    dataset: str
+    field: str
+    target_psnr: float
+    actual_psnr: float
+    deviation: float
+    met: bool
+    compression_ratio: float
+    bit_rate: float
+    eb_rel: float
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return asdict(self)
+
+
+def run_field_task(
+    dataset: str,
+    field: str,
+    target_psnr: float,
+    scale: Optional[float] = None,
+    refine: Optional[str] = None,
+    codec: str = "sz",
+) -> FieldResult:
+    """Execute one task: regenerate the field, run the fixed-PSNR
+    pipeline, measure the reconstruction.
+
+    Importable at module top level so it pickles for worker processes.
+    """
+    # Imports inside the function keep worker start-up lean.
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.datasets.registry import get_dataset
+    from repro.metrics.distortion import psnr as measure_psnr
+
+    ds = get_dataset(dataset, scale=scale)
+    data = ds.field(field)
+    comp = FixedPSNRCompressor(target_psnr, refine=refine, codec=codec)
+    eb_rel = comp.derive_bound(data)
+    blob = comp.compress(data)
+    recon = comp.decompress(blob)
+    actual = measure_psnr(data, recon)
+    return FieldResult(
+        dataset=dataset,
+        field=field,
+        target_psnr=float(target_psnr),
+        actual_psnr=float(actual),
+        deviation=float(actual - target_psnr),
+        met=bool(actual >= target_psnr),
+        compression_ratio=data.nbytes / len(blob),
+        bit_rate=8.0 * len(blob) / data.size,
+        eb_rel=float(eb_rel),
+    )
+
+
+def default_workers() -> int:
+    """A safe default worker count: physical parallelism minus one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def sweep_dataset(
+    dataset: str,
+    targets: Sequence[float],
+    fields: Optional[Sequence[str]] = None,
+    scale: Optional[float] = None,
+    refine: Optional[str] = None,
+    codec: str = "sz",
+    n_workers: int = 0,
+) -> List[FieldResult]:
+    """Run every (field, target) combination of a data set.
+
+    Returns results ordered by (target, field registry order) so
+    downstream tables are deterministic regardless of scheduling.
+    """
+    from repro.datasets.registry import get_dataset
+
+    ds = get_dataset(dataset, scale=scale)
+    names = list(fields) if fields is not None else ds.field_names
+    unknown = set(names) - set(ds.field_names)
+    if unknown:
+        raise ParameterError(f"unknown fields for {dataset}: {sorted(unknown)}")
+    tasks: List[Tuple] = [
+        (dataset, fname, float(t), scale, refine, codec)
+        for t in targets
+        for fname in names
+    ]
+    if n_workers <= 0:
+        return [run_field_task(*t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(run_field_task, *zip(*tasks), chunksize=1))

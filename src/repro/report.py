@@ -1,0 +1,138 @@
+"""Evaluation reporting: from sweep results to the paper's tables.
+
+The evaluation artefacts of the paper are all aggregations of one
+record type -- a :class:`repro.parallel.executor.FieldResult` per
+(data set, field, target).  This module turns lists of those records
+into Table-II-style summaries and renders them as plain text, Markdown
+or CSV, so the CLI, the benchmarks and downstream users share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, asdict
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.parallel.executor import FieldResult
+
+__all__ = [
+    "TargetSummary",
+    "summarize_by_target",
+    "render_text",
+    "render_markdown",
+    "render_csv",
+    "table2_text",
+]
+
+
+@dataclass(frozen=True)
+class TargetSummary:
+    """One row of a Table-II-style summary."""
+
+    dataset: str
+    target_psnr: float
+    n_fields: int
+    avg_psnr: float
+    stdev_psnr: float
+    avg_deviation: float
+    met_fraction: float
+    avg_compression_ratio: float
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return asdict(self)
+
+
+def summarize_by_target(results: Iterable[FieldResult]) -> List[TargetSummary]:
+    """Aggregate per-field results into per-(dataset, target) rows,
+    ordered by dataset then target."""
+    results = list(results)
+    if not results:
+        raise ParameterError("no results to summarize")
+    groups: Dict = {}
+    for r in results:
+        groups.setdefault((r.dataset, r.target_psnr), []).append(r)
+    rows = []
+    for (dataset, target), group in sorted(groups.items()):
+        actuals = np.array([g.actual_psnr for g in group])
+        rows.append(
+            TargetSummary(
+                dataset=dataset,
+                target_psnr=float(target),
+                n_fields=len(group),
+                avg_psnr=float(actuals.mean()),
+                stdev_psnr=float(actuals.std(ddof=0)),
+                avg_deviation=float(np.mean([g.deviation for g in group])),
+                met_fraction=float(np.mean([g.met for g in group])),
+                avg_compression_ratio=float(
+                    np.mean([g.compression_ratio for g in group])
+                ),
+            )
+        )
+    return rows
+
+
+_HEADERS = ["dataset", "target", "fields", "AVG", "STDEV", "dev", "met%", "CR"]
+
+
+def _summary_cells(s: TargetSummary) -> List[str]:
+    return [
+        s.dataset,
+        f"{s.target_psnr:.1f}",
+        str(s.n_fields),
+        f"{s.avg_psnr:.2f}",
+        f"{s.stdev_psnr:.2f}",
+        f"{s.avg_deviation:+.2f}",
+        f"{100 * s.met_fraction:.1f}",
+        f"{s.avg_compression_ratio:.2f}",
+    ]
+
+
+def render_text(summaries: Sequence[TargetSummary], title: str = "") -> str:
+    """Fixed-width text table (what the CLI prints)."""
+    rows = [_summary_cells(s) for s in summaries]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(_HEADERS)
+    ]
+    lines = [title] if title else []
+    lines.append("  ".join(h.rjust(w) for h, w in zip(_HEADERS, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown(summaries: Sequence[TargetSummary], title: str = "") -> str:
+    """GitHub-flavoured Markdown table."""
+    lines = [f"### {title}", ""] if title else []
+    lines.append("| " + " | ".join(_HEADERS) + " |")
+    lines.append("|" + "|".join("---" for _ in _HEADERS) + "|")
+    for s in summaries:
+        lines.append("| " + " | ".join(_summary_cells(s)) + " |")
+    return "\n".join(lines)
+
+
+def render_csv(summaries: Sequence[TargetSummary]) -> str:
+    """CSV with full float precision (for plotting pipelines)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(
+        buf, fieldnames=list(TargetSummary.__dataclass_fields__)
+    )
+    writer.writeheader()
+    for s in summaries:
+        writer.writerow(s.as_dict())
+    return buf.getvalue()
+
+
+def table2_text(results: Iterable[FieldResult]) -> str:
+    """Render sweep results exactly like the paper's Table II (AVG and
+    STDEV per data set and user-set PSNR)."""
+    return render_text(
+        summarize_by_target(results),
+        title="Fixed-PSNR accuracy (paper Table II layout)",
+    )

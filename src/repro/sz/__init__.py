@@ -1,0 +1,51 @@
+"""SZ-1.4-style prediction-based error-bounded lossy compressor.
+
+This is the substrate the paper's fixed-PSNR mode is built on
+(Section II-A): Lorenzo prediction, error-controlled uniform
+("linear-scaling") quantization, customized Huffman coding, and a
+trailing GZIP stage.
+
+The implementation is exactly vectorized via the lattice equivalence
+documented in :mod:`repro.sz.quantizer` and validated against the
+literal sequential algorithm in :mod:`repro.sz.reference`.
+"""
+
+from repro.sz.compressor import SZCompressor, compress, decompress
+from repro.sz.regression import RegressionCompressor
+from repro.sz.hybrid import HybridCompressor
+from repro.sz.legacy import Sz11Compressor
+from repro.sz.interp import InterpolationCompressor
+from repro.sz.temporal import (
+    TemporalCompressor,
+    TemporalDecompressor,
+    compress_series,
+    decompress_series,
+)
+from repro.sz.predictors import (
+    PREDICTORS,
+    lorenzo_difference,
+    lorenzo_reconstruct,
+    lorenzo_predict,
+    prediction_errors,
+)
+from repro.sz.quantizer import LatticeQuantizer
+
+__all__ = [
+    "SZCompressor",
+    "RegressionCompressor",
+    "HybridCompressor",
+    "Sz11Compressor",
+    "InterpolationCompressor",
+    "TemporalCompressor",
+    "TemporalDecompressor",
+    "compress_series",
+    "decompress_series",
+    "compress",
+    "decompress",
+    "PREDICTORS",
+    "lorenzo_difference",
+    "lorenzo_reconstruct",
+    "lorenzo_predict",
+    "prediction_errors",
+    "LatticeQuantizer",
+]

@@ -1,0 +1,522 @@
+"""The SZ-style compression pipeline.
+
+Compression (paper Section II-A):
+
+1. **Predict** each point with the Lorenzo predictor and quantize the
+   prediction error with error-controlled uniform quantization.  Both
+   happen at once in the lattice formulation (see
+   :mod:`repro.sz.quantizer`): snap values to the lattice, then take the
+   integer Lorenzo difference of the lattice coordinates.
+2. **Escape** rare codes outside the quantization-bin radius into a
+   side stream, so the Huffman alphabet stays bounded (SZ 1.4's
+   "unpredictable data" path; see DESIGN.md for the documented
+   deviation -- escaped points store their lattice-snapped value, which
+   keeps every point's error uniform in ``[-eb, +eb]``).
+3. **Huffman-code** the quantization codes (:mod:`repro.encoding.huffman`).
+4. **GZIP** (zlib/DEFLATE) the encoded streams
+   (:mod:`repro.encoding.lossless`).
+
+Decompression inverts each stage; the predictor inverse is a cumsum, so
+neither direction has a per-element Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.huffman import CanonicalHuffman
+from repro.encoding.lossless import (
+    lossless_compress,
+    lossless_decompress,
+    method_id,
+    method_name,
+)
+from repro.errors import (
+    CompressionError,
+    DecompressionError,
+    FormatError,
+    ParameterError,
+)
+from repro.io.container import (
+    CODEC_CHUNKED,
+    CODEC_EMBEDDED,
+    CODEC_HYBRID,
+    CODEC_INTERP,
+    CODEC_LEGACY,
+    CODEC_REGRESSION,
+    CODEC_SZ,
+    Container,
+    pack_exact_float,
+    unpack_exact_float,
+)
+from repro.sz.pointwise import (
+    forward_log_transform,
+    inverse_log_transform,
+    pointwise_bound_to_log_bound,
+)
+from repro.sz.predictors import predictor_by_id, predictor_by_name
+from repro.sz.quantizer import LatticeQuantizer
+
+__all__ = ["SZCompressor", "compress", "decompress"]
+
+#: Default quantization-bin index radius; SZ 1.4 defaults to 65536
+#: intervals, i.e. indices in [-32768, 32767].  Codes outside are escaped.
+DEFAULT_RADIUS = 32767
+
+#: Supported input dtypes (the paper evaluates single-precision data).
+_SUPPORTED_DTYPES = (np.float32, np.float64)
+
+
+class SZCompressor:
+    """Error-bounded lossy compressor with SZ semantics.
+
+    Parameters
+    ----------
+    error_bound:
+        The bound value.  Interpretation depends on ``mode``:
+        ``"abs"`` -- absolute error bound ``eb_abs``;
+        ``"rel"`` -- value-range-based relative bound, ``eb_abs =
+        error_bound * (max(X) - min(X))``;
+        ``"pw_rel"`` -- pointwise relative bound: every value within
+        ``error_bound * |x_i|`` of ``x_i`` (via logarithmic
+        preprocessing; see :mod:`repro.sz.pointwise`).  Must be < 1.
+    mode:
+        ``"abs"``, ``"rel"`` or ``"pw_rel"`` (the three traditional SZ
+        error controls of paper Section II-B).
+    predictor:
+        ``"lorenzo"`` (default, SZ 1.4), ``"lorenzo1d"`` or ``"none"``.
+    lossless:
+        Trailing lossless stage: ``"zlib"`` (GZIP's DEFLATE, the paper's
+        choice) or ``"none"``.
+    lossless_level:
+        zlib effort level, 1..9.
+    quantization_radius:
+        Codes with ``|q| > radius`` take the escape path.
+    entropy:
+        Third-stage entropy coder: ``"huffman"`` (the paper's SZ 1.4),
+        ``"rans"`` (interleaved range-ANS; see
+        :mod:`repro.encoding.rans`), or ``"rans_rle"`` (run-length
+        split + rANS -- factors out the run structure that dominates
+        low-PSNR code streams; see :mod:`repro.encoding.rle`).  The two
+        rANS variants fall back to Huffman on pathological alphabets.
+    fill_value:
+        Sentinel marking missing points (production climate data uses
+        values like 1e20/1e35 over land; ``np.nan`` is accepted too).
+        Masked points are restored **exactly** on decompression, are
+        excluded from the value range (so relative bounds mean what
+        they should), and do not pollute prediction -- internally they
+        are replaced by the valid mean and the bit mask travels in its
+        own stream.
+    """
+
+    #: entropy-stage ids stored in the container
+    ENTROPY_CODERS = {"huffman": 0, "rans": 1, "rans_rle": 2}
+
+    def __init__(
+        self,
+        error_bound: float = 1e-4,
+        mode: str = "abs",
+        predictor: str = "lorenzo",
+        lossless: str = "zlib",
+        lossless_level: int = 6,
+        quantization_radius: int = DEFAULT_RADIUS,
+        entropy: str = "huffman",
+        fill_value: Optional[float] = None,
+    ) -> None:
+        if mode not in ("abs", "rel", "pw_rel"):
+            raise ParameterError(
+                f"mode must be 'abs', 'rel' or 'pw_rel', got {mode!r}"
+            )
+        if not np.isfinite(error_bound) or error_bound <= 0:
+            raise ParameterError(f"error bound must be positive, got {error_bound}")
+        if mode == "pw_rel" and error_bound >= 1.0:
+            raise ParameterError("pointwise relative bound must be < 1")
+        if quantization_radius < 1:
+            raise ParameterError("quantization radius must be >= 1")
+        self.error_bound = float(error_bound)
+        self.mode = mode
+        self.predictor = predictor
+        self.predictor_id, self._difference, _ = predictor_by_name(predictor)
+        self.lossless = lossless
+        self.lossless_id = method_id(lossless)
+        self.lossless_level = int(lossless_level)
+        self.radius = int(quantization_radius)
+        if entropy not in self.ENTROPY_CODERS:
+            raise ParameterError(
+                f"unknown entropy coder {entropy!r}; "
+                f"choose from {sorted(self.ENTROPY_CODERS)}"
+            )
+        self.entropy = entropy
+        if fill_value is not None and np.isinf(fill_value):
+            raise ParameterError("fill_value must be finite or NaN")
+        self.fill_value = None if fill_value is None else float(fill_value)
+        #: set by the fixed-PSNR wrapper so the container records intent
+        self.target_psnr: Optional[float] = None
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _validate(data) -> np.ndarray:
+        arr = np.asarray(data)
+        if arr.dtype not in _SUPPORTED_DTYPES:
+            raise ParameterError(
+                f"dtype {arr.dtype} unsupported; use float32 or float64"
+            )
+        if arr.ndim == 0 or arr.size == 0:
+            raise ParameterError("data must be a non-empty array")
+        if not np.all(np.isfinite(arr)):
+            raise CompressionError(
+                "data contains NaN/Inf; error-bounded compression of "
+                "non-finite values is undefined"
+            )
+        return arr
+
+    def resolve_error_bound(self, data: np.ndarray) -> float:
+        """Return the absolute bound the quantizer will use under
+        ``mode`` (for ``"pw_rel"`` it is the bound in the log domain)."""
+        _, x, _ = self._split_fill(data)
+        if self.mode == "abs":
+            return self.error_bound
+        if self.mode == "pw_rel":
+            return pointwise_bound_to_log_bound(self.error_bound)
+        vr = float(x.max() - x.min())
+        if vr == 0.0:
+            # Constant field: any positive bound works; pick the bound
+            # itself so downstream math stays finite.
+            return self.error_bound
+        return self.error_bound * vr
+
+    # -- compression -----------------------------------------------------
+
+    def _encode_lattice(self, y: np.ndarray, eb_abs: float, meta, streams) -> None:
+        """Core pipeline on a float64 array: lattice snap, predictor
+        difference, escape, Huffman; appends to ``meta``/``streams``."""
+        anchor = float(y.flat[0])
+        meta["eb_abs"] = pack_exact_float(eb_abs)
+        meta["anchor"] = pack_exact_float(anchor)
+
+        quantizer = LatticeQuantizer(eb_abs, anchor)
+        k = quantizer.quantize(y)
+        q = self._difference(k)
+
+        escape_symbol = self.radius + 1
+        esc_mask = np.abs(q) > self.radius
+        n_escapes = int(esc_mask.sum())
+        if n_escapes:
+            escaped_values = q[esc_mask].astype(np.int64)
+            q = q.copy()
+            q[esc_mask] = escape_symbol
+            streams.append(
+                (
+                    "escapes",
+                    lossless_compress(
+                        escaped_values.tobytes(), self.lossless, self.lossless_level
+                    ),
+                )
+            )
+        meta["n_escapes"] = n_escapes
+        meta["escape_symbol"] = escape_symbol
+        meta["entropy"] = self.ENTROPY_CODERS[self.entropy]
+
+        if self.entropy == "rans_rle":
+            from repro.encoding.rle import encode_rle_rans
+
+            try:
+                streams.insert(0, ("payload", encode_rle_rans(q)))
+                return
+            except ParameterError:
+                meta["entropy"] = self.ENTROPY_CODERS["huffman"]
+        elif self.entropy == "rans":
+            from repro.encoding.rans import RansCoder
+
+            try:
+                coder = RansCoder.from_data(q)
+            except ParameterError:
+                meta["entropy"] = self.ENTROPY_CODERS["huffman"]
+            else:
+                # rANS output is already near-incompressible; only the
+                # model table goes through the lossless stage.
+                streams.insert(0, ("payload", coder.encode(q)))
+                streams.insert(
+                    0,
+                    (
+                        "table",
+                        lossless_compress(
+                            coder.table_bytes(),
+                            self.lossless,
+                            self.lossless_level,
+                        ),
+                    ),
+                )
+                return
+
+        code = CanonicalHuffman.from_data(q)
+        payload, total_bits = code.encode(q)
+        meta["total_bits"] = total_bits
+        streams.insert(
+            0,
+            (
+                "payload",
+                lossless_compress(payload, self.lossless, self.lossless_level),
+            ),
+        )
+        streams.insert(
+            0,
+            (
+                "table",
+                lossless_compress(
+                    code.table_bytes(), self.lossless, self.lossless_level
+                ),
+            ),
+        )
+
+    def _split_fill(self, data):
+        """Separate the fill mask from the data; returns
+        ``(float64 array with fill replaced, mask or None)``."""
+        arr = np.asarray(data)
+        if arr.dtype not in _SUPPORTED_DTYPES:
+            raise ParameterError(
+                f"dtype {arr.dtype} unsupported; use float32 or float64"
+            )
+        if arr.ndim == 0 or arr.size == 0:
+            raise ParameterError("data must be a non-empty array")
+        x = arr.astype(np.float64, copy=False)
+        if self.fill_value is None:
+            if not np.all(np.isfinite(x)):
+                raise CompressionError(
+                    "data contains NaN/Inf; error-bounded compression of "
+                    "non-finite values is undefined (set fill_value to "
+                    "treat a sentinel as missing data)"
+                )
+            return arr, x, None
+        if np.isnan(self.fill_value):
+            mask = np.isnan(x)
+        else:
+            mask = x == self.fill_value
+        valid = x[~mask]
+        if valid.size and not np.all(np.isfinite(valid)):
+            raise CompressionError("non-fill data contains NaN/Inf")
+        if not mask.any():
+            return arr, x, None
+        # Replace fill by the valid mean: prediction stays well-behaved
+        # and the value range reflects only real data.
+        replacement = float(valid.mean()) if valid.size else 0.0
+        x = x.copy()
+        x[mask] = replacement
+        return arr, x, mask
+
+    def compress(self, data) -> bytes:
+        """Compress ``data`` and return the serialized container."""
+        arr, x, fill_mask = self._split_fill(data)
+        vr = float(x.max() - x.min())
+        meta = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "mode": self.mode,
+            "bound": self.error_bound,
+            "predictor": self.predictor_id,
+            "lossless": self.lossless_id,
+            "radius": self.radius,
+            "value_range": vr,
+        }
+        if self.target_psnr is not None:
+            meta["target_psnr"] = float(self.target_psnr)
+
+        streams = []
+        if fill_mask is not None:
+            meta["fill_value"] = pack_exact_float(self.fill_value)
+            streams.append(
+                (
+                    "fillmask",
+                    lossless_compress(
+                        np.packbits(fill_mask).tobytes(),
+                        self.lossless,
+                        self.lossless_level,
+                    ),
+                )
+            )
+        if self.mode == "pw_rel":
+            signs, y = forward_log_transform(x)
+            streams.append(
+                (
+                    "signs",
+                    lossless_compress(
+                        signs.tobytes(), self.lossless, self.lossless_level
+                    ),
+                )
+            )
+            eb_abs = pointwise_bound_to_log_bound(self.error_bound)
+            if float(y.max() - y.min()) == 0.0:
+                meta["constant"] = pack_exact_float(float(y.flat[0]))
+                return Container(CODEC_SZ, meta, streams).to_bytes()
+            self._encode_lattice(y, eb_abs, meta, streams)
+            return Container(CODEC_SZ, meta, streams).to_bytes()
+
+        if vr == 0.0:
+            # Constant field: store the value exactly.
+            meta["constant"] = pack_exact_float(float(x.flat[0]))
+            return Container(CODEC_SZ, meta, streams).to_bytes()
+
+        if self.mode == "abs":
+            eb_abs = self.error_bound
+        else:
+            eb_abs = self.error_bound * vr
+        self._encode_lattice(x, eb_abs, meta, streams)
+        return Container(CODEC_SZ, meta, streams).to_bytes()
+
+    # -- decompression ----------------------------------------------------
+
+    @staticmethod
+    def decompress(blob: bytes) -> np.ndarray:
+        """Decompress a container produced by :meth:`compress`."""
+        container = Container.from_bytes(blob)
+        if container.codec != CODEC_SZ:
+            raise FormatError("container was not produced by the SZ codec")
+        meta = container.meta
+        try:
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(int(s) for s in meta["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"bad container metadata: {exc}") from exc
+
+        try:
+            lossless = method_name(int(meta["lossless"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"bad container metadata: {exc}") from exc
+
+        pointwise = meta.get("mode") == "pw_rel"
+        signs = None
+        if pointwise:
+            sign_blob = lossless_decompress(container.stream("signs"), lossless)
+            signs = np.frombuffer(sign_blob, dtype=np.int8)
+            if signs.size != int(np.prod(shape)):
+                raise DecompressionError("sign stream length mismatch")
+            signs = signs.reshape(shape)
+
+        fill_value = None
+        fill_mask = None
+        if "fill_value" in meta:
+            fill_value = unpack_exact_float(meta["fill_value"])
+            mask_blob = lossless_decompress(container.stream("fillmask"), lossless)
+            bits = np.unpackbits(np.frombuffer(mask_blob, dtype=np.uint8))
+            n_points = int(np.prod(shape))
+            if bits.size < n_points:
+                raise DecompressionError("fill mask shorter than the array")
+            fill_mask = bits[:n_points].astype(bool).reshape(shape)
+
+        def _restore_fill(values: np.ndarray) -> np.ndarray:
+            if fill_mask is not None:
+                values = values.copy()
+                values[fill_mask] = fill_value
+            return values
+
+        if "constant" in meta:
+            value = unpack_exact_float(meta["constant"])
+            if pointwise:
+                y = np.full(shape, value, dtype=np.float64)
+                out = inverse_log_transform(signs, y)
+            else:
+                out = np.full(shape, value, dtype=np.float64)
+            return _restore_fill(out).astype(dtype)
+
+        try:
+            eb_abs = unpack_exact_float(meta["eb_abs"])
+            anchor = unpack_exact_float(meta["anchor"])
+            predictor_id = int(meta["predictor"])
+            total_bits = int(meta.get("total_bits", 0))
+            entropy_id = int(meta.get("entropy", 0))
+            n_escapes = int(meta["n_escapes"])
+            escape_symbol = int(meta["escape_symbol"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"bad container metadata: {exc}") from exc
+
+        n = int(np.prod(shape))
+        _, _, reconstruct = predictor_by_id(predictor_id)
+
+        if entropy_id == 2:
+            from repro.encoding.rle import decode_rle_rans
+
+            q = decode_rle_rans(container.stream("payload"))
+            if q.size != n:
+                raise DecompressionError("RLE symbol count mismatch")
+            q = q.reshape(shape)
+        elif entropy_id == 1:
+            from repro.encoding.rans import RansCoder
+
+            table_blob = lossless_decompress(container.stream("table"), lossless)
+            coder = RansCoder.from_table_bytes(table_blob)
+            q = coder.decode(container.stream("payload"))
+            if q.size != n:
+                raise DecompressionError("rANS symbol count mismatch")
+            q = q.reshape(shape)
+        elif entropy_id == 0:
+            table_blob = lossless_decompress(container.stream("table"), lossless)
+            code = CanonicalHuffman.from_table_bytes(table_blob)
+            payload = lossless_decompress(container.stream("payload"), lossless)
+            q = code.decode(payload, n, total_bits).reshape(shape)
+        else:
+            raise FormatError(f"unknown entropy coder id {entropy_id}")
+
+        if n_escapes:
+            esc_blob = lossless_decompress(container.stream("escapes"), lossless)
+            escaped_values = np.frombuffer(esc_blob, dtype=np.int64)
+            if escaped_values.size != n_escapes:
+                raise DecompressionError(
+                    f"escape stream has {escaped_values.size} values, "
+                    f"expected {n_escapes}"
+                )
+            esc_mask = q == escape_symbol
+            if int(esc_mask.sum()) != n_escapes:
+                raise DecompressionError("escape marker count mismatch")
+            q = q.copy()
+            q[esc_mask] = escaped_values
+
+        k = reconstruct(q)
+        quantizer = LatticeQuantizer(eb_abs, anchor)
+        values = quantizer.dequantize(k)
+        if pointwise:
+            values = inverse_log_transform(signs, values)
+        return _restore_fill(values).astype(dtype)
+
+
+def compress(data, error_bound: float, mode: str = "abs", **kwargs) -> bytes:
+    """Functional one-shot front end to :class:`SZCompressor`."""
+    return SZCompressor(error_bound=error_bound, mode=mode, **kwargs).compress(data)
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Decompress any container produced by this package (SZ,
+    transform, regression, embedded, or chunked)."""
+    container = Container.from_bytes(blob)
+    if container.codec == CODEC_SZ:
+        return SZCompressor.decompress(blob)
+    # Deferred imports: these codecs depend on this module's helpers.
+    if container.codec == CODEC_CHUNKED:
+        from repro.parallel.chunking import decompress_chunked
+
+        return decompress_chunked(blob)
+    if container.codec == CODEC_REGRESSION:
+        from repro.sz.regression import RegressionCompressor
+
+        return RegressionCompressor.decompress(blob)
+    if container.codec == CODEC_HYBRID:
+        from repro.sz.hybrid import HybridCompressor
+
+        return HybridCompressor.decompress(blob)
+    if container.codec == CODEC_LEGACY:
+        from repro.sz.legacy import Sz11Compressor
+
+        return Sz11Compressor.decompress(blob)
+    if container.codec == CODEC_INTERP:
+        from repro.sz.interp import InterpolationCompressor
+
+        return InterpolationCompressor.decompress(blob)
+    if container.codec == CODEC_EMBEDDED:
+        from repro.transform.embedded import EmbeddedTransformCompressor
+
+        return EmbeddedTransformCompressor.decompress(blob)
+    from repro.transform.compressor import TransformCompressor
+
+    return TransformCompressor.decompress(blob)

@@ -1,0 +1,86 @@
+"""Literal sequential SZ recurrence -- the correctness oracle.
+
+This module implements the prediction/quantization loop exactly the way
+SZ describes it (and the paper's Section III analyses it): point by
+point in row-major order, predicting from already-**reconstructed**
+neighbour values, quantizing the prediction error to a uniform bin, and
+reconstructing with the bin midpoint before moving on.
+
+It is deliberately slow (pure Python loops) and exists to validate the
+vectorized lattice formulation in :mod:`repro.sz.quantizer` /
+:mod:`repro.sz.predictors`: the two must agree bit-for-bit on both the
+quantization codes and the reconstruction (see
+``tests/sz/test_reference_equivalence.py``).
+
+Border handling matches SZ: a missing neighbour contributes the lattice
+anchor (the exactly-stored first value), which makes border points
+degenerate to lower-dimensional Lorenzo prediction and the very first
+point predict the anchor itself.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["sequential_lorenzo_quantize", "lorenzo_offsets"]
+
+
+def lorenzo_offsets(ndim: int):
+    """Lorenzo stencil: offsets ``s in {0,1}^d, s != 0`` with
+    inclusion-exclusion coefficients ``(-1)**(|s|+1)``.
+
+    For 2-D this yields ``+x[i-1,j] +x[i,j-1] -x[i-1,j-1]``; the
+    coefficients always sum to 1.
+    """
+    if ndim < 1:
+        raise ParameterError("ndim must be >= 1")
+    stencil = []
+    for s in product((0, 1), repeat=ndim):
+        if not any(s):
+            continue
+        coeff = -1 if (sum(s) % 2 == 0) else 1
+        stencil.append((tuple(-o for o in s), coeff))
+    return stencil
+
+
+def sequential_lorenzo_quantize(
+    data: np.ndarray, error_bound: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the literal SZ recurrence.
+
+    Returns ``(q, recon)``: the integer quantization codes and the
+    reconstructed float64 array.  The prediction for each point is the
+    Lorenzo combination of *reconstructed* neighbours, with the anchor
+    value substituted for out-of-range neighbours.
+    """
+    x = np.asarray(data, dtype=np.float64)
+    if x.ndim == 0 or x.size == 0:
+        raise ParameterError("data must be a non-empty array")
+    if not np.isfinite(error_bound) or error_bound <= 0:
+        raise ParameterError("error bound must be positive")
+    delta = 2.0 * float(error_bound)
+    anchor = float(x[(0,) * x.ndim])
+    stencil = lorenzo_offsets(x.ndim)
+
+    recon = np.empty_like(x)
+    q = np.empty(x.shape, dtype=np.int64)
+    for idx in np.ndindex(*x.shape):
+        pred = 0.0
+        coeff_sum = 0
+        for offset, coeff in stencil:
+            nidx = tuple(i + o for i, o in zip(idx, offset))
+            if any(j < 0 for j in nidx):
+                continue
+            pred += coeff * recon[nidx]
+            coeff_sum += coeff
+        # Missing neighbours contribute the anchor (stored exactly).
+        pred += (1 - coeff_sum) * anchor
+        code = int(np.rint((x[idx] - pred) / delta))
+        q[idx] = code
+        recon[idx] = pred + delta * code
+    return q, recon

@@ -1,0 +1,81 @@
+"""Text-mode plotting: bar charts and scatter panels as strings.
+
+The reproduction environment has no matplotlib, so figures render as
+text -- the benchmark suite draws the paper's Figure 1/Figure 2 panels
+with these helpers and the CLI reuses them.  They are deliberately
+dependency-free and deterministic (stable output for golden files).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bars", "scatter"]
+
+
+def bars(
+    values: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart; one row per value."""
+    values = list(values)
+    if not values:
+        return title
+    peak = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels) if labels else 0
+    lines = [title] if title else []
+    for i, v in enumerate(values):
+        n = int(round(width * v / peak))
+        label = f"{labels[i]:>{label_w}} " if labels else ""
+        lines.append(f"{label}|{'#' * n}{' ' * (width - n)}| {v:.2f}")
+    return "\n".join(lines)
+
+
+def scatter(
+    ys: Sequence[float],
+    width: int = 79,
+    height: int = 16,
+    hline: Optional[float] = None,
+    title: str = "",
+    ylabel_fmt: str = "{:7.1f}",
+) -> str:
+    """Scatter of a series (x = index) with an optional horizontal
+    reference line (Figure 2's red dashed target)."""
+    ys = [float(y) for y in ys]
+    if not ys:
+        return title
+    lo = min(ys + ([hline] if hline is not None else []))
+    hi = max(ys + ([hline] if hline is not None else []))
+    if hi == lo:
+        hi = lo + 1.0
+    pad = 0.08 * (hi - lo)
+    lo, hi = lo - pad, hi + pad
+
+    plot_w = width - 9  # leave room for the y-axis labels
+    n = len(ys)
+    grid = [[" "] * plot_w for _ in range(height)]
+
+    def row_of(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    if hline is not None:
+        r = row_of(hline)
+        for c in range(plot_w):
+            grid[r][c] = "-"
+    for i, y in enumerate(ys):
+        c = int(round(i * (plot_w - 1) / max(1, n - 1)))
+        grid[row_of(y)][c] = "*"
+
+    lines = [title] if title else []
+    for r in range(height):
+        v = hi - (hi - lo) * r / (height - 1)
+        axis = ylabel_fmt.format(v) if r % 3 == 0 else " " * 7
+        lines.append(f"{axis} |{''.join(grid[r])}")
+    lines.append(" " * 8 + "+" + "-" * plot_w)
+    lines.append(" " * 9 + f"fields 1..{n}" + (
+        f"   (--- = target {hline:g} dB)" if hline is not None else ""
+    ))
+    return "\n".join(lines)

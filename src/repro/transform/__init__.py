@@ -1,0 +1,24 @@
+"""Orthogonal-transform-based lossy codec (Theorem 2 substrate).
+
+SSEM and ZFP (paper Section II-A) are transform-based compressors; the
+paper's Theorem 2 extends the fixed-PSNR analysis to any codec whose
+transform is orthogonal, because an orthogonal map preserves the l2
+norm of the quantization error.  This package provides such a codec: a
+block DCT-II (orthonormal) followed by the same uniform quantization /
+Huffman / GZIP stages as the SZ pipeline.
+"""
+
+from repro.transform.compressor import TransformCompressor
+from repro.transform.embedded import EmbeddedTransformCompressor
+from repro.transform.dct import dct_matrix, block_dct, block_idct
+from repro.transform.blocking import split_blocks, merge_blocks
+
+__all__ = [
+    "TransformCompressor",
+    "EmbeddedTransformCompressor",
+    "dct_matrix",
+    "block_dct",
+    "block_idct",
+    "split_blocks",
+    "merge_blocks",
+]

@@ -1,0 +1,65 @@
+"""Partition an n-D array into m^d blocks and merge back.
+
+Arrays whose extents are not multiples of ``m`` are edge-padded before
+splitting; :func:`merge_blocks` crops the padding away, so padded
+samples never reach the user (they only slightly affect the compressed
+size).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["split_blocks", "merge_blocks", "padded_shape"]
+
+
+def padded_shape(shape: Sequence[int], m: int) -> Tuple[int, ...]:
+    """The shape after edge-padding every extent up to a multiple of m."""
+    if m < 1:
+        raise ParameterError("block size must be >= 1")
+    return tuple(-(-s // m) * m for s in shape)
+
+
+def split_blocks(data: np.ndarray, m: int) -> np.ndarray:
+    """Return shape ``(n_blocks, m, ..., m)`` blocks in row-major block
+    order, edge-padding as needed."""
+    x = np.asarray(data)
+    if x.ndim == 0 or x.size == 0:
+        raise ParameterError("data must be a non-empty array")
+    target = padded_shape(x.shape, m)
+    pad = [(0, t - s) for s, t in zip(x.shape, target)]
+    if any(p[1] for p in pad):
+        x = np.pad(x, pad, mode="edge")
+    d = x.ndim
+    counts = tuple(t // m for t in target)
+    # reshape to (c0, m, c1, m, ...), bring the count axes first.
+    inter = x.reshape(tuple(v for c in counts for v in (c, m)))
+    order = tuple(range(0, 2 * d, 2)) + tuple(range(1, 2 * d, 2))
+    return inter.transpose(order).reshape((-1,) + (m,) * d)
+
+
+def merge_blocks(
+    blocks: np.ndarray, m: int, original_shape: Sequence[int]
+) -> np.ndarray:
+    """Inverse of :func:`split_blocks`; crops padding to
+    ``original_shape``."""
+    original_shape = tuple(int(s) for s in original_shape)
+    d = len(original_shape)
+    b = np.asarray(blocks)
+    if b.ndim != d + 1 or any(s != m for s in b.shape[1:]):
+        raise ParameterError("blocks do not match the stated geometry")
+    target = padded_shape(original_shape, m)
+    counts = tuple(t // m for t in target)
+    if b.shape[0] != int(np.prod(counts)):
+        raise ParameterError(
+            f"got {b.shape[0]} blocks, expected {int(np.prod(counts))}"
+        )
+    inter = b.reshape(counts + (m,) * d)
+    # interleave count and block axes back: (c0, m, c1, m, ...)
+    order = tuple(v for i in range(d) for v in (i, d + i))
+    padded = inter.transpose(order).reshape(target)
+    return padded[tuple(slice(0, s) for s in original_shape)]

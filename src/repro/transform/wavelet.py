@@ -1,0 +1,49 @@
+"""Orthonormal multi-level Haar wavelet transform (DWT).
+
+The paper cites SSEM's discrete wavelet transform as the other
+orthogonal-transform route (Section II-A); Theorem 2 covers any
+orthogonal map.  A full multi-level Haar analysis on a block of
+``m = 2**k`` samples is itself an orthonormal ``m x m`` matrix, so it
+slots straight into the block machinery of
+:mod:`repro.transform.compressor` -- pass ``transform="haar"`` there.
+
+The matrix is built recursively: one Haar level splits the signal into
+pairwise averages and differences (each scaled by 1/sqrt(2)); the next
+level recurses on the average band.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["haar_matrix"]
+
+
+@lru_cache(maxsize=32)
+def haar_matrix(m: int) -> np.ndarray:
+    """The m-by-m orthonormal multi-level Haar analysis matrix.
+
+    ``m`` must be a power of two.  Row 0 is the overall average
+    (scaling function); subsequent rows are detail coefficients from
+    coarse to fine.
+    """
+    if m < 1 or (m & (m - 1)) != 0:
+        raise ParameterError(f"Haar transform needs a power-of-two size, got {m}")
+    if m == 1:
+        return np.ones((1, 1))
+    half = m // 2
+    # single analysis level: averages then differences
+    level = np.zeros((m, m))
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    for i in range(half):
+        level[i, 2 * i] = inv_sqrt2
+        level[i, 2 * i + 1] = inv_sqrt2
+        level[half + i, 2 * i] = inv_sqrt2
+        level[half + i, 2 * i + 1] = -inv_sqrt2
+    # recurse on the average band
+    top = haar_matrix(half) @ level[:half]
+    return np.concatenate([top, level[half:]], axis=0)

@@ -1,0 +1,50 @@
+"""Shared fixtures: deterministic fields of assorted shapes/characters."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session-wide deterministic RNG for ad-hoc noise."""
+    return np.random.default_rng(20180713)
+
+
+@pytest.fixture(scope="session")
+def smooth2d():
+    """Smooth 2-D float64 field (double cumulative random walk)."""
+    r = np.random.default_rng(1)
+    x = np.cumsum(np.cumsum(r.normal(size=(64, 96)), axis=0), axis=1)
+    return (x - x.min()) / (x.max() - x.min()) * 50.0 - 10.0
+
+
+@pytest.fixture(scope="session")
+def smooth3d():
+    """Smooth 3-D float64 field."""
+    r = np.random.default_rng(2)
+    x = r.normal(size=(16, 24, 20))
+    for axis in range(3):
+        x = np.cumsum(x, axis=axis)
+    return x
+
+
+@pytest.fixture(scope="session")
+def rough2d():
+    """White-noise 2-D field (worst case for prediction)."""
+    return np.random.default_rng(3).normal(size=(48, 64)) * 5.0
+
+
+@pytest.fixture(scope="session")
+def intermittent2d():
+    """Field with exact-zero plateaus and heavy positive tails
+    (precipitation-like; the low-PSNR stress case)."""
+    r = np.random.default_rng(4)
+    g = r.normal(size=(60, 80))
+    return np.where(g > 0.8, np.exp(g), 0.0)
+
+
+@pytest.fixture(scope="session")
+def field1d():
+    """Smooth 1-D signal."""
+    t = np.linspace(0, 6 * np.pi, 3000)
+    return np.sin(t) * np.exp(-t / 20.0) * 100.0

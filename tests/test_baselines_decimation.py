@@ -1,0 +1,74 @@
+"""Unit tests for the temporal-decimation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.decimation import (
+    decimate_series,
+    decimation_quality,
+    reconstruct_decimated,
+)
+from repro.datasets.temporal import snapshot_series
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def series():
+    return list(snapshot_series((24, 24), 9, seed=6))
+
+
+class TestDecimate:
+    def test_keeps_every_kth_and_last(self, series):
+        kept, idx = decimate_series(series, 3)
+        assert idx == [0, 3, 6, 8]
+        assert len(kept) == 4
+        assert np.array_equal(kept[0], series[0])
+        assert np.array_equal(kept[-1], series[-1])
+
+    def test_k1_keeps_all(self, series):
+        kept, idx = decimate_series(series, 1)
+        assert idx == list(range(len(series)))
+
+    def test_validation(self, series):
+        with pytest.raises(ParameterError):
+            decimate_series(series, 0)
+        with pytest.raises(ParameterError):
+            decimate_series([], 2)
+
+
+class TestReconstruct:
+    def test_kept_steps_exact(self, series):
+        kept, idx = decimate_series(series, 3)
+        recon = reconstruct_decimated(kept, idx, len(series))
+        for i in idx:
+            assert np.allclose(recon[i], series[i])
+
+    def test_interpolation_midpoint(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 2.0)
+        recon = reconstruct_decimated([a, b], [0, 2], 3)
+        assert np.allclose(recon[1], 1.0)
+
+    def test_validation(self, series):
+        kept, idx = decimate_series(series, 3)
+        with pytest.raises(ParameterError):
+            reconstruct_decimated(kept, idx[:-1], len(series))
+        with pytest.raises(ParameterError):
+            reconstruct_decimated(kept, idx, len(series) + 5)
+
+
+class TestQuality:
+    def test_sawtooth_shape(self, series):
+        """Perfect at kept steps, degraded between -- the paper's
+        'losing important information unexpectedly'."""
+        q = decimation_quality(series, 4)
+        assert q[0] == float("inf")
+        assert q[4] == float("inf")
+        assert q[2] < 60.0  # interpolated step is much worse
+
+    def test_larger_k_worse_quality(self, series):
+        q2 = decimation_quality(series, 2)
+        q4 = decimation_quality(series, 4)
+        finite2 = np.mean([v for v in q2 if np.isfinite(v)])
+        finite4 = np.mean([v for v in q4 if np.isfinite(v)])
+        assert finite4 <= finite2 + 0.5

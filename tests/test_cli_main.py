@@ -1,0 +1,266 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.metrics.distortion import psnr
+
+
+@pytest.fixture()
+def demo_npy(tmp_path, smooth2d):
+    path = tmp_path / "field.npy"
+    np.save(path, smooth2d.astype(np.float32))
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_requires_one_bound(self, demo_npy):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", str(demo_npy), "-o", "x"])
+
+    def test_bounds_mutually_exclusive(self, demo_npy):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", str(demo_npy), "-o", "x", "--psnr", "60", "--abs", "1"]
+            )
+
+
+class TestCompressDecompress:
+    def test_fixed_psnr_roundtrip(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "field.fpz"
+        recon_path = tmp_path / "recon.npy"
+        assert main(["compress", str(demo_npy), "-o", str(out), "--psnr", "70"]) == 0
+        assert main(["decompress", str(out), "-o", str(recon_path)]) == 0
+        original = np.load(demo_npy)
+        recon = np.load(recon_path)
+        assert recon.dtype == original.dtype
+        assert abs(psnr(original, recon) - 70.0) < 3.0
+        assert "CR" in capsys.readouterr().out
+
+    def test_abs_bound(self, demo_npy, tmp_path):
+        out = tmp_path / "f.fpz"
+        rec = tmp_path / "r.npy"
+        assert main(["compress", str(demo_npy), "-o", str(out), "--abs", "0.01"]) == 0
+        assert main(["decompress", str(out), "-o", str(rec)]) == 0
+        err = np.abs(
+            np.load(demo_npy).astype(np.float64) - np.load(rec).astype(np.float64)
+        ).max()
+        assert err <= 0.011
+
+    def test_transform_codec(self, demo_npy, tmp_path):
+        out = tmp_path / "f.fpz"
+        rec = tmp_path / "r.npy"
+        assert (
+            main(
+                [
+                    "compress",
+                    str(demo_npy),
+                    "-o",
+                    str(out),
+                    "--psnr",
+                    "60",
+                    "--codec",
+                    "transform",
+                ]
+            )
+            == 0
+        )
+        assert main(["decompress", str(out), "-o", str(rec)]) == 0
+        assert abs(psnr(np.load(demo_npy), np.load(rec)) - 60.0) < 3.0
+
+    def test_missing_input_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["compress", str(tmp_path / "nope.npy"), "-o", "x", "--psnr", "60"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_json(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        main(["compress", str(demo_npy), "-o", str(out), "--psnr", "80"])
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["codec"] == 1
+        assert info["meta"]["target_psnr"] == 80.0
+        assert any(s["name"] == "payload" for s in info["streams"])
+
+
+class TestTable1:
+    def test_prints_inventory(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("NYX", "ATM", "Hurricane"):
+            assert name in out
+        assert "2048x2048x2048" in out
+        assert "79" in out
+
+
+class TestNewCodecs:
+    def test_regression_codec(self, demo_npy, tmp_path):
+        out = tmp_path / "f.fpz"
+        rec = tmp_path / "r.npy"
+        assert (
+            main(
+                [
+                    "compress", str(demo_npy), "-o", str(out),
+                    "--rel", "1e-4", "--codec", "regression",
+                ]
+            )
+            == 0
+        )
+        assert main(["decompress", str(out), "-o", str(rec)]) == 0
+        assert psnr(np.load(demo_npy), np.load(rec)) > 70.0
+
+    def test_embedded_fixed_rate(self, demo_npy, tmp_path):
+        out = tmp_path / "f.fpz"
+        assert (
+            main(
+                [
+                    "compress", str(demo_npy), "-o", str(out),
+                    "--bit-rate", "4", "--codec", "embedded",
+                ]
+            )
+            == 0
+        )
+        data = np.load(demo_npy)
+        assert 8.0 * out.stat().st_size / data.size <= 5.0
+
+    def test_pw_rel_mode(self, demo_npy, tmp_path):
+        out = tmp_path / "f.fpz"
+        rec = tmp_path / "r.npy"
+        assert (
+            main(["compress", str(demo_npy), "-o", str(out), "--pw-rel", "0.01"])
+            == 0
+        )
+        assert main(["decompress", str(out), "-o", str(rec)]) == 0
+        x = np.load(demo_npy).astype(np.float64)
+        y = np.load(rec).astype(np.float64)
+        nz = x != 0
+        assert np.max(np.abs(y[nz] - x[nz]) / np.abs(x[nz])) <= 0.0101
+
+    def test_bit_rate_requires_embedded(self, demo_npy, tmp_path, capsys):
+        code = main(
+            ["compress", str(demo_npy), "-o", str(tmp_path / "x"), "--bit-rate", "4"]
+        )
+        assert code == 2
+        assert "embedded" in capsys.readouterr().err
+
+
+class TestArchive:
+    def test_archive_extract_roundtrip(self, tmp_path, capsys):
+        arc = tmp_path / "snap.fpza"
+        code = main(
+            [
+                "archive", "NYX", "-o", str(arc),
+                "--psnr", "70", "--fields", "temperature", "velocity_z",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["extract", str(arc)]) == 0
+        assert capsys.readouterr().out.split() == ["temperature", "velocity_z"]
+        out = tmp_path / "t.npy"
+        assert main(["extract", str(arc), "temperature", "-o", str(out)]) == 0
+        from repro.datasets.registry import get_dataset
+
+        original = get_dataset("NYX").field("temperature")
+        assert psnr(original, np.load(out)) > 65.0
+
+    def test_extract_without_output_fails(self, tmp_path, capsys):
+        arc = tmp_path / "snap.fpza"
+        main(["archive", "NYX", "-o", str(arc), "--fields", "temperature"])
+        capsys.readouterr()
+        assert main(["extract", str(arc), "temperature"]) == 2
+
+    def test_unknown_field_fails(self, tmp_path, capsys):
+        code = main(
+            ["archive", "NYX", "-o", str(tmp_path / "x"), "--fields", "bogus"]
+        )
+        assert code == 2
+
+
+class TestGenVerify:
+    def test_gen_field(self, tmp_path, capsys):
+        out = tmp_path / "f.npy"
+        assert main(["gen", "ATM", "CLDHGH", "-o", str(out)]) == 0
+        data = np.load(out)
+        assert data.ndim == 2 and data.dtype == np.float32
+
+    def test_gen_unknown_field_fails(self, tmp_path):
+        assert main(["gen", "ATM", "NOPE", "-o", str(tmp_path / "x.npy")]) == 2
+
+    def test_verify_ok(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        main(["compress", str(demo_npy), "-o", str(out), "--psnr", "70"])
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_with_original(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        main(["compress", str(demo_npy), "-o", str(out), "--psnr", "70"])
+        capsys.readouterr()
+        assert main(["verify", str(out), "--original", str(demo_npy)]) == 0
+        assert "PSNR" in capsys.readouterr().out
+
+    def test_verify_corrupted_fails(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        main(["compress", str(demo_npy), "-o", str(out), "--psnr", "70"])
+        blob = bytearray(out.read_bytes())
+        blob[30] ^= 0xFF
+        out.write_bytes(bytes(blob))
+        assert main(["verify", str(out)]) == 2
+
+    def test_entropy_flag(self, demo_npy, tmp_path):
+        out = tmp_path / "f.fpz"
+        rec = tmp_path / "r.npy"
+        assert (
+            main(
+                [
+                    "compress", str(demo_npy), "-o", str(out),
+                    "--rel", "1e-4", "--entropy", "rans",
+                ]
+            )
+            == 0
+        )
+        assert main(["decompress", str(out), "-o", str(rec)]) == 0
+        assert psnr(np.load(demo_npy), np.load(rec)) > 70.0
+
+
+class TestSweep:
+    def test_sweep_text(self, capsys):
+        code = main(
+            ["sweep", "NYX", "--targets", "60", "--fields", "temperature"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "temperature" in out
+        assert "AVG" in out
+
+    def test_sweep_json(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "NYX",
+                "--targets",
+                "80",
+                "--fields",
+                "velocity_x",
+                "--json",
+            ]
+        )
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["field"] == "velocity_x"
+        assert abs(records[0]["deviation"]) < 3.0

@@ -1,0 +1,82 @@
+"""Unit tests for snapshot storage budgeting."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import BudgetResult, estimate_bit_rate, psnr_for_budget
+from repro.errors import ParameterError
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import decompress
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    """A small 3-field snapshot."""
+    rng = np.random.default_rng(77)
+    fields = []
+    for i, name in enumerate(("alpha", "beta", "gamma")):
+        x = np.cumsum(np.cumsum(rng.normal(size=(48, 64)), 0), 1) * (i + 1)
+        fields.append((name, x))
+    return fields
+
+
+class TestEstimateBitRate:
+    def test_tracks_actual_rate(self, snapshot):
+        from repro.core.fixed_psnr import compress_fixed_psnr
+
+        name, data = snapshot[0]
+        for target in (50.0, 80.0):
+            est = estimate_bit_rate(data, target)
+            actual = 8.0 * len(compress_fixed_psnr(data, target)) / data.size
+            assert est == pytest.approx(actual, rel=0.35)
+
+    def test_monotone_in_target(self, snapshot):
+        _, data = snapshot[0]
+        rates = [estimate_bit_rate(data, t) for t in (40.0, 70.0, 100.0)]
+        assert rates == sorted(rates)
+
+    def test_constant_field(self):
+        assert estimate_bit_rate(np.full((20, 20), 3.0), 60.0) > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            estimate_bit_rate(np.zeros(0), 60.0)
+
+
+class TestPsnrForBudget:
+    def test_fits_budget_and_is_tight(self, snapshot):
+        n_bytes = sum(d.nbytes for _, d in snapshot)
+        budget = n_bytes // 8  # ask for 8x compression
+        result = psnr_for_budget(snapshot, budget)
+        assert isinstance(result, BudgetResult)
+        assert result.total_bytes <= budget
+        # tight: within 25% of the budget (bisection granularity)
+        assert result.total_bytes > 0.5 * budget
+        assert set(result.field_bytes) == {"alpha", "beta", "gamma"}
+
+    def test_blobs_decompress_at_chosen_quality(self, snapshot):
+        budget = sum(d.nbytes for _, d in snapshot) // 6
+        result = psnr_for_budget(snapshot, budget)
+        for name, data in snapshot:
+            recon = decompress(result.blobs[name])
+            assert psnr(data, recon) == pytest.approx(
+                result.target_psnr, abs=3.0
+            )
+
+    def test_bigger_budget_higher_quality(self, snapshot):
+        n_bytes = sum(d.nbytes for _, d in snapshot)
+        small = psnr_for_budget(snapshot, n_bytes // 12)
+        large = psnr_for_budget(snapshot, n_bytes // 4)
+        assert large.target_psnr > small.target_psnr
+
+    def test_infeasible_budget_raises(self, snapshot):
+        with pytest.raises(ParameterError):
+            psnr_for_budget(snapshot, 100)  # 100 bytes for 3 fields
+
+    def test_validation(self, snapshot):
+        with pytest.raises(ParameterError):
+            psnr_for_budget([], 1000)
+        with pytest.raises(ParameterError):
+            psnr_for_budget(snapshot, 0)
+        with pytest.raises(ParameterError):
+            psnr_for_budget(snapshot, 1000, lo=90.0, hi=50.0)

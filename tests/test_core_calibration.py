@@ -1,0 +1,115 @@
+"""Unit tests for the histogram-refined bound (repro.core.calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    empirical_quantization_mse,
+    lattice_phase_mse,
+    refined_absolute_bound,
+    refined_relative_bound,
+)
+from repro.core.fixed_psnr import psnr_to_relative_bound
+from repro.errors import ParameterError
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import compress, decompress
+
+
+class TestEmpiricalMSE:
+    def test_uniform_input_matches_delta_law(self, rng):
+        delta = 0.2
+        x = rng.uniform(-10, 10, size=100000)
+        assert empirical_quantization_mse(x, delta) == pytest.approx(
+            delta**2 / 12.0, rel=0.05
+        )
+
+    def test_on_lattice_input_is_zero(self):
+        x = np.arange(100) * 0.5
+        assert empirical_quantization_mse(x, 0.5) == 0.0
+
+    def test_bad_delta_raises(self):
+        with pytest.raises(ParameterError):
+            empirical_quantization_mse(np.ones(3), 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            empirical_quantization_mse(np.zeros(0), 1.0)
+
+
+class TestLatticePhaseMSE:
+    def test_matches_actual_compressor_error(self, smooth2d):
+        """The phase MSE must equal the real SZ reconstruction MSE --
+        this is the exactness claim of the module docstring."""
+        eb = 0.5
+        recon = decompress(compress(smooth2d, eb, mode="abs"))
+        actual_mse = float(np.mean((smooth2d - recon) ** 2))
+        predicted = lattice_phase_mse(
+            smooth2d, anchor=float(smooth2d[0, 0]), delta=2 * eb
+        )
+        assert predicted == pytest.approx(actual_mse, rel=1e-9)
+
+    def test_anchor_on_lattice(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        assert lattice_phase_mse(x, anchor=0.0, delta=1.0) == 0.0
+
+
+class TestRefinedBound:
+    def test_matches_closed_form_at_high_target(self, smooth2d):
+        """With narrow bins the phase is uniform, so the refined bound
+        converges to Eq. 8."""
+        t = 100.0
+        vr = float(smooth2d.max() - smooth2d.min())
+        refined = refined_absolute_bound(smooth2d, t)
+        closed = psnr_to_relative_bound(t) * vr
+        assert refined == pytest.approx(closed, rel=0.3)
+
+    def test_improves_low_target_accuracy(self, intermittent2d):
+        """At a low target on a mass-concentrated field, compressing
+        with the refined bound lands closer to the target."""
+        t = 22.0
+        vr = float(intermittent2d.max() - intermittent2d.min())
+        closed = psnr_to_relative_bound(t) * vr
+        refined = refined_absolute_bound(intermittent2d, t)
+        p_closed = psnr(
+            intermittent2d, decompress(compress(intermittent2d, closed, mode="abs"))
+        )
+        p_refined = psnr(
+            intermittent2d, decompress(compress(intermittent2d, refined, mode="abs"))
+        )
+        assert abs(p_refined - t) <= abs(p_closed - t) + 0.1
+
+    def test_refined_bound_never_tiny(self, smooth2d):
+        """The refined bound is bounded below by a fraction of the
+        closed form (guards the bisection bracket)."""
+        t = 60.0
+        vr = float(smooth2d.max() - smooth2d.min())
+        closed = psnr_to_relative_bound(t) * vr
+        refined = refined_absolute_bound(smooth2d, t)
+        assert refined >= closed / 16.0
+
+    def test_saturation_falls_back(self):
+        """A target PSNR lower than any achievable MSE falls back to the
+        closed form instead of diverging."""
+        x = np.linspace(0, 1, 1000)
+        t = 1.0  # absurdly low target
+        vr = 1.0
+        refined = refined_absolute_bound(x, t)
+        assert refined == pytest.approx(psnr_to_relative_bound(t) * vr)
+
+    def test_relative_version(self, smooth2d):
+        vr = float(smooth2d.max() - smooth2d.min())
+        assert refined_relative_bound(smooth2d, 60.0) == pytest.approx(
+            refined_absolute_bound(smooth2d, 60.0) / vr
+        )
+
+    def test_constant_field_raises(self):
+        with pytest.raises(ParameterError):
+            refined_absolute_bound(np.full(10, 2.0), 60.0)
+        with pytest.raises(ParameterError):
+            refined_relative_bound(np.full(10, 2.0), 60.0)
+
+    def test_subsampling_stable(self, smooth3d):
+        """Small subsample gives nearly the same bound as the full field."""
+        full = refined_absolute_bound(smooth3d, 50.0, sample_limit=10**9)
+        sub = refined_absolute_bound(smooth3d, 50.0, sample_limit=1500)
+        assert sub == pytest.approx(full, rel=0.5)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the fixed-PSNR mode (Eq. 8, Section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixed_psnr import (
+    FixedPSNRCompressor,
+    compress_fixed_psnr,
+    estimate_psnr_from_bound,
+    psnr_to_absolute_bound,
+    psnr_to_relative_bound,
+)
+from repro.errors import ParameterError
+from repro.io.container import Container
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import decompress
+
+
+class TestEq8:
+    def test_known_value(self):
+        # PSNR = 20*log10(sqrt(3)) ~ 4.77 dB -> eb_rel = 1
+        assert psnr_to_relative_bound(10 * np.log10(3.0)) == pytest.approx(1.0)
+
+    def test_sqrt3_at_zero_crossing(self):
+        assert psnr_to_relative_bound(60.0) == pytest.approx(np.sqrt(3) * 1e-3)
+
+    def test_absolute_scales_with_range(self):
+        assert psnr_to_absolute_bound(60.0, 100.0) == pytest.approx(
+            100.0 * psnr_to_relative_bound(60.0)
+        )
+
+    def test_inverse(self):
+        for t in (20.0, 55.5, 120.0):
+            eb = psnr_to_relative_bound(t)
+            assert estimate_psnr_from_bound(eb_rel=eb) == pytest.approx(t)
+
+    def test_inverse_via_abs(self):
+        eb_abs = psnr_to_absolute_bound(80.0, 42.0)
+        assert estimate_psnr_from_bound(
+            eb_abs=eb_abs, value_range=42.0
+        ) == pytest.approx(80.0)
+
+    def test_monotone_decreasing(self):
+        bounds = [psnr_to_relative_bound(t) for t in (20, 40, 60, 80)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, 400.0, float("nan"), float("inf")])
+    def test_bad_target_raises(self, bad):
+        with pytest.raises(ParameterError):
+            psnr_to_relative_bound(bad)
+
+    def test_estimate_needs_one_bound(self):
+        with pytest.raises(ParameterError):
+            estimate_psnr_from_bound()
+        with pytest.raises(ParameterError):
+            estimate_psnr_from_bound(eb_rel=1e-3, eb_abs=1e-3)
+        with pytest.raises(ParameterError):
+            estimate_psnr_from_bound(eb_abs=1e-3)  # missing value_range
+
+
+class TestFixedPSNRCompressor:
+    @pytest.mark.parametrize("target", [40.0, 60.0, 80.0, 100.0])
+    def test_hits_target_on_smooth_field(self, smooth2d, target):
+        recon = decompress(compress_fixed_psnr(smooth2d, target))
+        assert psnr(smooth2d, recon) == pytest.approx(target, abs=2.0)
+
+    def test_accuracy_improves_with_target(self, smooth2d):
+        """The paper's headline shape: deviation shrinks as the target
+        PSNR grows (Table II)."""
+        devs = []
+        for target in (30.0, 60.0, 90.0):
+            recon = decompress(compress_fixed_psnr(smooth2d, target))
+            devs.append(abs(psnr(smooth2d, recon) - target))
+        assert devs[2] <= devs[0] + 0.5
+
+    def test_container_records_target(self, smooth2d):
+        blob = compress_fixed_psnr(smooth2d, 70.0)
+        assert Container.from_bytes(blob).meta["target_psnr"] == 70.0
+
+    def test_transform_codec(self, smooth2d):
+        blob = compress_fixed_psnr(smooth2d, 60.0, codec="transform")
+        recon = FixedPSNRCompressor.decompress(blob)
+        assert psnr(smooth2d, recon) == pytest.approx(60.0, abs=2.0)
+
+    def test_refined_mode_tighter_at_low_target(self, intermittent2d):
+        """Histogram refinement must not be worse than the closed form
+        on a mass-concentrated field at a low target."""
+        target = 25.0
+        plain = decompress(compress_fixed_psnr(intermittent2d, target))
+        refined = decompress(
+            compress_fixed_psnr(intermittent2d, target, refine="histogram")
+        )
+        dev_plain = abs(psnr(intermittent2d, plain) - target)
+        dev_refined = abs(psnr(intermittent2d, refined) - target)
+        assert dev_refined <= dev_plain + 0.25
+
+    def test_margin_shifts_actual_up(self, smooth2d):
+        lo = decompress(compress_fixed_psnr(smooth2d, 60.0))
+        hi = decompress(compress_fixed_psnr(smooth2d, 60.0, margin_db=3.0))
+        assert psnr(smooth2d, hi) > psnr(smooth2d, lo) + 1.0
+
+    def test_expected_absolute_bound(self, smooth2d):
+        comp = FixedPSNRCompressor(60.0)
+        vr = float(smooth2d.max() - smooth2d.min())
+        assert comp.expected_absolute_bound(smooth2d) == pytest.approx(
+            psnr_to_absolute_bound(60.0, vr)
+        )
+
+    def test_rejects_manual_bounds(self):
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, error_bound=1e-3)
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, mode="abs")
+
+    def test_bad_refine_raises(self):
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, refine="magic")
+
+    def test_bad_codec_raises(self):
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, codec="jpeg")
+
+    def test_refine_requires_sz(self):
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, refine="histogram", codec="transform")
+
+    def test_bad_margin_raises(self):
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, margin_db=-1.0)
+        with pytest.raises(ParameterError):
+            FixedPSNRCompressor(60.0, margin_db=50.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(30.0, 110.0), st.integers(0, 2**31 - 1))
+def test_fixed_psnr_tracks_target_property(target, seed):
+    """On smooth random fields the actual PSNR lands within 3 dB of any
+    target in the calibrated range."""
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(np.cumsum(rng.normal(size=(40, 50)), axis=0), axis=1)
+    if x.max() == x.min():
+        return
+    recon = decompress(compress_fixed_psnr(x, target))
+    assert abs(psnr(x, recon) - target) < 3.0

@@ -1,0 +1,37 @@
+"""Unit tests for fixed-NRMSE and fixed-MSE modes."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import compress_fixed_mse, compress_fixed_nrmse
+from repro.errors import ParameterError
+from repro.metrics.distortion import mse, nrmse
+from repro.sz.compressor import decompress
+
+
+class TestFixedNRMSE:
+    @pytest.mark.parametrize("target", [1e-2, 1e-3, 1e-4])
+    def test_hits_target(self, smooth2d, target):
+        recon = decompress(compress_fixed_nrmse(smooth2d, target))
+        assert nrmse(smooth2d, recon) == pytest.approx(target, rel=0.3)
+
+    def test_bad_target_raises(self, smooth2d):
+        with pytest.raises(ParameterError):
+            compress_fixed_nrmse(smooth2d, 0.0)
+        with pytest.raises(ParameterError):
+            compress_fixed_nrmse(smooth2d, float("nan"))
+
+
+class TestFixedMSE:
+    @pytest.mark.parametrize("target", [1e-2, 1e-4])
+    def test_hits_target(self, smooth2d, target):
+        recon = decompress(compress_fixed_mse(smooth2d, target))
+        assert mse(smooth2d, recon) == pytest.approx(target, rel=0.6)
+
+    def test_bad_target_raises(self, smooth2d):
+        with pytest.raises(ParameterError):
+            compress_fixed_mse(smooth2d, -1.0)
+
+    def test_constant_field_raises(self):
+        with pytest.raises(ParameterError):
+            compress_fixed_mse(np.full((4, 4), 1.0), 1e-3)

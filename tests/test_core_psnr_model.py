@@ -1,0 +1,142 @@
+"""Unit and property tests for repro.core.psnr_model (Eqs. 2-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.psnr_model import (
+    QuantizationModel,
+    mse_to_psnr,
+    nrmse_to_psnr,
+    psnr_to_mse,
+    psnr_to_nrmse,
+    sz_psnr_estimate,
+    uniform_quantization_mse,
+    uniform_quantization_psnr,
+)
+from repro.errors import ParameterError
+
+
+class TestConversions:
+    def test_psnr_nrmse_inverse(self):
+        for p in (20.0, 63.7, 120.0):
+            assert nrmse_to_psnr(psnr_to_nrmse(p)) == pytest.approx(p)
+
+    def test_known_nrmse(self):
+        assert psnr_to_nrmse(40.0) == pytest.approx(0.01)
+
+    def test_mse_roundtrip(self):
+        assert mse_to_psnr(psnr_to_mse(80.0, 7.5), 7.5) == pytest.approx(80.0)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ParameterError):
+            nrmse_to_psnr(0.0)
+        with pytest.raises(ParameterError):
+            psnr_to_mse(40.0, 0.0)
+        with pytest.raises(ParameterError):
+            mse_to_psnr(0.0, 1.0)
+
+
+class TestUniformClosedForms:
+    def test_mse_formula(self):
+        assert uniform_quantization_mse(2.0) == pytest.approx(4.0 / 12.0)
+
+    def test_eq6_matches_eq7(self):
+        """Eq. 7 is Eq. 6 with delta = 2*eb."""
+        vr, eb = 10.0, 1e-3
+        assert uniform_quantization_psnr(vr, 2 * eb) == pytest.approx(
+            sz_psnr_estimate(vr, eb_abs=eb)
+        )
+
+    def test_eq7_log3_term(self):
+        # vr/eb = 1 -> PSNR = 10*log10(3)
+        assert sz_psnr_estimate(1.0, eb_abs=1.0) == pytest.approx(
+            10.0 * np.log10(3.0)
+        )
+
+    def test_eq7_rel_form(self):
+        assert sz_psnr_estimate(123.0, eb_rel=1e-3) == pytest.approx(
+            sz_psnr_estimate(123.0, eb_abs=1e-3 * 123.0)
+        )
+
+    def test_requires_exactly_one_bound(self):
+        with pytest.raises(ParameterError):
+            sz_psnr_estimate(1.0)
+        with pytest.raises(ParameterError):
+            sz_psnr_estimate(1.0, eb_abs=1.0, eb_rel=1.0)
+
+    def test_measured_mse_matches_model_on_uniform_input(self, rng):
+        """On uniform quantizer input the delta^2/12 law is exact."""
+        delta = 0.25
+        x = rng.uniform(-50, 50, size=200000)
+        err = x - delta * np.rint(x / delta)
+        assert np.mean(err**2) == pytest.approx(
+            uniform_quantization_mse(delta), rel=0.02
+        )
+
+
+class TestQuantizationModel:
+    def test_uniform_constructor(self):
+        m = QuantizationModel.uniform(0.5, 8)
+        assert m.widths.tolist() == [0.5] * 8
+        assert 0.0 in m.midpoints or np.isclose(m.midpoints, 0.0).any()
+
+    def test_bad_edges_raise(self):
+        with pytest.raises(ParameterError):
+            QuantizationModel([1.0])
+        with pytest.raises(ParameterError):
+            QuantizationModel([0.0, 0.0, 1.0])
+
+    def test_estimate_matches_closed_form_for_uniform_density(self):
+        """With a flat density the general Eq. 3 collapses to delta^2/12."""
+        delta = 0.1
+        m = QuantizationModel.uniform(delta, 64)
+        span = m.edges[-1] - m.edges[0]
+        flat = np.full(64, 1.0 / span)
+        assert m.estimate_mse(flat) == pytest.approx(delta**2 / 12.0, rel=1e-9)
+
+    def test_density_from_samples_normalised(self, rng):
+        m = QuantizationModel.uniform(0.5, 16)
+        samples = rng.normal(0, 0.8, size=100000)
+        p = m.density_from_samples(samples)
+        mass = float(np.sum(p * m.widths))
+        assert 0.9 < mass <= 1.0 + 1e-9
+
+    def test_estimate_psnr_tracks_measured_on_gaussian(self, rng):
+        """Eq. 3/5 with an empirical histogram predicts the measured
+        quantization PSNR of Gaussian data within ~1 dB."""
+        delta = 0.05
+        samples = rng.normal(0, 1.0, size=300000)
+        n_bins = int(np.ceil(8.0 / delta / 2) * 2)
+        m = QuantizationModel.uniform(delta, n_bins)
+        p = m.density_from_samples(samples)
+        vr = 4.0
+        est = m.estimate_psnr(p, vr)
+        err = samples - delta * np.rint(samples / delta)
+        measured = -10.0 * np.log10(np.mean(err**2) / vr**2)
+        assert est == pytest.approx(measured, abs=1.0)
+
+    def test_callable_density(self):
+        m = QuantizationModel.uniform(1.0, 4)
+        mse = m.estimate_mse(lambda x: 0.25)
+        assert mse == pytest.approx(4 * 0.25 / 12.0)
+
+    def test_negative_density_raises(self):
+        m = QuantizationModel.uniform(1.0, 4)
+        with pytest.raises(ParameterError):
+            m.estimate_mse(np.array([0.1, -0.1, 0.1, 0.1]))
+
+    def test_estimate_psnr_inf_for_zero_density(self):
+        m = QuantizationModel.uniform(1.0, 4)
+        assert m.estimate_psnr(np.zeros(4), 1.0) == float("inf")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(1.0, 200.0), st.floats(1e-6, 1e6))
+def test_eq6_shift_property(psnr_db, vr):
+    """Halving delta raises the Eq. 6 PSNR by exactly 20*log10(2)."""
+    delta = vr * 10 ** (-psnr_db / 20.0)
+    a = uniform_quantization_psnr(vr, delta)
+    b = uniform_quantization_psnr(vr, delta / 2)
+    assert b - a == pytest.approx(20.0 * np.log10(2.0), rel=1e-6)

@@ -1,0 +1,167 @@
+"""Unit tests for the data-set registry and the three generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.atm import ATM_FIELDS, generate_atm_field
+from repro.datasets.hurricane import HURRICANE_FIELDS, generate_hurricane_field
+from repro.datasets.nyx import NYX_FIELDS, generate_nyx_field
+from repro.datasets.registry import DATASETS, get_dataset, table1_rows
+from repro.errors import ParameterError
+
+
+class TestTable1Inventory:
+    """The registry must reproduce the paper's Table I rows."""
+
+    def test_dataset_names(self):
+        assert set(DATASETS) == {"NYX", "ATM", "Hurricane"}
+
+    def test_field_counts(self):
+        assert len(ATM_FIELDS) == 79
+        assert len(HURRICANE_FIELDS) == 13
+        assert len(NYX_FIELDS) == 6
+
+    def test_full_dimensions(self):
+        assert get_dataset("NYX").full_shape == (2048, 2048, 2048)
+        assert get_dataset("ATM").full_shape == (1800, 3600)
+        assert get_dataset("Hurricane").full_shape == (100, 500, 500)
+
+    def test_nyx_snapshot_size_matches_paper(self):
+        """206 GB for one NYX snapshot (2048^3 x 4 B x 6 fields)."""
+        assert get_dataset("NYX").nbytes_full() == pytest.approx(206e9, rel=0.01)
+
+    def test_example_fields_exist(self):
+        assert "baryon_density" in NYX_FIELDS and "temperature" in NYX_FIELDS
+        assert "CLDHGH" in ATM_FIELDS and "CLDLOW" in ATM_FIELDS
+        for f in ("QICE", "PRECIP", "U", "V", "W"):
+            assert f in HURRICANE_FIELDS
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows()
+        assert [r["dataset"] for r in rows] == list(DATASETS)
+        for r in rows:
+            assert r["n_fields"] > 0
+            assert "x" in r["full_dimensions"]
+            assert r["paper_data_size"]
+
+
+class TestDatasetObject:
+    def test_default_scaled_shapes(self):
+        assert len(get_dataset("ATM").shape) == 2
+        assert len(get_dataset("NYX").shape) == 3
+        assert len(get_dataset("Hurricane").shape) == 3
+
+    def test_scale_parameter(self):
+        ds = get_dataset("ATM", scale=0.05)
+        assert ds.shape == (90, 180)
+
+    def test_full_scale_shape(self):
+        assert get_dataset("ATM", scale=1.0).shape == (1800, 3600)
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ParameterError):
+            get_dataset("ATM", scale=0.0)
+        with pytest.raises(ParameterError):
+            get_dataset("ATM", scale=1.5)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ParameterError):
+            get_dataset("CESM-OCN")
+
+    def test_fields_iterator(self):
+        ds = get_dataset("NYX")
+        items = list(ds.fields())
+        assert len(items) == 6
+        names = [n for n, _ in items]
+        assert names == ds.field_names
+        for _, arr in items:
+            assert arr.shape == ds.shape
+
+    def test_nbytes(self):
+        ds = get_dataset("NYX")
+        assert ds.nbytes() == 6 * 4 * int(np.prod(ds.shape))
+
+
+@pytest.mark.parametrize(
+    "gen,registry,shape",
+    [
+        (generate_atm_field, ATM_FIELDS, (64, 96)),
+        (generate_hurricane_field, HURRICANE_FIELDS, (10, 24, 24)),
+        (generate_nyx_field, NYX_FIELDS, (16, 16, 16)),
+    ],
+    ids=["ATM", "Hurricane", "NYX"],
+)
+class TestGenerators:
+    def test_every_field_generates(self, gen, registry, shape):
+        for name in registry:
+            arr = gen(name, shape)
+            assert arr.shape == shape
+            assert arr.dtype == np.float32
+            assert np.all(np.isfinite(arr))
+
+    def test_deterministic(self, gen, registry, shape):
+        name = next(iter(registry))
+        assert np.array_equal(gen(name, shape), gen(name, shape))
+
+    def test_fields_differ(self, gen, registry, shape):
+        names = list(registry)[:2]
+        assert not np.array_equal(gen(names[0], shape), gen(names[1], shape))
+
+    def test_unknown_field_raises(self, gen, registry, shape):
+        with pytest.raises(ParameterError):
+            gen("NOT_A_FIELD", shape)
+
+    def test_wrong_rank_raises(self, gen, registry, shape):
+        name = next(iter(registry))
+        with pytest.raises(ParameterError):
+            gen(name, (4,) * (len(shape) + 1))
+
+    def test_nonconstant(self, gen, registry, shape):
+        """A constant field would break PSNR metrics downstream."""
+        for name in registry:
+            arr = gen(name, shape)
+            assert float(arr.max() - arr.min()) > 0
+
+
+class TestFieldCharacter:
+    """Statistical character assertions from DESIGN.md section 2.3."""
+
+    def test_cloud_fraction_bounded_with_plateaus(self):
+        f = generate_atm_field("CLDHGH", (96, 128))
+        assert f.min() >= 0.0 and f.max() <= 1.0
+        # saturated plateaus carry numerical dither, not exact 0/1
+        saturated = np.mean((f < 5e-3) | (f > 1.0 - 5e-3))
+        assert saturated > 0.05
+        assert np.mean((f == 0.0) | (f == 1.0)) < 0.01
+
+    def test_mask_exactly_saturated(self):
+        """Masks keep exact plateaus: the Figure 2 outlier fields."""
+        f = generate_atm_field("LANDFRAC", (96, 128))
+        assert np.mean((f == 0.0) | (f == 1.0)) > 0.15
+
+    def test_precip_intermittent(self):
+        f = generate_atm_field("PRECL", (96, 128))
+        # mostly at the small noise floor, with heavy positive tails
+        assert np.median(f) < 0.02 * f.max()
+        assert f.max() > 0.5
+        assert np.all(f > 0)
+
+    def test_hurricane_hydrometeor_sparse(self):
+        f = generate_hurricane_field("QICE", (10, 48, 48))
+        assert np.mean(f < 0.02 * f.max()) > 0.5  # near-floor mostly
+        assert np.all(f > 0)
+
+    def test_hurricane_wind_signed(self):
+        u = generate_hurricane_field("U", (10, 48, 48))
+        assert u.min() < 0 < u.max()
+
+    def test_nyx_density_heavy_tailed(self):
+        rho = generate_nyx_field("baryon_density", (24, 24, 24))
+        assert rho.min() > 0
+        assert rho.max() / np.median(rho) > 30.0
+
+    def test_nyx_density_temperature_correlated(self):
+        rho = generate_nyx_field("baryon_density", (24, 24, 24))
+        t = generate_nyx_field("temperature", (24, 24, 24))
+        corr = np.corrcoef(np.log(rho).ravel(), np.log(t).ravel())[0, 1]
+        assert corr > 0.5

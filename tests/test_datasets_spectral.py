@@ -1,0 +1,87 @@
+"""Unit tests for the Gaussian-random-field synthesiser."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.spectral import gaussian_random_field, radial_coordinates
+from repro.errors import ParameterError
+
+
+class TestGRF:
+    def test_deterministic(self):
+        a = gaussian_random_field((32, 32), slope=3.0, seed=7)
+        b = gaussian_random_field((32, 32), slope=3.0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = gaussian_random_field((32, 32), seed=1)
+        b = gaussian_random_field((32, 32), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_normalised(self):
+        f = gaussian_random_field((64, 64), slope=2.5, seed=3)
+        assert f.mean() == pytest.approx(0.0, abs=1e-10)
+        assert f.std() == pytest.approx(1.0, rel=1e-10)
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_dimensionality(self, ndim):
+        shape = (24,) * ndim
+        assert gaussian_random_field(shape, seed=1).shape == shape
+
+    def test_slope_controls_smoothness(self):
+        """Higher slope => smoother field => smaller gradients."""
+        rough = gaussian_random_field((128, 128), slope=0.5, seed=4)
+        smooth = gaussian_random_field((128, 128), slope=4.0, seed=4)
+        assert np.abs(np.diff(smooth, axis=0)).mean() < np.abs(
+            np.diff(rough, axis=0)
+        ).mean()
+
+    def test_white_noise_slope_zero(self):
+        """slope=0 leaves the input noise nearly unchanged spectrally:
+        neighbouring samples are essentially uncorrelated."""
+        f = gaussian_random_field((256, 256), slope=0.0, seed=5)
+        corr = np.corrcoef(f[:, :-1].ravel(), f[:, 1:].ravel())[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_anisotropy_changes_structure(self):
+        iso = gaussian_random_field((64, 64), slope=3.0, seed=6)
+        aniso = gaussian_random_field(
+            (64, 64), slope=3.0, seed=6, anisotropy=(8.0, 1.0)
+        )
+        # stretching axis-0 wavenumbers damps axis-0 variation relative
+        # to axis-1 variation
+        def ratio(f):
+            return np.abs(np.diff(f, axis=0)).mean() / np.abs(
+                np.diff(f, axis=1)
+            ).mean()
+
+        assert ratio(aniso) < ratio(iso)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ParameterError):
+            gaussian_random_field((), seed=1)
+        with pytest.raises(ParameterError):
+            gaussian_random_field((0, 4), seed=1)
+
+    def test_bad_anisotropy_raises(self):
+        with pytest.raises(ParameterError):
+            gaussian_random_field((8, 8), anisotropy=(1.0,))
+
+    def test_all_finite(self):
+        f = gaussian_random_field((33, 17), slope=3.7, seed=8)
+        assert np.all(np.isfinite(f))
+
+
+class TestRadial:
+    def test_center_is_zero(self):
+        r = radial_coordinates((11, 11))
+        assert r[5, 5] == pytest.approx(0.0)
+
+    def test_edges_at_one(self):
+        r = radial_coordinates((11, 21))
+        assert r[0, 10] == pytest.approx(1.0)
+        assert r[5, 0] == pytest.approx(1.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ParameterError):
+            radial_coordinates((0,))

@@ -1,0 +1,75 @@
+"""Unit tests for the snapshot-series generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.temporal import advect, snapshot_series
+from repro.errors import ParameterError
+
+
+class TestAdvect:
+    def test_integer_shift_is_roll(self, rng):
+        x = rng.normal(size=(16, 16))
+        shifted = advect(x, (1.0, 0.0))
+        assert np.allclose(shifted, np.roll(x, 1, axis=0), atol=1e-10)
+
+    def test_zero_velocity_identity(self, rng):
+        x = rng.normal(size=(8, 8))
+        assert np.allclose(advect(x, (0.0, 0.0)), x, atol=1e-12)
+
+    def test_diffusion_smooths(self, rng):
+        x = rng.normal(size=(64, 64))
+        smoothed = advect(x, (0.0, 0.0), diffusion=0.5)
+        assert smoothed.std() < x.std()
+
+    def test_mean_preserved(self, rng):
+        x = rng.normal(size=(32, 32)) + 5.0
+        out = advect(x, (0.3, 0.7), diffusion=0.1)
+        assert out.mean() == pytest.approx(x.mean(), rel=1e-10)
+
+    def test_validation(self, rng):
+        x = rng.normal(size=(8, 8))
+        with pytest.raises(ParameterError):
+            advect(x, (1.0,))
+        with pytest.raises(ParameterError):
+            advect(x, (0.0, 0.0), diffusion=-1.0)
+
+
+class TestSnapshotSeries:
+    def test_deterministic(self):
+        a = list(snapshot_series((16, 16), 4, seed=1))
+        b = list(snapshot_series((16, 16), 4, seed=1))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_count_shape_dtype(self):
+        snaps = list(snapshot_series((12, 18), 5, seed=2))
+        assert len(snaps) == 5
+        for s in snaps:
+            assert s.shape == (12, 18)
+            assert s.dtype == np.float32
+            assert np.all(np.isfinite(s))
+
+    def test_consecutive_correlation(self):
+        snaps = list(snapshot_series((48, 48), 6, seed=3))
+        for a, b in zip(snaps, snaps[1:]):
+            c = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+            assert c > 0.8  # strongly correlated in time
+
+    def test_sequence_does_not_freeze(self):
+        snaps = list(snapshot_series((32, 32), 10, seed=4))
+        assert not np.array_equal(snaps[0], snaps[-1])
+        # distant snapshots are less correlated than adjacent ones
+        near = np.corrcoef(snaps[0].ravel(), snaps[1].ravel())[0, 1]
+        far = np.corrcoef(snaps[0].ravel(), snaps[-1].ravel())[0, 1]
+        assert far < near
+
+    def test_3d(self):
+        snaps = list(snapshot_series((8, 10, 12), 3, seed=5))
+        assert snaps[0].shape == (8, 10, 12)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            list(snapshot_series((8, 8), 0))
+        with pytest.raises(ParameterError):
+            list(snapshot_series((8, 8), 3, forcing=1.5))

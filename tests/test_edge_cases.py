@@ -1,0 +1,171 @@
+"""Deeper edge cases across modules, beyond the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompressionError, ParameterError
+from repro.metrics.distortion import max_abs_error
+
+
+class TestHuffmanEdges:
+    def test_sequential_fallback_for_long_codes(self, rng):
+        """A code built with max_length beyond the table width must
+        transparently use the sequential decoder."""
+        from repro.encoding.huffman import MAX_TABLE_BITS, CanonicalHuffman
+
+        # 40 symbols on an exponential frequency ladder -> optimal
+        # lengths far beyond 18 bits if unconstrained.
+        counts = (2 ** np.arange(40)).astype(np.int64)
+        symbols = np.arange(40)
+        code = CanonicalHuffman.from_counts(
+            symbols, counts, max_length=40
+        )
+        assert code.max_length > MAX_TABLE_BITS
+        data = rng.choice(symbols[-5:], size=500)
+        payload, bits = code.encode(data)
+        out = code.decode(payload, data.size, bits)  # sequential path
+        assert np.array_equal(out, data)
+
+    def test_two_symbol_alphabet(self):
+        from repro.encoding.huffman import huffman_encode
+
+        data = np.array([5, -5] * 100)
+        payload, bits, code = huffman_encode(data)
+        assert bits == 200  # 1 bit each
+        assert np.array_equal(code.decode(payload, 200, bits), data)
+
+    def test_decode_zero_symbols(self, rng):
+        from repro.encoding.huffman import huffman_encode
+
+        _, _, code = huffman_encode(rng.integers(0, 4, 100))
+        assert code.decode(b"", 0, 0).size == 0
+
+
+class TestQuantizationModelEdges:
+    def test_uniform_center_offset(self):
+        from repro.core.psnr_model import QuantizationModel
+
+        m = QuantizationModel.uniform(0.5, 9, center=2.0)
+        assert np.isclose(m.midpoints, 2.0).any()
+
+    def test_single_bin(self):
+        from repro.core.psnr_model import QuantizationModel
+
+        m = QuantizationModel.uniform(1.0, 1)
+        assert m.widths.tolist() == [1.0]
+        assert m.estimate_mse(np.array([1.0])) == pytest.approx(1.0 / 12.0)
+
+
+class TestCompressorEdges:
+    def test_4d_data(self, rng):
+        """The lattice/Lorenzo machinery is rank-agnostic."""
+        from repro.sz.compressor import compress, decompress
+
+        x = rng.normal(size=(4, 5, 6, 7))
+        for axis in range(4):
+            x = np.cumsum(x, axis=axis)
+        eb = 1e-3
+        recon = decompress(compress(x, eb))
+        assert max_abs_error(x, recon) <= eb * (1 + 1e-9)
+
+    def test_single_row_and_column(self, rng):
+        from repro.sz.compressor import compress, decompress
+
+        for shape in ((1, 50), (50, 1), (1, 1)):
+            x = np.cumsum(rng.normal(size=shape), axis=-1)
+            recon = decompress(compress(x, 1e-4))
+            assert max_abs_error(x, recon) <= 1e-4 * (1 + 1e-9)
+
+    def test_negative_value_range_data(self, rng):
+        from repro.sz.compressor import compress, decompress
+
+        x = -np.abs(np.cumsum(rng.normal(size=(30, 30)), axis=0)) - 100.0
+        recon = decompress(compress(x, 1e-4, mode="rel"))
+        vr = float(x.max() - x.min())
+        assert max_abs_error(x, recon) <= 1e-4 * vr * (1 + 1e-9)
+
+    def test_huge_values(self, rng):
+        from repro.sz.compressor import compress, decompress
+
+        x = np.cumsum(rng.normal(size=2000)) * 1e30
+        eb = 1e25
+        recon = decompress(compress(x, eb))
+        assert max_abs_error(x, recon) <= eb * (1 + 1e-9)
+
+    def test_tiny_values(self, rng):
+        from repro.sz.compressor import compress, decompress
+
+        x = np.cumsum(rng.normal(size=2000)) * 1e-30
+        eb = 1e-35
+        recon = decompress(compress(x, eb))
+        assert max_abs_error(x, recon) <= eb * (1 + 1e-6)
+
+    def test_bound_smaller_than_ulp_rejected_cleanly(self):
+        """An error bound far below the data's float spacing must fail
+        loudly (lattice overflow), not silently corrupt."""
+        from repro.errors import CompressionError
+        from repro.sz.compressor import compress
+
+        x = np.linspace(0.0, 1e9, 100)
+        with pytest.raises(CompressionError):
+            compress(x, 1e-15)
+
+
+class TestExecutorEdges:
+    def test_default_workers_positive(self):
+        from repro.parallel.executor import default_workers
+
+        assert default_workers() >= 1
+
+    def test_bit_rate_consistency(self):
+        from repro.parallel.executor import run_field_task
+
+        r = run_field_task("NYX", "velocity_y", 70.0)
+        # CR and bit rate describe the same blob: CR * bitrate = 32
+        # (float32 input)
+        assert r.compression_ratio * r.bit_rate == pytest.approx(32.0, rel=1e-6)
+
+
+class TestAllocationEdges:
+    def test_generous_budget_hits_psnr_ceiling(self):
+        """With a budget close to raw size the search pushes toward the
+        bracket's top without failing."""
+        from repro.core.allocation import psnr_for_budget
+
+        rng = np.random.default_rng(3)
+        x = np.cumsum(np.cumsum(rng.normal(size=(32, 32)), 0), 1)
+        result = psnr_for_budget([("f", x)], int(x.nbytes * 0.9))
+        assert result.target_psnr > 100.0
+
+    def test_single_field(self):
+        from repro.core.allocation import psnr_for_budget
+
+        rng = np.random.default_rng(4)
+        x = np.cumsum(np.cumsum(rng.normal(size=(48, 48)), 0), 1)
+        result = psnr_for_budget([("only", x)], x.nbytes // 10)
+        assert set(result.field_bytes) == {"only"}
+        assert result.total_bytes <= x.nbytes // 10
+
+
+class TestTemporalEdges:
+    def test_single_frame_stream(self):
+        from repro.sz.temporal import TemporalCompressor, TemporalDecompressor
+
+        rng = np.random.default_rng(5)
+        x = np.cumsum(rng.normal(size=(20, 20)), axis=0)
+        comp = TemporalCompressor(error_bound=1e-3)
+        blob = comp.push(x)
+        recon = TemporalDecompressor().push(blob)
+        assert max_abs_error(x, recon) <= 1e-3 * (1 + 1e-9)
+
+    def test_very_long_stream_no_drift(self):
+        from repro.sz.temporal import TemporalCompressor, TemporalDecompressor
+
+        rng = np.random.default_rng(6)
+        x = np.cumsum(rng.normal(size=(16, 16)), axis=0)
+        comp = TemporalCompressor(error_bound=1e-3, keyframe_interval=1000)
+        dec = TemporalDecompressor()
+        for step in range(60):
+            x = x + 0.01 * rng.normal(size=x.shape)
+            recon = dec.push(comp.push(x))
+            assert max_abs_error(x, recon) <= 1e-3 * (1 + 1e-9), step

@@ -1,0 +1,103 @@
+"""Unit and property tests for the run-length + rANS stage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.rle import (
+    decode_rle_rans,
+    encode_rle_rans,
+    rle_merge,
+    rle_split,
+)
+from repro.errors import DecompressionError, ParameterError
+
+
+class TestSplitMerge:
+    def test_basic(self):
+        q = np.array([0, 0, 5, 0, -3, 0, 0, 0], dtype=np.int64)
+        dom, lit, gaps, n = rle_split(q)
+        assert dom == 0
+        assert lit.tolist() == [5, -3]
+        assert gaps.tolist() == [2, 1, 3]
+        assert np.array_equal(rle_merge(dom, lit, gaps, n), q)
+
+    def test_all_dominant(self):
+        q = np.full(100, 7, dtype=np.int64)
+        dom, lit, gaps, n = rle_split(q)
+        assert dom == 7 and lit.size == 0 and gaps.tolist() == [100]
+        assert np.array_equal(rle_merge(dom, lit, gaps, n), q)
+
+    def test_no_dominant_runs(self):
+        q = np.arange(50, dtype=np.int64)  # all values distinct
+        dom, lit, gaps, n = rle_split(q)
+        assert np.array_equal(rle_merge(dom, lit, gaps, n), q)
+
+    def test_dominant_is_mode_not_zero(self):
+        q = np.array([9, 9, 9, 1, 9], dtype=np.int64)
+        dom, lit, gaps, n = rle_split(q)
+        assert dom == 9
+        assert np.array_equal(rle_merge(dom, lit, gaps, n), q)
+
+    def test_leading_and_trailing_literals(self):
+        q = np.array([4, 0, 0, 4], dtype=np.int64)
+        dom, lit, gaps, n = rle_split(q)
+        assert np.array_equal(rle_merge(dom, lit, gaps, n), q)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            rle_split(np.zeros(0, dtype=np.int64))
+
+    def test_merge_validation(self):
+        with pytest.raises(DecompressionError):
+            rle_merge(0, np.array([1]), np.array([1]), 5)  # gap count wrong
+        with pytest.raises(DecompressionError):
+            rle_merge(0, np.array([1]), np.array([1, -1]), 5)
+        with pytest.raises(DecompressionError):
+            rle_merge(0, np.array([1]), np.array([1, 1]), 99)
+
+
+class TestEncodedRoundtrip:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda r: (r.random(20000) < 0.05).astype(np.int64)
+            * r.integers(1, 5, 20000),
+            lambda r: r.integers(-3, 4, size=5000),
+            lambda r: np.zeros(1000, dtype=np.int64),
+            lambda r: np.array([1]),
+        ],
+        ids=["sparse", "dense", "all-zero", "single"],
+    )
+    def test_roundtrip(self, maker, rng):
+        q = maker(rng)
+        assert np.array_equal(decode_rle_rans(encode_rle_rans(q)), q)
+
+    def test_sparse_stream_compresses_well(self, rng):
+        """95% zeros: the RLE+rANS rate must be well below 1 bit/sym."""
+        q = (rng.random(100000) < 0.05).astype(np.int64)
+        blob = encode_rle_rans(q)
+        assert 8.0 * len(blob) / q.size < 0.6
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DecompressionError):
+            decode_rle_rans(b"nope")
+
+    def test_truncation_rejected(self, rng):
+        q = rng.integers(-3, 4, size=2000)
+        blob = encode_rle_rans(q)
+        with pytest.raises(DecompressionError):
+            decode_rle_rans(blob[: len(blob) // 2])
+
+    def test_trailing_bytes_rejected(self, rng):
+        q = rng.integers(-3, 4, size=500)
+        with pytest.raises(DecompressionError):
+            decode_rle_rans(encode_rle_rans(q) + b"x")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-10, 10), min_size=1, max_size=2000))
+def test_rle_rans_roundtrip_property(values):
+    q = np.asarray(values, dtype=np.int64)
+    assert np.array_equal(decode_rle_rans(encode_rle_rans(q)), q)

@@ -1,0 +1,118 @@
+"""End-to-end integration over the synthetic data sets.
+
+These are small-scale rehearsals of the paper's evaluation: they run
+the full fixed-PSNR pipeline over real registry fields and assert the
+properties the benchmarks then measure at scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fixed_psnr import compress_fixed_psnr
+from repro.datasets.registry import get_dataset
+from repro.metrics.distortion import max_abs_error, psnr
+from repro.parallel.executor import sweep_dataset
+from repro.sz.compressor import decompress
+
+
+SMALL = {"NYX": (24, 24, 24), "Hurricane": (10, 40, 40), "ATM": (90, 180)}
+
+
+def _small_field(dataset, name):
+    ds = get_dataset(dataset)
+    gen = ds._generator
+    return gen(name, SMALL[dataset])
+
+
+class TestFixedPSNROnDatasets:
+    @pytest.mark.parametrize(
+        "dataset,field",
+        [
+            ("ATM", "TS"),
+            ("ATM", "CLDHGH"),
+            ("Hurricane", "U"),
+            ("NYX", "temperature"),
+        ],
+    )
+    @pytest.mark.parametrize("target", [60.0, 90.0])
+    def test_target_hit_at_medium_high(self, dataset, field, target):
+        x = _small_field(dataset, field)
+        recon = decompress(compress_fixed_psnr(x, target))
+        assert psnr(x, recon) >= target - 2.0
+
+    def test_error_bound_also_holds(self):
+        """Fixed-PSNR mode still enforces the derived absolute bound."""
+        x = _small_field("ATM", "TS")
+        from repro.core.fixed_psnr import psnr_to_absolute_bound
+
+        vr = float(x.max() - x.min())
+        eb = psnr_to_absolute_bound(70.0, vr)
+        recon = decompress(compress_fixed_psnr(x, 70.0))
+        tol = eb * (1 + 1e-6) + float(np.abs(x).max()) * 2**-22  # float32 cast
+        assert max_abs_error(x.astype(np.float64), recon.astype(np.float64)) <= tol
+
+    def test_low_target_deviation_positive_on_intermittent(self):
+        """Mass-concentrated fields overshoot at low targets -- the
+        direction the paper reports in Table II."""
+        x = _small_field("Hurricane", "QICE")
+        recon = decompress(compress_fixed_psnr(x, 25.0))
+        assert psnr(x, recon) >= 25.0
+
+    def test_refined_mode_never_worse_at_low_target(self):
+        """On a hydrometeor field a 25 dB target may be *unachievable*
+        (most values are exact zeros on the lattice, so the snap MSE
+        saturates below the target MSE -- the effect behind the paper's
+        +5 dB Hurricane deviation at 20 dB).  Refined mode must detect
+        that and do no worse than the closed form."""
+        x = _small_field("Hurricane", "QICE")
+        plain = psnr(x, decompress(compress_fixed_psnr(x, 25.0)))
+        refined = psnr(
+            x, decompress(compress_fixed_psnr(x, 25.0, refine="histogram"))
+        )
+        assert refined >= 25.0  # still meets the demand
+        assert abs(refined - 25.0) <= abs(plain - 25.0) + 0.1
+
+    def test_refined_mode_controls_achievable_low_target(self):
+        """Where the target *is* achievable (dense intermittent ATM
+        precip), refinement lands within ~1 dB."""
+        x = _small_field("ATM", "PRECL")
+        recon = decompress(compress_fixed_psnr(x, 25.0, refine="histogram"))
+        assert abs(psnr(x, recon) - 25.0) < 1.5
+
+    def test_compression_ratio_reasonable(self):
+        x = _small_field("ATM", "TS")
+        blob = compress_fixed_psnr(x, 60.0)
+        assert x.nbytes / len(blob) > 3.0
+
+
+class TestSweepIntegration:
+    def test_mini_table2_shape(self):
+        """Per-target AVG tracks the target and STDEV shrinks with it
+        (the shape of the paper's Table II)."""
+        results = sweep_dataset(
+            "NYX",
+            targets=[40.0, 100.0],
+            fields=["temperature", "velocity_x", "velocity_y", "velocity_z"],
+        )
+        by_target = {}
+        for r in results:
+            by_target.setdefault(r.target_psnr, []).append(r.actual_psnr)
+        avg40 = np.mean(by_target[40.0])
+        avg100 = np.mean(by_target[100.0])
+        assert abs(avg100 - 100.0) <= abs(avg40 - 40.0) + 0.5
+        assert np.std(by_target[100.0]) < 2.0
+
+    def test_decompress_matches_any_codec(self):
+        """The generic decompress dispatches SZ, transform and chunked
+        containers produced from dataset fields."""
+        from repro.parallel.chunking import compress_chunked
+        from repro.transform.compressor import TransformCompressor
+
+        x = _small_field("NYX", "velocity_z")
+        sz_blob = compress_fixed_psnr(x, 60.0)
+        tr_blob = compress_fixed_psnr(x, 60.0, codec="transform")
+        ch_blob = compress_chunked(x, 1e-3, mode="rel", n_chunks=3)
+        for blob in (sz_blob, tr_blob, ch_blob):
+            recon = decompress(blob)
+            assert recon.shape == x.shape
+            assert psnr(x, recon) > 30.0

@@ -1,0 +1,115 @@
+"""Integration tests of the paper's three theorems on real pipelines.
+
+* Theorem 1: for prediction-based compression, ``X - X~`` equals the
+  distortion introduced on the prediction errors in the quantization
+  step.
+* Theorem 2: for orthogonal-transform compression, data-domain MSE
+  equals coefficient-domain quantization MSE.
+* Theorem 3: with uniform quantization the PSNR is fixed by the bin
+  size and value range alone, *independent of the predictor*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.psnr_model import uniform_quantization_psnr
+from repro.metrics.distortion import mse, psnr
+from repro.sz.compressor import SZCompressor, compress, decompress
+from repro.sz.predictors import lorenzo_difference, lorenzo_reconstruct
+from repro.sz.quantizer import LatticeQuantizer
+from repro.transform.blocking import split_blocks
+from repro.transform.compressor import TransformCompressor
+from repro.transform.dct import block_dct
+
+
+class TestTheorem1:
+    """X - X~ == Xpe - X~pe (Eq. 1) on the actual codec."""
+
+    def test_pointwise_identity(self, smooth2d):
+        eb = 0.01
+        quant = LatticeQuantizer(eb, anchor=float(smooth2d[0, 0]))
+        k = quant.quantize(smooth2d)
+        recon = quant.dequantize(k)
+
+        # Prediction errors *of the compressor*: predictions are the
+        # Lorenzo combination of reconstructed neighbours (lattice
+        # values of the predicted coordinates).
+        pred_k = k - lorenzo_difference(k)
+        # pred value = anchor + delta * pred_k (see quantizer docs)
+        pred = quant.anchor + quant.delta * pred_k.astype(np.float64)
+        x_pe = smooth2d - pred  # prediction errors before quantization
+        x_pe_recon = recon - pred  # reconstructed prediction errors
+
+        lhs = smooth2d - recon
+        rhs = x_pe - x_pe_recon
+        assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_l2_distortion_equality(self, smooth3d):
+        """Overall MSE equals the MSE of the quantization stage."""
+        eb = 0.05
+        recon = decompress(compress(smooth3d, eb, mode="abs"))
+        quant = LatticeQuantizer(eb, anchor=float(smooth3d.flat[0]))
+        k = quant.quantize(smooth3d)
+        pred_k = k - lorenzo_difference(k)
+        pred = quant.anchor + quant.delta * pred_k.astype(np.float64)
+        pe = smooth3d - pred
+        pe_quantized = quant.delta * np.rint(pe / quant.delta)
+        stage2_mse = float(np.mean((pe - pe_quantized) ** 2))
+        assert mse(smooth3d, recon) == pytest.approx(stage2_mse, rel=1e-9)
+
+
+class TestTheorem2:
+    """Data-domain MSE == coefficient-domain quantization MSE."""
+
+    def test_mse_equality_through_codec(self, smooth2d):
+        eb = 0.02
+        comp = TransformCompressor(error_bound=eb, mode="abs", block_size=8)
+        recon = TransformCompressor.decompress(comp.compress(smooth2d))
+
+        # Recompute the coefficient-domain quantization error directly.
+        center = 0.5 * (float(smooth2d.min()) + float(smooth2d.max()))
+        blocks = split_blocks(smooth2d - center, 8)
+        coeffs = block_dct(blocks, 8)
+        delta = 2 * eb
+        cq = delta * np.rint(coeffs / delta)
+        coeff_mse = float(np.mean((coeffs - cq) ** 2))
+
+        # Padding makes block counts differ from element counts when the
+        # shape is not a multiple of 8; smooth2d is 64x96 so it is exact.
+        assert mse(smooth2d, recon) == pytest.approx(coeff_mse, rel=1e-9)
+
+
+class TestTheorem3:
+    """PSNR depends only on (vr, delta), not the predictor or data."""
+
+    @pytest.mark.parametrize("predictor", ["lorenzo", "lorenzo1d", "none"])
+    def test_predictor_invariance(self, smooth2d, predictor):
+        eb_rel = 1e-4
+        blob = SZCompressor(eb_rel, mode="rel", predictor=predictor).compress(
+            smooth2d
+        )
+        recon = decompress(blob)
+        vr = float(smooth2d.max() - smooth2d.min())
+        expected = uniform_quantization_psnr(vr, 2 * eb_rel * vr)
+        assert psnr(smooth2d, recon) == pytest.approx(expected, abs=1.0)
+
+    def test_different_fields_same_psnr(self, smooth2d, rough2d):
+        """Two fields with totally different prediction-error
+        distributions land at the same PSNR for the same eb_rel."""
+        eb_rel = 1e-4
+        psnrs = []
+        for x in (smooth2d, rough2d):
+            recon = decompress(compress(x, eb_rel, mode="rel"))
+            vr = float(x.max() - x.min())
+            expected = uniform_quantization_psnr(vr, 2 * eb_rel * vr)
+            psnrs.append(psnr(x, recon) - expected)
+        assert abs(psnrs[0]) < 1.0 and abs(psnrs[1]) < 1.0
+
+    def test_transform_same_formula(self, smooth2d):
+        """Theorem 3 covers the orthogonal-transform codec too."""
+        eb_rel = 1e-4
+        comp = TransformCompressor(error_bound=eb_rel, mode="rel")
+        recon = TransformCompressor.decompress(comp.compress(smooth2d))
+        vr = float(smooth2d.max() - smooth2d.min())
+        expected = uniform_quantization_psnr(vr, 2 * eb_rel * vr)
+        assert psnr(smooth2d, recon) == pytest.approx(expected, abs=1.5)

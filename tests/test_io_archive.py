@@ -1,0 +1,85 @@
+"""Unit tests for multi-field archives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ParameterError
+from repro.io.archive import (
+    Archive,
+    read_archive_field,
+    read_archive_index,
+    write_archive,
+)
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import SZCompressor
+
+
+class TestRawArchive:
+    def test_roundtrip(self):
+        blob = write_archive([("a", b"AAA"), ("b", b"BBBB")])
+        assert read_archive_index(blob) == ["a", "b"]
+        assert read_archive_field(blob, "a") == b"AAA"
+        assert read_archive_field(blob, "b") == b"BBBB"
+
+    def test_missing_field_raises(self):
+        blob = write_archive([("a", b"x")])
+        with pytest.raises(FormatError):
+            read_archive_field(blob, "z")
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(ParameterError):
+            write_archive([("a", b"x"), ("a", b"y")])
+
+    def test_empty_archive_raises(self):
+        with pytest.raises(ParameterError):
+            write_archive([])
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ParameterError):
+            write_archive([("", b"x")])
+
+    def test_corruption_detected(self):
+        blob = bytearray(write_archive([("a", b"payload-bytes")]))
+        blob[-3] ^= 0xFF
+        with pytest.raises(FormatError):
+            read_archive_field(bytes(blob), "a")
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(FormatError):
+            read_archive_index(b"NOPE" + b"\x00" * 20)
+
+    def test_truncation_raises(self):
+        blob = write_archive([("a", b"0123456789")])
+        with pytest.raises(FormatError):
+            read_archive_field(blob[:-4], "a")
+
+
+class TestArchiveClass:
+    def test_build_and_load(self, smooth2d, rough2d):
+        comp = SZCompressor(1e-4, mode="rel")
+        arc = Archive.build(
+            [("smooth", smooth2d), ("rough", rough2d)], comp
+        )
+        assert len(arc) == 2
+        assert "smooth" in arc and "nope" not in arc
+        back = arc.load("smooth")
+        assert psnr(smooth2d, back) > 70.0
+
+    def test_serialization_roundtrip(self, smooth2d):
+        comp = SZCompressor(1e-3)
+        arc = Archive.build([("f", smooth2d)], comp)
+        revived = Archive(arc.to_bytes())
+        assert revived.names == ["f"]
+        assert np.array_equal(revived.load("f"), arc.load("f"))
+
+    def test_dataset_snapshot(self):
+        """End to end: a whole (small) NYX snapshot in one archive."""
+        from repro.core.fixed_psnr import FixedPSNRCompressor
+        from repro.datasets.registry import get_dataset
+
+        ds = get_dataset("NYX")
+        small = [(n, ds._generator(n, (16, 16, 16))) for n in ds.field_names]
+        arc = Archive.build(small, FixedPSNRCompressor(70.0))
+        assert arc.names == ds.field_names
+        for name, original in small:
+            assert psnr(original, arc.load(name)) > 65.0

@@ -1,0 +1,95 @@
+"""Unit tests for the campaign store."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.temporal import snapshot_series
+from repro.errors import ParameterError
+from repro.io.campaign import CampaignReader, CampaignWriter
+from repro.metrics.distortion import max_abs_error, psnr
+
+
+@pytest.fixture(scope="module")
+def campaign_blob():
+    """8 steps of a 2-field campaign at 1e-3 abs bound."""
+    u = list(snapshot_series((24, 24), 8, seed=1, velocity=(0.1, 0.1)))
+    v = list(snapshot_series((24, 24), 8, seed=2, velocity=(0.1, 0.1)))
+    writer = CampaignWriter(error_bound=1e-3, mode="abs", keyframe_interval=4)
+    for su, sv in zip(u, v):
+        writer.append({"U": su, "V": sv})
+    return writer.to_bytes(), u, v
+
+
+class TestWriter:
+    def test_counts(self, campaign_blob):
+        blob, u, _ = campaign_blob
+        reader = CampaignReader(blob)
+        assert reader.n_steps == len(u)
+        assert reader.fields == ["U", "V"]
+
+    def test_field_set_must_be_stable(self):
+        writer = CampaignWriter(error_bound=1e-3)
+        writer.append({"A": np.zeros((4, 4)) + 1.0})
+        with pytest.raises(ParameterError):
+            writer.append({"B": np.zeros((4, 4)) + 1.0})
+
+    def test_empty_rejected(self):
+        writer = CampaignWriter(error_bound=1e-3)
+        with pytest.raises(ParameterError):
+            writer.append({})
+        with pytest.raises(ParameterError):
+            writer.to_bytes()
+
+
+class TestReader:
+    def test_series_roundtrip(self, campaign_blob):
+        blob, u, v = campaign_blob
+        reader = CampaignReader(blob)
+        for original, recon in zip(u, reader.load_series("U")):
+            assert max_abs_error(
+                original.astype(np.float64), recon.astype(np.float64)
+            ) <= 1e-3 * (1 + 1e-6) + 1e-7
+
+    def test_random_access_at_keyframe(self, campaign_blob):
+        blob, u, _ = campaign_blob
+        reader = CampaignReader(blob)
+        recon = reader.load(4, "U")  # keyframe (interval 4)
+        assert max_abs_error(
+            u[4].astype(np.float64), recon.astype(np.float64)
+        ) <= 1e-3 * (1 + 1e-6) + 1e-7
+
+    def test_random_access_mid_chain(self, campaign_blob):
+        blob, _, v = campaign_blob
+        reader = CampaignReader(blob)
+        recon = reader.load(6, "V")  # predicted frame, replay from 4
+        assert max_abs_error(
+            v[6].astype(np.float64), recon.astype(np.float64)
+        ) <= 1e-3 * (1 + 1e-6) + 1e-7
+
+    def test_fields_independent(self, campaign_blob):
+        blob, u, v = campaign_blob
+        reader = CampaignReader(blob)
+        assert not np.array_equal(reader.load(3, "U"), reader.load(3, "V"))
+
+    def test_validation(self, campaign_blob):
+        blob, _, _ = campaign_blob
+        reader = CampaignReader(blob)
+        with pytest.raises(ParameterError):
+            reader.load(99, "U")
+        with pytest.raises(ParameterError):
+            reader.load(0, "W")
+        with pytest.raises(ParameterError):
+            list(reader.load_series("W"))
+
+
+class TestFixedPSNRCampaign:
+    def test_psnr_controlled_campaign(self):
+        snaps = list(snapshot_series((32, 32), 6, seed=5, velocity=(0.1, 0.1)))
+        writer = CampaignWriter(target_psnr=65.0, keyframe_interval=3)
+        for s in snaps:
+            writer.append({"T": s})
+        reader = CampaignReader(writer.to_bytes())
+        actuals = [
+            psnr(s, r) for s, r in zip(snaps, reader.load_series("T"))
+        ]
+        assert abs(np.mean(actuals) - 65.0) < 2.0

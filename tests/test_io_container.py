@@ -1,0 +1,115 @@
+"""Unit tests for the container format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ParameterError
+from repro.io.container import (
+    CODEC_SZ,
+    CODEC_TRANSFORM,
+    Container,
+    pack_exact_float,
+    unpack_exact_float,
+)
+
+
+class TestExactFloat:
+    @pytest.mark.parametrize(
+        "x",
+        [0.0, -0.0, 1.0, np.pi, 1e-300, -1e300, 2**-1074, 0.1],
+    )
+    def test_roundtrip(self, x):
+        assert unpack_exact_float(pack_exact_float(x)) == x
+
+    def test_bad_string_raises(self):
+        with pytest.raises(FormatError):
+            unpack_exact_float("zz")
+        with pytest.raises(FormatError):
+            unpack_exact_float(None)
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        c = Container(
+            CODEC_SZ,
+            {"shape": [3, 4], "note": "hello"},
+            [("payload", b"\x01\x02"), ("table", b"")],
+        )
+        back = Container.from_bytes(c.to_bytes())
+        assert back.codec == CODEC_SZ
+        assert back.meta == c.meta
+        assert back.stream("payload") == b"\x01\x02"
+        assert back.stream("table") == b""
+        assert back.has_stream("payload")
+        assert not back.has_stream("missing")
+
+    def test_missing_stream_raises(self):
+        c = Container(CODEC_SZ, {}, [])
+        with pytest.raises(FormatError):
+            c.stream("nope")
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(ParameterError):
+            Container(42, {}, [])
+
+    def test_bad_magic_raises(self):
+        blob = Container(CODEC_SZ, {}, []).to_bytes()
+        with pytest.raises(FormatError):
+            Container.from_bytes(b"XXXX" + blob[4:])
+
+    def test_truncation_raises(self):
+        blob = Container(CODEC_SZ, {"k": 1}, [("s", b"abcdef")]).to_bytes()
+        for cut in (3, 10, len(blob) - 1):
+            with pytest.raises(FormatError):
+                Container.from_bytes(blob[:cut])
+
+    def test_trailing_garbage_raises(self):
+        blob = Container(CODEC_SZ, {}, []).to_bytes()
+        with pytest.raises(FormatError):
+            Container.from_bytes(blob + b"\x00")
+
+    def test_crc_detects_corruption(self):
+        blob = bytearray(
+            Container(CODEC_TRANSFORM, {}, [("s", b"payload-bytes")]).to_bytes()
+        )
+        blob[-4] ^= 0x01
+        with pytest.raises(FormatError):
+            Container.from_bytes(bytes(blob))
+
+    def test_meta_not_object_raises(self):
+        # Hand-craft a container whose meta block is a JSON list.
+        good = Container(CODEC_SZ, {}, []).to_bytes()
+        bad_meta = b"[1, 2]"
+        import struct
+
+        blob = (
+            good[:8]
+            + struct.pack("<Q", len(bad_meta))
+            + bad_meta
+            + struct.pack("<I", 0)
+        )
+        with pytest.raises(FormatError):
+            Container.from_bytes(blob)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=10),
+        st.one_of(st.integers(-(2**40), 2**40), st.text(max_size=20), st.booleans()),
+        max_size=8,
+    ),
+    st.lists(
+        st.tuples(st.text(min_size=1, max_size=12), st.binary(max_size=200)),
+        max_size=5,
+        unique_by=lambda t: t[0],
+    ),
+)
+def test_container_roundtrip_property(meta, streams):
+    """Any JSON-able meta and any byte streams survive serialization."""
+    c = Container(CODEC_SZ, meta, streams)
+    back = Container.from_bytes(c.to_bytes())
+    assert back.meta == meta
+    assert back.streams == streams

@@ -1,0 +1,128 @@
+"""Unit tests for repro.metrics.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics.analysis import (
+    ErrorProfile,
+    error_autocorrelation,
+    error_field,
+    error_profile,
+    error_uniformity,
+    rate_distortion_curve,
+)
+from repro.sz.compressor import compress, decompress
+
+
+class TestErrorField:
+    def test_difference(self):
+        e = error_field([1.0, 2.0], [0.5, 2.5])
+        assert e.tolist() == [0.5, -0.5]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            error_field(np.zeros(3), np.zeros(4))
+        with pytest.raises(ParameterError):
+            error_field(np.zeros(0), np.zeros(0))
+
+
+class TestAutocorrelation:
+    def test_white_noise_uncorrelated(self, rng):
+        x = rng.normal(size=10000)
+        acf = error_autocorrelation(x, np.zeros_like(x), max_lag=5)
+        assert np.abs(acf).max() < 0.05
+
+    def test_smooth_error_correlated(self):
+        t = np.linspace(0, 4 * np.pi, 5000)
+        err = np.sin(t)
+        acf = error_autocorrelation(err, np.zeros_like(err), max_lag=3)
+        assert acf[0] > 0.9
+
+    def test_real_codec_error_weakly_correlated(self, smooth2d):
+        recon = decompress(compress(smooth2d, 1e-3, mode="rel"))
+        acf = error_autocorrelation(smooth2d, recon, max_lag=4)
+        assert np.abs(acf).max() < 0.3
+
+    def test_zero_error(self, smooth2d):
+        acf = error_autocorrelation(smooth2d, smooth2d, max_lag=3)
+        assert np.allclose(acf, 0.0)
+
+    def test_validation(self, smooth2d):
+        with pytest.raises(ParameterError):
+            error_autocorrelation(smooth2d, smooth2d, max_lag=0)
+        with pytest.raises(ParameterError):
+            error_autocorrelation(np.zeros(4), np.zeros(4), max_lag=10)
+
+
+class TestUniformity:
+    def test_uniform_error_high_pvalue(self):
+        r = np.random.default_rng(123)  # own stream: p-value is seed-sensitive
+        x = r.normal(size=3000)
+        eb = 0.1
+        recon = x + r.uniform(-eb, eb, size=x.shape)
+        assert error_uniformity(x, recon, eb) > 0.01
+
+    def test_concentrated_error_low_pvalue(self):
+        r = np.random.default_rng(124)
+        x = r.normal(size=3000)
+        eb = 0.1
+        recon = x + 1e-4 * r.normal(size=x.shape)  # far from uniform
+        assert error_uniformity(x, recon, eb) < 1e-10
+
+    def test_codec_error_roughly_uniform(self, smooth2d):
+        """The model assumption behind Eq. 6, on the real codec."""
+        eb = 1e-2
+        recon = decompress(compress(smooth2d, eb, mode="abs"))
+        # not a significance test -- just: far more uniform than not
+        assert error_uniformity(smooth2d, recon, eb) > 1e-6
+
+    def test_bad_eb_raises(self, smooth2d):
+        with pytest.raises(ParameterError):
+            error_uniformity(smooth2d, smooth2d, 0.0)
+
+
+class TestErrorProfile:
+    def test_uniform_quantizer_profile(self, smooth2d):
+        recon = decompress(compress(smooth2d, 1e-2, mode="abs"))
+        prof = error_profile(smooth2d, recon)
+        assert isinstance(prof, ErrorProfile)
+        assert abs(prof.mean) < 1e-3
+        # uniform distribution: excess kurtosis -1.2
+        assert prof.excess_kurtosis == pytest.approx(-1.2, abs=0.3)
+        assert abs(prof.skewness) < 0.3
+
+    def test_lossless_profile(self, smooth2d):
+        prof = error_profile(smooth2d, smooth2d)
+        assert prof.std == 0.0
+        assert prof.fraction_exact == 1.0
+
+    def test_as_dict(self, smooth2d):
+        prof = error_profile(smooth2d, smooth2d + 0.1)
+        assert set(prof.as_dict()) == {
+            "mean",
+            "std",
+            "skewness",
+            "excess_kurtosis",
+            "fraction_exact",
+            "autocorrelation_lag1",
+        }
+
+
+class TestRateDistortionCurve:
+    def test_monotone_tradeoff(self, smooth2d):
+        points = rate_distortion_curve(
+            smooth2d,
+            lambda d, b: compress(d, b, mode="rel"),
+            decompress,
+            bounds=[1e-2, 1e-4, 1e-6],
+        )
+        assert len(points) == 3
+        rates = [p["bit_rate"] for p in points]
+        psnrs = [p["psnr"] for p in points]
+        assert rates == sorted(rates)  # tighter bound -> more bits
+        assert psnrs == sorted(psnrs)  # ... and higher quality
+
+    def test_validation(self, smooth2d):
+        with pytest.raises(ParameterError):
+            rate_distortion_curve(smooth2d, None, None, bounds=[])

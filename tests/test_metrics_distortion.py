@@ -1,0 +1,189 @@
+"""Unit tests for repro.metrics.distortion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ParameterError
+from repro.metrics.distortion import (
+    DistortionReport,
+    distortion_report,
+    max_abs_error,
+    max_rel_error,
+    mse,
+    nrmse,
+    psnr,
+    rmse,
+    value_range,
+)
+
+
+class TestValueRange:
+    def test_simple(self):
+        assert value_range([1.0, 3.0, 2.0]) == 2.0
+
+    def test_constant(self):
+        assert value_range(np.full(5, 7.0)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            value_range(np.zeros(0))
+
+    def test_nan_raises(self):
+        with pytest.raises(ParameterError):
+            value_range([1.0, np.nan])
+
+    def test_negative_values(self):
+        assert value_range([-5.0, -1.0]) == 4.0
+
+
+class TestMSE:
+    def test_zero_for_identical(self, smooth2d):
+        assert mse(smooth2d, smooth2d) == 0.0
+
+    def test_known_value(self):
+        assert mse([0.0, 0.0], [1.0, -1.0]) == 1.0
+
+    def test_rmse_is_sqrt(self):
+        x = np.array([0.0, 0.0, 0.0, 0.0])
+        y = np.array([2.0, 2.0, 2.0, 2.0])
+        assert rmse(x, y) == pytest.approx(2.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            mse(np.zeros(0), np.zeros(0))
+
+
+class TestPSNR:
+    def test_lossless_is_inf(self, smooth2d):
+        assert psnr(smooth2d, smooth2d) == float("inf")
+
+    def test_known_value(self):
+        # vr = 2, rmse = 0.02 -> nrmse = 0.01 -> 40 dB
+        x = np.array([0.0, 2.0, 0.0, 2.0])
+        y = x + 0.02
+        assert psnr(x, y) == pytest.approx(40.0)
+
+    def test_monotone_in_noise(self, smooth2d, rng):
+        noise = rng.normal(size=smooth2d.shape)
+        small = psnr(smooth2d, smooth2d + 1e-4 * noise)
+        large = psnr(smooth2d, smooth2d + 1e-2 * noise)
+        assert small > large
+
+    def test_constant_field_nonzero_error_raises(self):
+        with pytest.raises(ParameterError):
+            nrmse(np.full(4, 1.0), np.full(4, 2.0))
+
+    def test_constant_field_zero_error(self):
+        assert nrmse(np.full(4, 1.0), np.full(4, 1.0)) == 0.0
+
+
+class TestPointwise:
+    def test_max_abs(self):
+        assert max_abs_error([0.0, 1.0], [0.5, 1.0]) == 0.5
+
+    def test_max_rel_uses_range(self):
+        # vr = 10, max err = 1 -> 0.1
+        assert max_rel_error([0.0, 10.0], [1.0, 10.0]) == pytest.approx(0.1)
+
+
+class TestReport:
+    def test_consistent_with_functions(self, smooth2d, rng):
+        noisy = smooth2d + 0.01 * rng.normal(size=smooth2d.shape)
+        rep = distortion_report(smooth2d, noisy)
+        assert isinstance(rep, DistortionReport)
+        assert rep.mse == pytest.approx(mse(smooth2d, noisy))
+        assert rep.psnr == pytest.approx(psnr(smooth2d, noisy))
+        assert rep.max_abs_error == pytest.approx(max_abs_error(smooth2d, noisy))
+        assert rep.value_range == pytest.approx(value_range(smooth2d))
+
+    def test_as_dict_keys(self, smooth2d):
+        rep = distortion_report(smooth2d, smooth2d + 0.1)
+        d = rep.as_dict()
+        assert set(d) == {
+            "mse",
+            "rmse",
+            "nrmse",
+            "psnr",
+            "max_abs_error",
+            "max_rel_error",
+            "value_range",
+        }
+
+
+class TestMaskedReport:
+    def test_excludes_fill(self):
+        from repro.metrics.distortion import masked_distortion_report
+
+        x = np.array([1.0, 2.0, 1e35, 3.0])
+        y = np.array([1.1, 2.1, 1e35, 3.1])
+        rep = masked_distortion_report(x, y, fill_value=1e35)
+        assert rep.value_range == pytest.approx(2.0)
+        assert rep.max_abs_error == pytest.approx(0.1)
+
+    def test_nan_fill(self):
+        from repro.metrics.distortion import masked_distortion_report
+
+        x = np.array([1.0, np.nan, 3.0])
+        y = np.array([1.0, np.nan, 3.0])
+        rep = masked_distortion_report(x, y, fill_value=float("nan"))
+        assert rep.psnr == float("inf")
+
+    def test_all_fill_raises(self):
+        from repro.metrics.distortion import masked_distortion_report
+
+        x = np.full(4, 1e35)
+        with pytest.raises(ParameterError):
+            masked_distortion_report(x, x, fill_value=1e35)
+
+    def test_consistent_with_sz_fill_pipeline(self):
+        """End to end: fill-aware compression measured fill-aware."""
+        from repro.metrics.distortion import masked_distortion_report
+        from repro.sz.compressor import SZCompressor, decompress
+
+        r = np.random.default_rng(5)
+        x = np.cumsum(r.normal(size=(30, 30)), axis=0)
+        x[r.random(x.shape) < 0.2] = 1e35
+        recon = decompress(SZCompressor(1e-3, fill_value=1e35).compress(x))
+        rep = masked_distortion_report(x, recon, fill_value=1e35)
+        assert rep.max_abs_error <= 1e-3 * (1 + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=1, max_dims=3, min_side=2, max_side=8),
+        elements=st.floats(-1e6, 1e6),
+    )
+)
+def test_psnr_definition_property(x):
+    """PSNR must equal -20*log10(sqrt(MSE)/vr) whenever defined."""
+    y = x + 1.0  # constant offset: rmse exactly 1
+    vr = float(x.max() - x.min())
+    if vr == 0.0:
+        with pytest.raises(ParameterError):
+            psnr(x, y)
+        return
+    expected = -20.0 * np.log10(1.0 / vr)
+    assert psnr(x, y) == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.integers(2, 50).map(lambda n: (n,)),
+        elements=st.floats(-1e3, 1e3),
+    ),
+    st.floats(1e-6, 10.0),
+)
+def test_mse_scale_property(x, s):
+    """MSE of a uniformly shifted signal equals the square of the shift."""
+    assert mse(x, x + s) == pytest.approx(s * s, rel=1e-9)

@@ -1,0 +1,52 @@
+"""Unit tests for repro.metrics.ratio."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics.ratio import RateReport, bit_rate, compression_ratio, rate_report
+
+
+class TestCompressionRatio:
+    def test_from_arrays_and_bytes(self):
+        arr = np.zeros(100, dtype=np.float64)  # 800 bytes
+        assert compression_ratio(arr, b"x" * 100) == pytest.approx(8.0)
+
+    def test_from_raw_counts(self):
+        assert compression_ratio(1000, 250) == 4.0
+
+    def test_zero_compressed_raises(self):
+        with pytest.raises(ParameterError):
+            compression_ratio(100, 0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ParameterError):
+            compression_ratio(-1, 10)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ParameterError):
+            compression_ratio("nope", 10)
+
+
+class TestBitRate:
+    def test_known(self):
+        assert bit_rate(b"ab", 8) == 2.0  # 16 bits over 8 elements
+
+    def test_nonpositive_elements_raises(self):
+        with pytest.raises(ParameterError):
+            bit_rate(b"ab", 0)
+
+
+class TestRateReport:
+    def test_fields(self):
+        arr = np.zeros((10, 10), dtype=np.float32)  # 400 bytes
+        rep = rate_report(arr, b"z" * 40)
+        assert isinstance(rep, RateReport)
+        assert rep.compression_ratio == pytest.approx(10.0)
+        assert rep.bit_rate == pytest.approx(3.2)
+        assert rep.n_elements == 100
+        assert rep.as_dict()["original_bytes"] == 400
+
+    def test_requires_ndarray(self):
+        with pytest.raises(ParameterError):
+            rate_report(b"abc", b"z")

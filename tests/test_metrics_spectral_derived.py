@@ -1,0 +1,117 @@
+"""Unit tests for spectral and derived-quantity fidelity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics.derived import derived_psnr, divergence, gradient, vorticity_z
+from repro.metrics.spectral import fidelity_cutoff, power_spectrum, spectral_fidelity
+from repro.sz.compressor import compress, decompress
+
+
+class TestPowerSpectrum:
+    def test_white_noise_flat(self, rng):
+        x = rng.normal(size=(256, 256))
+        k, p = power_spectrum(x, n_bins=16)
+        # flat to within a factor ~2 across bins
+        assert p.max() / p.min() < 3.0
+
+    def test_single_mode_peaks(self):
+        n = 128
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * 16 * t / n)  # k = 16/128 = 0.125
+        k, p = power_spectrum(x, n_bins=32)
+        assert abs(k[np.argmax(p)] - 0.125) < 0.02
+
+    def test_smooth_field_red_spectrum(self, smooth2d):
+        k, p = power_spectrum(smooth2d, n_bins=12)
+        assert p[0] > 100 * p[-1]  # energy at large scales
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            power_spectrum(np.zeros(0))
+        with pytest.raises(ParameterError):
+            power_spectrum(np.array([1.0, np.nan]))
+
+
+class TestSpectralFidelity:
+    def test_lossless_is_one(self, smooth2d):
+        _, fid = spectral_fidelity(smooth2d, smooth2d.copy())
+        assert np.all(fid == 1.0)
+
+    def test_white_noise_error_kills_small_scales_first(self, smooth2d, rng):
+        noisy = smooth2d + 0.5 * rng.normal(size=smooth2d.shape)
+        k, fid = spectral_fidelity(smooth2d, noisy, n_bins=12)
+        # fidelity decreases toward high wavenumbers for red signals
+        assert fid[0] > 0.99
+        assert fid[-1] < fid[0]
+
+    def test_cutoff_moves_with_noise_level(self, smooth2d, rng):
+        noise = rng.normal(size=smooth2d.shape)
+        c_small = fidelity_cutoff(smooth2d, smooth2d + 0.01 * noise)
+        c_large = fidelity_cutoff(smooth2d, smooth2d + 1.0 * noise)
+        assert c_large <= c_small
+
+    def test_cutoff_moves_with_target_psnr(self, smooth2d):
+        """The science knob: higher PSNR target preserves finer scales."""
+        from repro.core.fixed_psnr import compress_fixed_psnr
+
+        cuts = []
+        for target in (30.0, 60.0, 90.0):
+            recon = decompress(compress_fixed_psnr(smooth2d, target))
+            cuts.append(fidelity_cutoff(smooth2d, recon))
+        assert cuts[0] <= cuts[1] <= cuts[2]
+        assert cuts[2] == 1.0  # 90 dB preserves everything here
+
+    def test_threshold_validation(self, smooth2d):
+        with pytest.raises(ParameterError):
+            fidelity_cutoff(smooth2d, smooth2d, threshold=0.0)
+
+
+class TestDerived:
+    def test_gradient_of_linear_field(self):
+        i, j = np.mgrid[0:16, 0:16].astype(float)
+        g = gradient(3.0 * i + 2.0 * j)
+        assert np.allclose(g[0], 3.0)
+        assert np.allclose(g[1], 2.0)
+
+    def test_divergence_of_linear_flow(self):
+        i, j = np.mgrid[0:16, 0:16].astype(float)
+        div = divergence([2.0 * i, 3.0 * j])
+        assert np.allclose(div, 5.0)
+
+    def test_vorticity_of_solid_rotation(self):
+        y, x = np.mgrid[-8:8, -8:8].astype(float)
+        u, v = -y, x  # solid-body rotation: vorticity 2
+        interior = (slice(2, -2), slice(2, -2))
+        assert np.allclose(vorticity_z(u, v)[interior], 2.0)
+
+    def test_derived_psnr_lower_than_value_psnr(self, smooth2d):
+        """Differentiation amplifies quantization noise."""
+        from repro.metrics.distortion import psnr
+
+        recon = decompress(compress(smooth2d, 1e-3, mode="rel"))
+        value_p = psnr(smooth2d, recon)
+        grad_p = derived_psnr(smooth2d, recon, "gradient")
+        assert grad_p < value_p
+
+    def test_gradient_psnr_improves_with_bound(self, smooth2d):
+        ps = []
+        for eb_rel in (1e-3, 1e-5):
+            recon = decompress(compress(smooth2d, eb_rel, mode="rel"))
+            ps.append(derived_psnr(smooth2d, recon))
+        assert ps[1] > ps[0] + 20
+
+    def test_laplacian_mode(self, smooth2d):
+        recon = decompress(compress(smooth2d, 1e-5, mode="rel"))
+        assert derived_psnr(smooth2d, recon, "laplacian") > 20.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            gradient(np.zeros(0))
+        with pytest.raises(ParameterError):
+            divergence([])
+        with pytest.raises(ParameterError):
+            vorticity_z(np.zeros((4, 4)), np.zeros((5, 5)))
+        with pytest.raises(ParameterError):
+            derived_psnr(np.zeros((4, 4)), np.zeros((4, 4)), "curl")

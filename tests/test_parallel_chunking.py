@@ -1,0 +1,72 @@
+"""Unit tests for slab-parallel chunked compression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ParameterError
+from repro.metrics.distortion import max_abs_error, psnr
+from repro.parallel.chunking import compress_chunked, decompress_chunked
+from repro.sz.compressor import decompress as dispatch_decompress
+
+
+class TestChunked:
+    def test_roundtrip_bound(self, smooth3d):
+        eb = 1e-3
+        blob = compress_chunked(smooth3d, eb, mode="abs", n_chunks=4)
+        recon = decompress_chunked(blob)
+        assert recon.shape == smooth3d.shape
+        assert max_abs_error(smooth3d, recon) <= eb * (1 + 1e-9)
+
+    def test_dispatch_decompress(self, smooth2d):
+        blob = compress_chunked(smooth2d, 1e-3, n_chunks=3)
+        recon = dispatch_decompress(blob)
+        assert max_abs_error(smooth2d, recon) <= 1e-3 * (1 + 1e-9)
+
+    def test_rel_mode_uses_global_range(self, smooth2d):
+        """The relative bound must resolve against the global range, so
+        chunked output obeys the same absolute bound as unchunked."""
+        eb_rel = 1e-4
+        vr = float(smooth2d.max() - smooth2d.min())
+        blob = compress_chunked(smooth2d, eb_rel, mode="rel", n_chunks=5)
+        recon = decompress_chunked(blob)
+        assert max_abs_error(smooth2d, recon) <= eb_rel * vr * (1 + 1e-9)
+
+    def test_chunks_capped_by_rows(self):
+        x = np.cumsum(np.random.default_rng(0).normal(size=(3, 40)), axis=1)
+        blob = compress_chunked(x, 1e-3, n_chunks=10)
+        recon = decompress_chunked(blob)
+        assert recon.shape == x.shape
+
+    def test_single_chunk(self, smooth2d):
+        blob = compress_chunked(smooth2d, 1e-3, n_chunks=1)
+        assert max_abs_error(smooth2d, decompress_chunked(blob)) <= 1e-3 * (1 + 1e-9)
+
+    def test_parallel_workers_match_sequential(self, smooth3d):
+        seq = compress_chunked(smooth3d, 1e-3, n_chunks=4, n_workers=0)
+        par = compress_chunked(smooth3d, 1e-3, n_chunks=4, n_workers=2)
+        assert seq == par
+        a = decompress_chunked(seq)
+        b = decompress_chunked(par, n_workers=2)
+        assert np.array_equal(a, b)
+
+    def test_quality_close_to_unchunked(self, smooth2d):
+        from repro.sz.compressor import compress
+
+        eb = 1e-3
+        whole = dispatch_decompress(compress(smooth2d, eb))
+        chunked = decompress_chunked(compress_chunked(smooth2d, eb, n_chunks=4))
+        assert abs(psnr(smooth2d, whole) - psnr(smooth2d, chunked)) < 1.0
+
+    def test_bad_chunks_raises(self, smooth2d):
+        with pytest.raises(ParameterError):
+            compress_chunked(smooth2d, 1e-3, n_chunks=0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            compress_chunked(np.zeros((0, 3)), 1e-3)
+
+    def test_wrong_codec_raises(self, smooth2d):
+        from repro.sz.compressor import compress
+
+        with pytest.raises(FormatError):
+            decompress_chunked(compress(smooth2d, 1e-3))

@@ -1,0 +1,41 @@
+"""Unit tests for the MPI-flavoured collective helpers."""
+
+import operator
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.comm import allreduce, scatter_gather
+
+
+def _square(x):
+    """Module-level so it pickles for process pools."""
+    return x * x
+
+
+class TestScatterGather:
+    def test_inline(self):
+        assert scatter_gather(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_preserves_order_with_workers(self):
+        items = list(range(20))
+        out = scatter_gather(_square, items, n_workers=3)
+        assert out == [i * i for i in items]
+
+    def test_empty(self):
+        assert scatter_gather(_square, []) == []
+
+
+class TestAllreduce:
+    def test_max(self):
+        assert allreduce([3, 9, 1], max) == 9
+
+    def test_sum(self):
+        assert allreduce([1.5, 2.5], operator.add) == 4.0
+
+    def test_single(self):
+        assert allreduce([7], operator.add) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            allreduce([], max)

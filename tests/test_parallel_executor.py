@@ -1,0 +1,70 @@
+"""Unit tests for the field-sweep executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.executor import FieldResult, run_field_task, sweep_dataset
+
+
+class TestRunFieldTask:
+    def test_single_task(self):
+        r = run_field_task("NYX", "temperature", 60.0)
+        assert isinstance(r, FieldResult)
+        assert r.dataset == "NYX"
+        assert r.field == "temperature"
+        assert abs(r.actual_psnr - 60.0) < 6.0
+        assert r.deviation == pytest.approx(r.actual_psnr - 60.0)
+        assert r.met == (r.actual_psnr >= 60.0)
+        assert r.compression_ratio > 1.0
+        assert r.bit_rate > 0.0
+        assert r.eb_rel == pytest.approx(np.sqrt(3) * 1e-3)
+
+    def test_refined_task(self):
+        r = run_field_task("ATM", "PRECL", 30.0, refine="histogram")
+        assert abs(r.deviation) < 3.0
+
+    def test_transform_codec_task(self):
+        r = run_field_task("ATM", "TS", 60.0, codec="transform")
+        assert abs(r.deviation) < 3.0
+
+    def test_as_dict(self):
+        r = run_field_task("NYX", "velocity_x", 80.0)
+        d = r.as_dict()
+        assert d["field"] == "velocity_x"
+        assert set(d) >= {"actual_psnr", "deviation", "met", "compression_ratio"}
+
+
+class TestSweep:
+    def test_inline_sweep_order(self):
+        results = sweep_dataset(
+            "NYX", targets=[40.0, 80.0], fields=["temperature", "velocity_x"]
+        )
+        keys = [(r.target_psnr, r.field) for r in results]
+        assert keys == [
+            (40.0, "temperature"),
+            (40.0, "velocity_x"),
+            (80.0, "temperature"),
+            (80.0, "velocity_x"),
+        ]
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ParameterError):
+            sweep_dataset("NYX", targets=[60.0], fields=["not_a_field"])
+
+    def test_parallel_matches_inline(self):
+        kwargs = dict(targets=[60.0], fields=["temperature", "baryon_density"])
+        inline = sweep_dataset("NYX", **kwargs)
+        parallel = sweep_dataset("NYX", n_workers=2, **kwargs)
+        assert [r.as_dict() for r in inline] == [r.as_dict() for r in parallel]
+
+    def test_accuracy_shape_over_targets(self):
+        """Higher targets give tighter control (Table II shape)."""
+        results = sweep_dataset(
+            "NYX",
+            targets=[30.0, 100.0],
+            fields=["temperature", "velocity_x", "velocity_y"],
+        )
+        dev_lo = np.mean([abs(r.deviation) for r in results if r.target_psnr == 30.0])
+        dev_hi = np.mean([abs(r.deviation) for r in results if r.target_psnr == 100.0])
+        assert dev_hi <= dev_lo + 0.5

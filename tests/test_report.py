@@ -1,0 +1,123 @@
+"""Unit tests for the reporting subsystem."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.executor import FieldResult
+from repro.report import (
+    TargetSummary,
+    render_csv,
+    render_markdown,
+    render_text,
+    summarize_by_target,
+    table2_text,
+)
+
+
+def _result(dataset="NYX", field="f", target=60.0, actual=60.5, cr=5.0):
+    return FieldResult(
+        dataset=dataset,
+        field=field,
+        target_psnr=target,
+        actual_psnr=actual,
+        deviation=actual - target,
+        met=actual >= target,
+        compression_ratio=cr,
+        bit_rate=32.0 / cr,
+        eb_rel=1e-3,
+    )
+
+
+@pytest.fixture()
+def results():
+    return [
+        _result(field="a", target=60.0, actual=60.4, cr=4.0),
+        _result(field="b", target=60.0, actual=59.8, cr=6.0),
+        _result(field="a", target=80.0, actual=80.1, cr=3.0),
+        _result(field="b", target=80.0, actual=80.3, cr=3.5),
+        _result(dataset="ATM", field="c", target=60.0, actual=61.0, cr=8.0),
+    ]
+
+
+class TestSummarize:
+    def test_grouping_and_order(self, results):
+        rows = summarize_by_target(results)
+        keys = [(r.dataset, r.target_psnr) for r in rows]
+        assert keys == [("ATM", 60.0), ("NYX", 60.0), ("NYX", 80.0)]
+
+    def test_aggregates(self, results):
+        rows = summarize_by_target(results)
+        nyx60 = next(r for r in rows if r.dataset == "NYX" and r.target_psnr == 60)
+        assert nyx60.n_fields == 2
+        assert nyx60.avg_psnr == pytest.approx(60.1)
+        assert nyx60.stdev_psnr == pytest.approx(0.3)
+        assert nyx60.met_fraction == pytest.approx(0.5)
+        assert nyx60.avg_compression_ratio == pytest.approx(5.0)
+        assert nyx60.avg_deviation == pytest.approx(0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            summarize_by_target([])
+
+    def test_as_dict(self, results):
+        d = summarize_by_target(results)[0].as_dict()
+        assert d["dataset"] == "ATM"
+        assert "met_fraction" in d
+
+
+class TestRenderers:
+    def test_text_contains_all_rows(self, results):
+        text = render_text(summarize_by_target(results), title="T")
+        assert text.startswith("T")
+        assert "NYX" in text and "ATM" in text
+        assert "80.0" in text
+
+    def test_markdown_table_shape(self, results):
+        md = render_markdown(summarize_by_target(results), title="Table II")
+        lines = md.splitlines()
+        assert lines[0] == "### Table II"
+        header = lines[2]
+        assert header.startswith("| dataset |")
+        assert all(l.startswith("|") for l in lines[2:])
+
+    def test_csv_parses_back(self, results):
+        text = render_csv(summarize_by_target(results))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[0]["dataset"] == "ATM"
+        assert float(rows[1]["avg_psnr"]) == pytest.approx(60.1)
+
+    def test_table2_text(self, results):
+        assert "Table II" in table2_text(results)
+
+
+class TestCLIReportFlag:
+    def test_markdown_report_written(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        out = tmp_path / "summary.md"
+        code = main(
+            [
+                "sweep", "NYX", "--targets", "60",
+                "--fields", "temperature", "--report", str(out),
+            ]
+        )
+        assert code == 0
+        content = out.read_text()
+        assert content.startswith("| dataset |")
+
+    def test_csv_report_written(self, tmp_path):
+        from repro.cli.main import main
+
+        out = tmp_path / "summary.csv"
+        main(
+            [
+                "sweep", "NYX", "--targets", "60",
+                "--fields", "temperature", "--report", str(out),
+            ]
+        )
+        rows = list(csv.DictReader(io.StringIO(out.read_text())))
+        assert rows[0]["dataset"] == "NYX"

@@ -1,0 +1,89 @@
+"""Robustness: malformed inputs must raise ReproError, never crash.
+
+Fuzz-style property tests over the container parser, the archive
+parser, and the generic decompressor: arbitrary bytes, random
+truncations and single-byte corruptions of valid containers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.io.archive import read_archive_field, read_archive_index, write_archive
+from repro.io.container import Container
+from repro.sz.compressor import compress, decompress
+
+
+@pytest.fixture(scope="module")
+def valid_blob():
+    rng = np.random.default_rng(1)
+    x = np.cumsum(rng.normal(size=(30, 30)), axis=0)
+    return compress(x, 1e-3)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.binary(max_size=400))
+def test_arbitrary_bytes_never_crash(blob):
+    """decompress() on garbage raises ReproError (or returns for the
+    astronomically unlikely valid container), never anything else."""
+    try:
+        decompress(blob)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_truncations_never_crash(valid_blob, data):
+    cut = data.draw(st.integers(0, len(valid_blob) - 1))
+    try:
+        decompress(valid_blob[:cut])
+    except ReproError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_single_byte_corruption_detected_or_bounded(valid_blob, data):
+    """Flipping one byte either raises ReproError (CRC/parse) or -- if
+    it lands in ignored padding -- decodes to *something*; it must not
+    raise non-Repro exceptions."""
+    pos = data.draw(st.integers(0, len(valid_blob) - 1))
+    bit = data.draw(st.integers(0, 7))
+    corrupted = bytearray(valid_blob)
+    corrupted[pos] ^= 1 << bit
+    try:
+        decompress(bytes(corrupted))
+    except ReproError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=300))
+def test_container_parser_never_crashes(blob):
+    try:
+        Container.from_bytes(blob)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=300))
+def test_archive_parser_never_crashes(blob):
+    try:
+        read_archive_index(blob)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_archive_truncation_never_crashes(data):
+    arc = write_archive([("f", b"0123456789abcdef")])
+    cut = data.draw(st.integers(0, len(arc) - 1))
+    try:
+        read_archive_field(arc[:cut], "f")
+    except ReproError:
+        pass

@@ -1,0 +1,217 @@
+"""Unit and property tests for the full SZ pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CompressionError, FormatError, ParameterError
+from repro.io.container import Container
+from repro.metrics.distortion import max_abs_error
+from repro.sz.compressor import DEFAULT_RADIUS, SZCompressor, compress, decompress
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1.0, 1e-2, 1e-5])
+    def test_abs_bound_2d(self, smooth2d, eb):
+        recon = decompress(compress(smooth2d, eb, mode="abs"))
+        assert max_abs_error(smooth2d, recon) <= eb * (1 + 1e-9)
+
+    def test_abs_bound_3d(self, smooth3d):
+        eb = 1e-3
+        recon = decompress(compress(smooth3d, eb, mode="abs"))
+        assert max_abs_error(smooth3d, recon) <= eb * (1 + 1e-9)
+
+    def test_abs_bound_1d(self, field1d):
+        eb = 1e-4
+        recon = decompress(compress(field1d, eb, mode="abs"))
+        assert max_abs_error(field1d, recon) <= eb * (1 + 1e-9)
+
+    def test_rel_bound(self, smooth2d):
+        eb_rel = 1e-4
+        vr = smooth2d.max() - smooth2d.min()
+        recon = decompress(compress(smooth2d, eb_rel, mode="rel"))
+        assert max_abs_error(smooth2d, recon) <= eb_rel * vr * (1 + 1e-9)
+
+    def test_shape_and_dtype_preserved(self, smooth3d):
+        recon = decompress(compress(smooth3d, 1e-3))
+        assert recon.shape == smooth3d.shape
+        assert recon.dtype == smooth3d.dtype
+
+    def test_float32_roundtrip(self, smooth2d):
+        x32 = smooth2d.astype(np.float32)
+        eb = 1e-2
+        recon = decompress(compress(x32, eb))
+        assert recon.dtype == np.float32
+        # float32 cast adds at most ~1 ulp of the magnitudes involved.
+        tol = eb * (1 + 1e-6) + np.abs(x32).max() * 2 ** -23
+        assert max_abs_error(x32.astype(np.float64), recon.astype(np.float64)) <= tol
+
+    def test_constant_field_exact(self):
+        x = np.full((10, 20), 3.75)
+        blob = compress(x, 1e-3)
+        recon = decompress(blob)
+        assert np.array_equal(recon, x)
+        assert len(blob) < 500  # degenerate path: tiny container
+
+    def test_single_element(self):
+        x = np.array([42.0])
+        recon = decompress(compress(x, 1e-6))
+        assert abs(recon[0] - 42.0) <= 1e-6
+
+    def test_deterministic_output(self, smooth2d):
+        assert compress(smooth2d, 1e-3) == compress(smooth2d, 1e-3)
+
+    def test_decompressed_recompresses_identically(self, smooth2d):
+        """Quantized data is a fixed point of the compressor."""
+        eb = 1e-2
+        once = decompress(compress(smooth2d, eb))
+        twice = decompress(compress(once, eb))
+        assert np.array_equal(once, twice)
+
+
+class TestCompressionEffectiveness:
+    def test_smooth_data_compresses_well(self, smooth2d):
+        blob = compress(smooth2d, 1e-3, mode="rel")
+        assert smooth2d.nbytes / len(blob) > 4.0
+
+    def test_ratio_grows_with_bound(self, smooth2d):
+        sizes = [len(compress(smooth2d, eb, mode="rel")) for eb in (1e-6, 1e-4, 1e-2)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    @pytest.mark.parametrize("predictor", ["lorenzo", "lorenzo1d", "none"])
+    def test_predictors_roundtrip(self, smooth2d, predictor):
+        eb = 1e-3
+        blob = SZCompressor(eb, predictor=predictor).compress(smooth2d)
+        recon = decompress(blob)
+        assert max_abs_error(smooth2d, recon) <= eb * (1 + 1e-9)
+
+    def test_lorenzo_beats_no_prediction(self, smooth2d):
+        eb = 1e-4
+        with_pred = len(SZCompressor(eb, predictor="lorenzo").compress(smooth2d))
+        without = len(SZCompressor(eb, predictor="none").compress(smooth2d))
+        assert with_pred < without
+
+    def test_lossless_none_roundtrip(self, smooth2d):
+        blob = SZCompressor(1e-3, lossless="none").compress(smooth2d)
+        recon = decompress(blob)
+        assert max_abs_error(smooth2d, recon) <= 1e-3 * (1 + 1e-9)
+
+
+class TestEscapes:
+    def test_rough_data_with_tiny_radius(self, rough2d):
+        """A tiny quantization radius forces the escape path."""
+        eb = 1e-4
+        comp = SZCompressor(eb, quantization_radius=4)
+        blob = comp.compress(rough2d)
+        meta = Container.from_bytes(blob).meta
+        assert meta["n_escapes"] > 0
+        recon = decompress(blob)
+        assert max_abs_error(rough2d, recon) <= eb * (1 + 1e-9)
+
+    def test_default_radius_rarely_escapes_smooth(self, smooth2d):
+        blob = SZCompressor(1e-4).compress(smooth2d)
+        assert Container.from_bytes(blob).meta["n_escapes"] == 0
+
+    def test_radius_default_matches_sz(self):
+        assert DEFAULT_RADIUS == 32767
+
+
+class TestValidation:
+    def test_nan_raises(self):
+        x = np.array([1.0, np.nan])
+        with pytest.raises(CompressionError):
+            compress(x, 1e-3)
+
+    def test_inf_raises(self):
+        with pytest.raises(CompressionError):
+            compress(np.array([1.0, np.inf]), 1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            compress(np.zeros((0, 5)), 1e-3)
+
+    def test_bad_dtype_raises(self):
+        with pytest.raises(ParameterError):
+            compress(np.zeros(4, dtype=np.int32), 1e-3)
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ParameterError):
+            SZCompressor(1e-3, mode="fixed-rate")
+
+    def test_pw_rel_bound_must_be_fractional(self):
+        with pytest.raises(ParameterError):
+            SZCompressor(1.5, mode="pw_rel")
+
+    def test_bad_bound_raises(self):
+        with pytest.raises(ParameterError):
+            SZCompressor(0.0)
+        with pytest.raises(ParameterError):
+            SZCompressor(-1.0)
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(ParameterError):
+            SZCompressor(1e-3, quantization_radius=0)
+
+    def test_garbage_blob_raises(self):
+        with pytest.raises(FormatError):
+            decompress(b"not a container at all")
+
+    def test_corrupt_stream_raises(self, smooth2d):
+        blob = bytearray(compress(smooth2d, 1e-3))
+        blob[-8] ^= 0xFF  # flip a payload byte -> CRC mismatch
+        with pytest.raises(FormatError):
+            decompress(bytes(blob))
+
+
+class TestMetadata:
+    def test_meta_fields(self, smooth2d):
+        comp = SZCompressor(1e-3, mode="rel")
+        comp.target_psnr = 66.6
+        meta = Container.from_bytes(comp.compress(smooth2d)).meta
+        assert meta["mode"] == "rel"
+        assert meta["shape"] == list(smooth2d.shape)
+        assert meta["dtype"] == "float64"
+        assert meta["target_psnr"] == 66.6
+        assert meta["value_range"] == pytest.approx(
+            float(smooth2d.max() - smooth2d.min())
+        )
+
+    def test_resolve_error_bound(self, smooth2d):
+        vr = float(smooth2d.max() - smooth2d.min())
+        assert SZCompressor(1e-3, mode="abs").resolve_error_bound(smooth2d) == 1e-3
+        assert SZCompressor(1e-3, mode="rel").resolve_error_bound(
+            smooth2d
+        ) == pytest.approx(1e-3 * vr)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+        elements=st.floats(-1e4, 1e4),
+    ),
+    st.floats(1e-5, 1e2),
+)
+def test_error_bound_property(data, eb):
+    """The absolute error bound holds for arbitrary finite data."""
+    recon = decompress(compress(data, eb, mode="abs"))
+    assert max_abs_error(data, recon) <= eb * (1 + 1e-9) + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        st.tuples(st.integers(2, 20), st.integers(2, 20)),
+        elements=st.floats(-1e4, 1e4, width=32),
+    ),
+    st.floats(1e-3, 1e1),
+)
+def test_error_bound_property_float32(data, eb):
+    """Bound holds for float32 inputs up to cast rounding."""
+    recon = decompress(compress(data, eb, mode="abs"))
+    tol = eb * (1 + 1e-6) + float(np.abs(data).max()) * 2**-22
+    assert max_abs_error(data.astype(np.float64), recon.astype(np.float64)) <= tol

@@ -1,0 +1,125 @@
+"""Unit and property tests for the SZ 1.1 legacy codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError, FormatError, ParameterError
+from repro.io.container import Container
+from repro.metrics.distortion import max_abs_error
+from repro.sz.compressor import SZCompressor, decompress
+from repro.sz.legacy import SEGMENT, Sz11Compressor, _predictions
+
+
+class TestPredictions:
+    def test_constant_fit(self):
+        k = np.array([[5, 5, 5, 5, 5]], dtype=np.int64)
+        preds = _predictions(k)
+        # once each fit has its full history, constants are exact
+        assert np.all(preds[0, 0, 1:] == 5)
+        assert np.all(preds[1, 0, 2:] == 5)
+        assert np.all(preds[2, 0, 3:] == 5)
+
+    def test_linear_fit_exact_on_ramps(self):
+        k = np.arange(10, dtype=np.int64).reshape(1, -1) * 3
+        preds = _predictions(k)
+        # linear extrapolation (fit 1) is exact from position 2
+        assert np.array_equal(preds[1, 0, 2:], k[0, 2:])
+
+    def test_quadratic_fit_exact_on_parabolas(self):
+        i = np.arange(12, dtype=np.int64)
+        k = (i * i).reshape(1, -1)
+        preds = _predictions(k)
+        assert np.array_equal(preds[2, 0, 3:], k[0, 3:])
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("eb", [1.0, 1e-2, 1e-4])
+    def test_error_bound_1d(self, field1d, eb):
+        recon = decompress(Sz11Compressor(eb, mode="abs").compress(field1d))
+        assert max_abs_error(field1d, recon) <= eb * (1 + 1e-9)
+
+    def test_error_bound_2d(self, smooth2d):
+        eb = 1e-3
+        recon = decompress(Sz11Compressor(eb, mode="abs").compress(smooth2d))
+        assert max_abs_error(smooth2d, recon) <= eb * (1 + 1e-9)
+
+    def test_rel_mode(self, smooth3d):
+        eb_rel = 1e-4
+        vr = float(smooth3d.max() - smooth3d.min())
+        recon = decompress(Sz11Compressor(eb_rel, mode="rel").compress(smooth3d))
+        assert max_abs_error(smooth3d, recon) <= eb_rel * vr * (1 + 1e-9)
+
+    def test_non_segment_multiple_length(self, rng):
+        x = np.cumsum(rng.normal(size=SEGMENT * 3 + 17))
+        recon = decompress(Sz11Compressor(1e-3).compress(x))
+        assert recon.shape == x.shape
+        assert max_abs_error(x, recon) <= 1e-3 * (1 + 1e-9)
+
+    def test_tiny_input(self):
+        x = np.array([1.0, 2.0])
+        recon = decompress(Sz11Compressor(1e-4).compress(x))
+        assert max_abs_error(x, recon) <= 1e-4 * (1 + 1e-9)
+
+    def test_constant_field(self):
+        x = np.full(100, 3.5)
+        assert np.array_equal(decompress(Sz11Compressor(1e-3).compress(x)), x)
+
+    def test_float32(self, smooth2d):
+        recon = decompress(
+            Sz11Compressor(1e-2).compress(smooth2d.astype(np.float32))
+        )
+        assert recon.dtype == np.float32
+
+    def test_deterministic(self, field1d):
+        comp = Sz11Compressor(1e-3)
+        assert comp.compress(field1d) == comp.compress(field1d)
+
+
+class TestHistoricalComparison:
+    def test_flags_adapt_to_signal(self, field1d):
+        """A smooth sinusoid should use the higher-order fits often."""
+        blob = Sz11Compressor(1e-4, mode="abs").compress(field1d)
+        assert Container.from_bytes(blob).meta["n_segments"] > 0
+
+    def test_sz14_beats_sz11_on_2d(self, smooth2d):
+        """The IPDPS'17 lineage claim the paper rests on: SZ 1.4's
+        multidimensional prediction beats SZ 1.1's 1-D curve fitting
+        on multidimensional data."""
+        eb = 1e-3
+        legacy = len(Sz11Compressor(eb, mode="abs").compress(smooth2d))
+        modern = len(SZCompressor(eb, mode="abs").compress(smooth2d))
+        assert modern < legacy
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            Sz11Compressor(0.0)
+        with pytest.raises(ParameterError):
+            Sz11Compressor(1e-3, mode="pw_rel")
+
+    def test_nan_rejected(self):
+        with pytest.raises(CompressionError):
+            Sz11Compressor(1e-3).compress(np.array([1.0, np.nan]))
+
+    def test_wrong_codec_rejected(self, smooth2d):
+        from repro.sz.compressor import compress
+
+        with pytest.raises(FormatError):
+            Sz11Compressor.decompress(compress(smooth2d, 1e-3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 300),
+    st.floats(1e-3, 1.0),
+)
+def test_legacy_bound_property(seed, n, eb):
+    """The absolute bound holds for arbitrary 1-D lengths."""
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.normal(size=n))
+    recon = decompress(Sz11Compressor(eb, mode="abs").compress(x))
+    assert max_abs_error(x, recon) <= eb * (1 + 1e-9) + 1e-12

@@ -1,0 +1,124 @@
+"""Unit and property tests for the pointwise-relative mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ParameterError
+from repro.sz.compressor import SZCompressor, decompress
+from repro.sz.pointwise import (
+    forward_log_transform,
+    inverse_log_transform,
+    pointwise_bound_to_log_bound,
+)
+
+
+class TestLogBound:
+    def test_small_bound_approximation(self):
+        # ln(1+e) ~ e for small e
+        assert pointwise_bound_to_log_bound(1e-6) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_known_value(self):
+        assert pointwise_bound_to_log_bound(0.5) == pytest.approx(np.log(1.5))
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.0, 2.0, float("nan")])
+    def test_bad_bounds_raise(self, bad):
+        with pytest.raises(ParameterError):
+            pointwise_bound_to_log_bound(bad)
+
+
+class TestLogTransform:
+    def test_roundtrip_mixed(self):
+        x = np.array([-3.0, 0.0, 0.5, 100.0, -1e-20])
+        signs, y = forward_log_transform(x)
+        assert signs.tolist() == [-1, 0, 1, 1, -1]
+        back = inverse_log_transform(signs, y)
+        assert np.allclose(back, x, rtol=1e-14)
+        assert back[1] == 0.0
+
+    def test_zero_log_is_finite(self):
+        signs, y = forward_log_transform(np.array([0.0, 0.0]))
+        assert np.all(np.isfinite(y))
+
+    def test_shape_mismatch_raises(self):
+        from repro.errors import DecompressionError
+
+        with pytest.raises(DecompressionError):
+            inverse_log_transform(np.ones(3, np.int8), np.zeros(4))
+
+
+class TestPointwiseMode:
+    @pytest.mark.parametrize("eb", [0.1, 1e-2, 1e-4])
+    def test_relative_bound_holds(self, eb, rng):
+        x = rng.normal(size=(40, 50)) * np.exp(2 * rng.normal(size=(40, 50)))
+        recon = decompress(SZCompressor(eb, mode="pw_rel").compress(x))
+        nz = x != 0
+        rel = np.abs(recon[nz] - x[nz]) / np.abs(x[nz])
+        assert rel.max() <= eb * (1 + 1e-9)
+
+    def test_zeros_exact(self, rng):
+        x = rng.normal(size=(30, 30))
+        x[rng.random(x.shape) < 0.3] = 0.0
+        recon = decompress(SZCompressor(1e-2, mode="pw_rel").compress(x))
+        assert np.all(recon[x == 0.0] == 0.0)
+
+    def test_signs_preserved(self, rng):
+        x = rng.normal(size=(25, 25)) * 10
+        recon = decompress(SZCompressor(0.2, mode="pw_rel").compress(x))
+        assert np.array_equal(np.sign(recon), np.sign(x))
+
+    def test_huge_dynamic_range(self):
+        """The whole point of pw_rel: tiny values keep their precision."""
+        x = np.geomspace(1e-20, 1e20, 4096)
+        recon = decompress(SZCompressor(1e-3, mode="pw_rel").compress(x))
+        rel = np.abs(recon - x) / x
+        assert rel.max() <= 1e-3 * (1 + 1e-9)
+
+    def test_all_zero_field(self):
+        z = np.zeros((7, 9))
+        assert np.array_equal(
+            decompress(SZCompressor(0.01, mode="pw_rel").compress(z)), z
+        )
+
+    def test_constant_magnitude_mixed_signs(self, rng):
+        c = np.where(rng.random((12, 12)) < 0.5, -2.5, 2.5)
+        recon = decompress(SZCompressor(0.01, mode="pw_rel").compress(c))
+        assert np.array_equal(recon, c)
+
+    def test_float32(self, rng):
+        x = (rng.normal(size=(20, 20)) * 100).astype(np.float32)
+        recon = decompress(SZCompressor(1e-2, mode="pw_rel").compress(x))
+        assert recon.dtype == np.float32
+        nz = x != 0
+        rel = np.abs(recon[nz].astype(np.float64) / x[nz].astype(np.float64) - 1)
+        assert rel.max() <= 1e-2 * (1 + 1e-5) + 1e-6
+
+    def test_resolve_error_bound_is_log_bound(self, rng):
+        comp = SZCompressor(0.05, mode="pw_rel")
+        x = rng.normal(size=(5, 5))
+        assert comp.resolve_error_bound(x) == pytest.approx(np.log1p(0.05))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(2, 15), st.integers(2, 15)),
+        elements=st.floats(
+            min_value=-1e10, max_value=1e10, allow_nan=False, allow_infinity=False
+        ),
+    ),
+    st.floats(1e-4, 0.5),
+)
+def test_pointwise_bound_property(x, eb):
+    """The pointwise relative bound holds for arbitrary finite data,
+    including zeros and mixed signs."""
+    recon = decompress(SZCompressor(eb, mode="pw_rel").compress(x))
+    zero = x == 0.0
+    assert np.all(recon[zero] == 0.0)
+    nz = ~zero
+    if nz.any():
+        rel = np.abs(recon[nz] - x[nz]) / np.abs(x[nz])
+        assert rel.max() <= eb * (1 + 1e-9)

@@ -1,0 +1,108 @@
+"""Unit and property tests for repro.sz.predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ParameterError
+from repro.sz.predictors import (
+    PREDICTORS,
+    lorenzo_difference,
+    lorenzo_predict,
+    lorenzo_reconstruct,
+    prediction_errors,
+    predictor_by_id,
+    predictor_by_name,
+)
+
+
+class TestLorenzoDifference:
+    def test_1d_is_diff(self):
+        k = np.array([3, 5, 4, 4], dtype=np.int64)
+        assert lorenzo_difference(k).tolist() == [3, 2, -1, 0]
+
+    def test_2d_stencil(self):
+        k = np.arange(12, dtype=np.int64).reshape(3, 4)
+        q = lorenzo_difference(k)
+        # interior: k[i,j] - k[i-1,j] - k[i,j-1] + k[i-1,j-1]
+        for i in range(1, 3):
+            for j in range(1, 4):
+                assert q[i, j] == k[i, j] - k[i - 1, j] - k[i, j - 1] + k[i - 1, j - 1]
+        # first element carries itself
+        assert q[0, 0] == k[0, 0]
+        # first row degenerates to 1-D
+        assert q[0, 1] == k[0, 1] - k[0, 0]
+        # first column degenerates to 1-D
+        assert q[1, 0] == k[1, 0] - k[0, 0]
+
+    def test_constant_array_codes_zero(self):
+        k = np.full((5, 6), 9, dtype=np.int64)
+        q = lorenzo_difference(k)
+        assert q[0, 0] == 9
+        assert np.count_nonzero(q) == 1
+
+    def test_float_input_raises(self):
+        with pytest.raises(ParameterError):
+            lorenzo_difference(np.zeros((2, 2)))
+
+    def test_0d_raises(self):
+        with pytest.raises(ParameterError):
+            lorenzo_difference(np.int64(3))
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", sorted(PREDICTORS))
+    @pytest.mark.parametrize("shape", [(17,), (7, 9), (4, 5, 6), (3, 3, 3, 3)])
+    def test_reconstruct_inverts_difference(self, name, shape, rng):
+        _, diff, rec = predictor_by_name(name)
+        k = rng.integers(-1000, 1000, size=shape)
+        assert np.array_equal(rec(diff(k)), k)
+
+    def test_lookup_by_id_roundtrip(self):
+        for name, (pid, _, _) in PREDICTORS.items():
+            back_name, _, _ = predictor_by_id(pid)
+            assert back_name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ParameterError):
+            predictor_by_name("quadratic")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ParameterError):
+            predictor_by_id(77)
+
+
+class TestFloatHelpers:
+    def test_prediction_plus_error_is_identity(self, smooth2d):
+        pred = lorenzo_predict(smooth2d)
+        pe = prediction_errors(smooth2d)
+        assert np.allclose(pred + pe, smooth2d, atol=1e-12)
+
+    def test_smooth_data_has_small_errors(self, smooth2d):
+        pe = prediction_errors(smooth2d)
+        interior = pe[1:, 1:]
+        # Lorenzo on a double cumsum of unit noise: errors ~ the noise.
+        assert np.abs(interior).max() < np.abs(smooth2d).max()
+        assert interior.std() < smooth2d.std()
+
+    def test_linear_field_predicted_exactly(self):
+        """Lorenzo is exact on (multi)linear fields (interior points)."""
+        i, j = np.mgrid[0:20, 0:30]
+        x = 3.0 * i + 2.0 * j + 1.0
+        pe = prediction_errors(x)
+        assert np.allclose(pe[1:, 1:], 0.0, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.int64,
+        hnp.array_shapes(min_dims=1, max_dims=4, min_side=1, max_side=6),
+        elements=st.integers(-(2**40), 2**40),
+    )
+)
+def test_lorenzo_inverse_property(k):
+    """difference/reconstruct are exact inverses on any int lattice."""
+    assert np.array_equal(lorenzo_reconstruct(lorenzo_difference(k)), k)

@@ -1,0 +1,82 @@
+"""Unit and property tests for repro.sz.quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CompressionError, ParameterError
+from repro.sz.quantizer import LatticeQuantizer, lattice_values, snap_to_lattice
+
+
+class TestSnap:
+    def test_known_values(self):
+        k = snap_to_lattice(np.array([0.0, 0.9, 1.1, -1.1]), anchor=0.0, delta=1.0)
+        assert k.tolist() == [0, 1, 1, -1]
+
+    def test_anchor_maps_to_zero(self):
+        k = snap_to_lattice(np.array([5.5]), anchor=5.5, delta=0.1)
+        assert k.tolist() == [0]
+
+    def test_nonpositive_delta_raises(self):
+        with pytest.raises(ParameterError):
+            snap_to_lattice(np.array([1.0]), 0.0, 0.0)
+        with pytest.raises(ParameterError):
+            snap_to_lattice(np.array([1.0]), 0.0, -1.0)
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompressionError):
+            snap_to_lattice(np.array([1e30]), 0.0, 1e-10)
+
+
+class TestLatticeQuantizer:
+    def test_error_bound_invariant(self, smooth2d):
+        eb = 0.01
+        quant = LatticeQuantizer(eb, anchor=float(smooth2d[0, 0]))
+        _, recon = quant.roundtrip(smooth2d)
+        assert np.max(np.abs(recon - smooth2d)) <= eb * (1 + 1e-12)
+
+    def test_idempotent(self, smooth2d):
+        """Quantizing an already-quantized array is the identity."""
+        quant = LatticeQuantizer(0.05, anchor=float(smooth2d[0, 0]))
+        k1, recon = quant.roundtrip(smooth2d)
+        k2, recon2 = quant.roundtrip(recon)
+        assert np.array_equal(k1, k2)
+        assert np.array_equal(recon, recon2)
+
+    def test_bad_bound_raises(self):
+        with pytest.raises(ParameterError):
+            LatticeQuantizer(0.0, 0.0)
+        with pytest.raises(ParameterError):
+            LatticeQuantizer(float("nan"), 0.0)
+
+    def test_bad_anchor_raises(self):
+        with pytest.raises(ParameterError):
+            LatticeQuantizer(1.0, float("inf"))
+
+    def test_dequantize_inverse(self):
+        quant = LatticeQuantizer(0.5, anchor=2.0)
+        k = np.array([-3, 0, 7], dtype=np.int64)
+        vals = quant.dequantize(k)
+        assert vals.tolist() == [2.0 - 3.0, 2.0, 2.0 + 7.0]
+
+    def test_lattice_values_helper(self):
+        assert lattice_values(np.array([2]), 1.0, 0.25).tolist() == [1.5]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=10),
+        elements=st.floats(-1e5, 1e5),
+    ),
+    st.floats(1e-6, 1e3),
+)
+def test_snap_error_bound_property(data, eb):
+    """Every reconstructed value is within eb of the original."""
+    anchor = float(data.flat[0])
+    quant = LatticeQuantizer(eb, anchor)
+    _, recon = quant.roundtrip(data)
+    assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9) + 1e-12

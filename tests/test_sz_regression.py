@@ -1,0 +1,166 @@
+"""Unit and property tests for the SZ2-style regression codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixed_psnr import compress_fixed_psnr
+from repro.errors import CompressionError, FormatError, ParameterError
+from repro.io.container import Container
+from repro.metrics.distortion import max_abs_error, psnr
+from repro.sz.compressor import decompress
+from repro.sz.regression import (
+    RegressionCompressor,
+    design_matrix,
+    fit_block_planes,
+)
+
+
+class TestDesignMatrix:
+    def test_shapes(self):
+        A, pinv = design_matrix(4, 2)
+        assert A.shape == (16, 3)
+        assert pinv.shape == (3, 16)
+
+    def test_pinv_is_left_inverse(self):
+        A, pinv = design_matrix(6, 3)
+        assert np.allclose(pinv @ A, np.eye(4), atol=1e-10)
+
+    def test_centered_coordinates(self):
+        A, _ = design_matrix(4, 1)
+        assert A[:, 1].sum() == pytest.approx(0.0)
+
+    def test_bad_params_raise(self):
+        with pytest.raises(ParameterError):
+            design_matrix(1, 2)
+        with pytest.raises(ParameterError):
+            design_matrix(4, 0)
+
+
+class TestFit:
+    def test_exact_on_linear_block(self):
+        """A hyperplane block is predicted exactly (float32 precision)."""
+        i, j = np.mgrid[0:8, 0:8].astype(np.float64)
+        block = (3.0 + 0.5 * i - 0.25 * j)[None]
+        coeffs = fit_block_planes(block, 8)
+        A, _ = design_matrix(8, 2)
+        pred = (coeffs.astype(np.float64) @ A.T).reshape(block.shape)
+        assert np.allclose(pred, block, atol=1e-5)
+
+    def test_mean_coefficient(self):
+        block = np.full((1, 4, 4), 7.25)
+        coeffs = fit_block_planes(block, 4)
+        assert coeffs[0, 0] == pytest.approx(7.25)
+        assert np.allclose(coeffs[0, 1:], 0.0, atol=1e-6)
+
+
+class TestRegressionCompressor:
+    @pytest.mark.parametrize("eb", [1.0, 1e-2, 1e-4])
+    def test_error_bound_2d(self, smooth2d, eb):
+        recon = decompress(RegressionCompressor(eb, mode="abs").compress(smooth2d))
+        assert max_abs_error(smooth2d, recon) <= eb * (1 + 1e-9)
+
+    def test_error_bound_3d(self, smooth3d):
+        eb = 1e-3
+        comp = RegressionCompressor(eb, mode="abs", block_size=4)
+        recon = decompress(comp.compress(smooth3d))
+        assert max_abs_error(smooth3d, recon) <= eb * (1 + 1e-9)
+
+    def test_error_bound_1d(self, field1d):
+        eb = 1e-3
+        comp = RegressionCompressor(eb, mode="abs", block_size=16)
+        recon = decompress(comp.compress(field1d))
+        assert max_abs_error(field1d, recon) <= eb * (1 + 1e-9)
+
+    def test_rel_mode(self, smooth2d):
+        eb_rel = 1e-4
+        vr = float(smooth2d.max() - smooth2d.min())
+        recon = decompress(
+            RegressionCompressor(eb_rel, mode="rel").compress(smooth2d)
+        )
+        assert max_abs_error(smooth2d, recon) <= eb_rel * vr * (1 + 1e-9)
+
+    def test_non_multiple_shape(self, rng):
+        x = np.cumsum(rng.normal(size=(13, 19)), axis=0)
+        recon = decompress(RegressionCompressor(1e-3).compress(x))
+        assert recon.shape == x.shape
+
+    def test_float32(self, smooth2d):
+        x32 = smooth2d.astype(np.float32)
+        recon = decompress(RegressionCompressor(1e-2).compress(x32))
+        assert recon.dtype == np.float32
+
+    def test_constant_field(self):
+        x = np.full((9, 9), 4.5)
+        assert np.array_equal(
+            decompress(RegressionCompressor(1e-3).compress(x)), x
+        )
+
+    def test_beats_no_prediction_on_gradient_data(self, rng):
+        """Piecewise-planar data is regression's home turf."""
+        i, j = np.mgrid[0:64, 0:64].astype(np.float64)
+        x = 2.0 * i - 3.0 * j + rng.normal(size=(64, 64)) * 0.01
+        from repro.sz.compressor import SZCompressor
+
+        reg = len(RegressionCompressor(1e-3, mode="abs").compress(x))
+        none = len(SZCompressor(1e-3, mode="abs", predictor="none").compress(x))
+        assert reg < none
+
+    def test_deterministic(self, smooth2d):
+        comp = RegressionCompressor(1e-3)
+        assert comp.compress(smooth2d) == comp.compress(smooth2d)
+
+    def test_container_streams(self, smooth2d):
+        blob = RegressionCompressor(1e-3).compress(smooth2d)
+        c = Container.from_bytes(blob)
+        assert c.has_stream("coeffs")
+        assert c.has_stream("payload")
+        assert c.meta["n_blocks"] > 0
+
+    def test_escape_path(self, rough2d):
+        comp = RegressionCompressor(1e-4, quantization_radius=4)
+        blob = comp.compress(rough2d)
+        assert Container.from_bytes(blob).meta["n_escapes"] > 0
+        recon = decompress(blob)
+        assert max_abs_error(rough2d, recon) <= 1e-4 * (1 + 1e-9)
+
+    def test_fixed_psnr_via_regression(self, smooth2d):
+        for target in (50.0, 80.0):
+            blob = compress_fixed_psnr(smooth2d, target, codec="regression")
+            assert psnr(smooth2d, decompress(blob)) == pytest.approx(
+                target, abs=2.0
+            )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RegressionCompressor(0.0)
+        with pytest.raises(ParameterError):
+            RegressionCompressor(1e-3, mode="pw_rel")
+        with pytest.raises(ParameterError):
+            RegressionCompressor(1e-3, block_size=1)
+        with pytest.raises(CompressionError):
+            RegressionCompressor(1e-3).compress(np.array([1.0, np.nan]))
+
+    def test_wrong_codec_raises(self, smooth2d):
+        from repro.sz.compressor import compress
+
+        with pytest.raises(FormatError):
+            RegressionCompressor.decompress(compress(smooth2d, 1e-3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from([(11,), (9, 14), (5, 6, 7)]),
+    st.floats(1e-4, 1.0),
+)
+def test_regression_bound_property(seed, shape, eb):
+    """The absolute bound holds for random fields of any geometry."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        x = np.cumsum(x, axis=axis)
+    comp = RegressionCompressor(eb, mode="abs", block_size=4)
+    recon = decompress(comp.compress(x))
+    assert max_abs_error(x, recon) <= eb * (1 + 1e-9) + 1e-12

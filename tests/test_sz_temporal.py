@@ -1,0 +1,199 @@
+"""Unit tests for the temporal (snapshot-stream) compressor."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.temporal import snapshot_series
+from repro.errors import DecompressionError, FormatError, ParameterError
+from repro.io.container import Container
+from repro.metrics.distortion import max_abs_error, psnr
+from repro.sz.temporal import (
+    TemporalCompressor,
+    TemporalDecompressor,
+    compress_series,
+    decompress_series,
+)
+
+
+@pytest.fixture(scope="module")
+def slow_series():
+    """Strongly correlated 12-step sequence."""
+    return list(
+        snapshot_series(
+            (32, 40), 12, seed=9, velocity=(0.1, 0.1), diffusion=0.02,
+            forcing=0.003,
+        )
+    )
+
+
+class TestRoundtrip:
+    def test_per_step_error_bound(self, slow_series):
+        eb = 1e-3
+        blobs = compress_series(slow_series, error_bound=eb, mode="abs")
+        for s, r in zip(slow_series, decompress_series(blobs)):
+            err = max_abs_error(s.astype(np.float64), r.astype(np.float64))
+            assert err <= eb * (1 + 1e-6) + 1e-7  # float32 cast slack
+
+    def test_no_temporal_drift(self, slow_series):
+        """The error bound holds at the LAST step as tightly as at the
+        first: shared lattice means no accumulation."""
+        eb = 1e-4
+        blobs = compress_series(
+            slow_series, error_bound=eb, mode="abs", keyframe_interval=100
+        )
+        recons = list(decompress_series(blobs))
+        first = max_abs_error(
+            slow_series[0].astype(np.float64), recons[0].astype(np.float64)
+        )
+        last = max_abs_error(
+            slow_series[-1].astype(np.float64), recons[-1].astype(np.float64)
+        )
+        assert last <= eb * (1 + 1e-6) + 1e-7
+        assert first <= eb * (1 + 1e-6) + 1e-7
+
+    def test_fixed_psnr_tracks_target(self, slow_series):
+        blobs = compress_series(slow_series, target_psnr=70.0, keyframe_interval=4)
+        actuals = [
+            psnr(s, r) for s, r in zip(slow_series, decompress_series(blobs))
+        ]
+        assert abs(np.mean(actuals) - 70.0) < 1.5
+        assert np.std(actuals) < 1.5
+
+    def test_rel_mode(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-4, mode="rel", keyframe_interval=4
+        )
+        recons = list(decompress_series(blobs))
+        assert len(recons) == len(slow_series)
+
+    def test_dtype_and_shape_preserved(self, slow_series):
+        blobs = compress_series(slow_series, error_bound=1e-3)
+        for s, r in zip(slow_series, decompress_series(blobs)):
+            assert r.shape == s.shape and r.dtype == s.dtype
+
+
+class TestTemporalGain:
+    def test_beats_independent_on_slow_dynamics(self, slow_series):
+        from repro.sz.compressor import compress
+
+        eb = 1e-3
+        temporal = sum(
+            len(b)
+            for b in compress_series(
+                slow_series, error_bound=eb, mode="abs", keyframe_interval=12
+            )
+        )
+        independent = sum(len(compress(s, eb, mode="abs")) for s in slow_series)
+        assert temporal < independent
+
+    def test_keyframe_interval_one_is_independent(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, keyframe_interval=1
+        )
+        for blob in blobs:
+            assert Container.from_bytes(blob).meta["keyframe"] is True
+
+
+class TestSecondOrder:
+    def test_order2_roundtrip_and_bound(self, slow_series):
+        eb = 1e-3
+        blobs = compress_series(
+            slow_series, error_bound=eb, mode="abs",
+            keyframe_interval=6, temporal_order=2,
+        )
+        flags = [Container.from_bytes(b).meta["order"] for b in blobs]
+        # chain: keyframe(0), order1, then order2 until the next keyframe
+        assert flags[:4] == [0, 1, 2, 2]
+        assert flags[6] == 0
+        for s, r in zip(slow_series, decompress_series(blobs)):
+            err = max_abs_error(s.astype(np.float64), r.astype(np.float64))
+            assert err <= eb * (1 + 1e-6) + 1e-7
+
+    def test_order2_never_crosses_keyframes(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, keyframe_interval=2,
+            temporal_order=2,
+        )
+        orders = [Container.from_bytes(b).meta["order"] for b in blobs]
+        # interval 2 never accumulates two chain frames -> no order 2
+        assert 2 not in orders
+
+    def test_mid_stream_start_at_keyframe_with_order2(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, mode="abs",
+            keyframe_interval=6, temporal_order=2,
+        )
+        dec = TemporalDecompressor()
+        recon6 = dec.push(blobs[6])
+        err = max_abs_error(
+            slow_series[6].astype(np.float64), recon6.astype(np.float64)
+        )
+        assert err <= 1e-3 * (1 + 1e-6) + 1e-7
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ParameterError):
+            TemporalCompressor(error_bound=1e-3, temporal_order=3)
+
+
+class TestStreamSemantics:
+    def test_keyframe_flags(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, keyframe_interval=4
+        )
+        flags = [Container.from_bytes(b).meta["keyframe"] for b in blobs]
+        assert flags == [(i % 4 == 0) for i in range(len(blobs))]
+
+    def test_can_start_at_keyframe(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, mode="abs", keyframe_interval=4
+        )
+        dec = TemporalDecompressor()
+        recon4 = dec.push(blobs[4])  # a keyframe
+        assert max_abs_error(
+            slow_series[4].astype(np.float64), recon4.astype(np.float64)
+        ) <= 1e-3 * (1 + 1e-6) + 1e-7
+
+    def test_cannot_start_mid_chain(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, keyframe_interval=4
+        )
+        with pytest.raises(DecompressionError):
+            TemporalDecompressor().push(blobs[1])
+
+    def test_out_of_order_detected(self, slow_series):
+        blobs = compress_series(
+            slow_series, error_bound=1e-3, keyframe_interval=100
+        )
+        dec = TemporalDecompressor()
+        dec.push(blobs[0])
+        dec.push(blobs[1])
+        with pytest.raises(DecompressionError):
+            dec.push(blobs[3])  # skipped step 2
+
+    def test_non_temporal_blob_rejected(self, slow_series):
+        from repro.sz.compressor import compress
+
+        with pytest.raises(FormatError):
+            TemporalDecompressor().push(compress(slow_series[0], 1e-3))
+
+
+class TestValidation:
+    def test_needs_exactly_one_control(self):
+        with pytest.raises(ParameterError):
+            TemporalCompressor()
+        with pytest.raises(ParameterError):
+            TemporalCompressor(error_bound=1e-3, target_psnr=60.0)
+
+    def test_shape_change_rejected(self, slow_series):
+        comp = TemporalCompressor(error_bound=1e-3)
+        comp.push(slow_series[0])
+        with pytest.raises(ParameterError):
+            comp.push(np.zeros((3, 3), dtype=np.float32))
+
+    def test_bad_keyframe_interval(self):
+        with pytest.raises(ParameterError):
+            TemporalCompressor(error_bound=1e-3, keyframe_interval=0)
+
+    def test_bad_mode(self):
+        with pytest.raises(ParameterError):
+            TemporalCompressor(error_bound=1e-3, mode="pw_rel")

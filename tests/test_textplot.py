@@ -1,0 +1,67 @@
+"""Unit tests for the text-mode plotting helpers."""
+
+import pytest
+
+from repro.textplot import bars, scatter
+
+
+class TestBars:
+    def test_peak_fills_width(self):
+        out = bars([1.0, 4.0, 2.0], width=40)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 40  # the peak row
+        assert lines[0].count("#") == 10
+
+    def test_labels_aligned(self):
+        out = bars([1.0, 2.0], labels=["a", "bb"], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith(" a |")
+        assert lines[1].startswith("bb |")
+
+    def test_title(self):
+        assert bars([1.0], title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert bars([], title="only") == "only"
+
+    def test_all_zero_safe(self):
+        out = bars([0.0, 0.0], width=10)
+        assert "#" not in out
+
+
+class TestScatter:
+    def test_contains_all_points(self):
+        out = scatter([1.0, 2.0, 3.0], width=40, height=8)
+        assert out.count("*") == 3
+
+    def test_hline_rendered(self):
+        out = scatter([50.0, 51.0], hline=50.5, width=40, height=8)
+        assert "-" in out
+        assert "target 50.5" in out
+
+    def test_monotone_series_monotone_rows(self):
+        out = scatter([0.0, 10.0], width=30, height=10)
+        rows = [i for i, line in enumerate(out.splitlines()) if "*" in line]
+        assert rows[0] < rows[1] or len(rows) == 1  # higher value higher up
+
+    def test_constant_series_safe(self):
+        out = scatter([5.0, 5.0, 5.0], width=30, height=6)
+        assert out.count("*") >= 1
+
+    def test_empty(self):
+        assert scatter([], title="t") == "t"
+
+
+class TestCLITable2:
+    def test_table2_runs(self, capsys, tmp_path):
+        from repro.cli.main import main
+
+        # keep it fast: one easy target; all three data sets sweep fully,
+        # so this is the long-ish CLI test (~30 s at default shapes)
+        report = tmp_path / "t2.md"
+        code = main(["table2", "--targets", "80", "--report", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        for ds in ("NYX", "ATM", "Hurricane"):
+            assert ds in out
+        assert report.read_text().startswith("| dataset |")

@@ -1,0 +1,72 @@
+"""Unit and property tests for block partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.transform.blocking import merge_blocks, padded_shape, split_blocks
+
+
+class TestPaddedShape:
+    def test_exact_multiple(self):
+        assert padded_shape((8, 16), 4) == (8, 16)
+
+    def test_rounds_up(self):
+        assert padded_shape((7, 9), 4) == (8, 12)
+
+    def test_bad_block_raises(self):
+        with pytest.raises(ParameterError):
+            padded_shape((4,), 0)
+
+
+class TestSplitMerge:
+    @pytest.mark.parametrize(
+        "shape,m",
+        [((16,), 4), ((12, 8), 4), ((9, 7), 4), ((8, 8, 8), 4), ((5, 6, 7), 4)],
+    )
+    def test_roundtrip(self, shape, m, rng):
+        x = rng.normal(size=shape)
+        blocks = split_blocks(x, m)
+        assert blocks.shape[1:] == (m,) * len(shape)
+        back = merge_blocks(blocks, m, shape)
+        assert np.array_equal(back, x)
+
+    def test_block_contents_row_major(self):
+        x = np.arange(16, dtype=float).reshape(4, 4)
+        blocks = split_blocks(x, 2)
+        assert blocks.shape == (4, 2, 2)
+        assert np.array_equal(blocks[0], x[:2, :2])
+        assert np.array_equal(blocks[1], x[:2, 2:])
+        assert np.array_equal(blocks[2], x[2:, :2])
+
+    def test_padding_uses_edge_values(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        blocks = split_blocks(x, 4)
+        assert blocks.shape == (1, 4, 4)
+        assert blocks[0, 3, 3] == 4.0  # bottom-right edge replicated
+        assert blocks[0, 0, 3] == 2.0
+
+    def test_merge_geometry_mismatch_raises(self, rng):
+        blocks = split_blocks(rng.normal(size=(8, 8)), 4)
+        with pytest.raises(ParameterError):
+            merge_blocks(blocks, 4, (8, 8, 8))
+        with pytest.raises(ParameterError):
+            merge_blocks(blocks[:1], 4, (8, 8))
+
+    def test_empty_raises(self):
+        with pytest.raises(ParameterError):
+            split_blocks(np.zeros((0, 4)), 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(1, 20), min_size=1, max_size=3),
+    st.integers(2, 6),
+    st.integers(0, 2**31 - 1),
+)
+def test_split_merge_roundtrip_property(shape, m, seed):
+    """Split/merge is the identity for any geometry."""
+    x = np.random.default_rng(seed).normal(size=tuple(shape))
+    assert np.array_equal(merge_blocks(split_blocks(x, m), m, shape), x)

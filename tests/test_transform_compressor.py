@@ -1,0 +1,98 @@
+"""Unit tests for the transform (block-DCT) codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError, FormatError, ParameterError
+from repro.io.container import Container
+from repro.metrics.distortion import mse, psnr
+from repro.sz.compressor import decompress as dispatch_decompress
+from repro.transform.compressor import TransformCompressor
+
+
+class TestRoundtrip:
+    def test_basic_2d(self, smooth2d):
+        comp = TransformCompressor(error_bound=1e-3, mode="rel")
+        recon = TransformCompressor.decompress(comp.compress(smooth2d))
+        assert recon.shape == smooth2d.shape
+        assert psnr(smooth2d, recon) > 50.0
+
+    def test_3d(self, smooth3d):
+        comp = TransformCompressor(error_bound=1e-4, mode="rel", block_size=4)
+        recon = TransformCompressor.decompress(comp.compress(smooth3d))
+        assert psnr(smooth3d, recon) > 70.0
+
+    def test_1d(self, field1d):
+        comp = TransformCompressor(error_bound=1e-3, mode="abs", block_size=8)
+        recon = TransformCompressor.decompress(comp.compress(field1d))
+        assert psnr(field1d, recon) > 40.0
+
+    def test_non_multiple_shapes(self, rng):
+        x = np.cumsum(rng.normal(size=(13, 19)), axis=0)
+        comp = TransformCompressor(error_bound=1e-3, mode="rel")
+        recon = TransformCompressor.decompress(comp.compress(x))
+        assert recon.shape == x.shape
+
+    def test_mse_follows_quantizer_model(self, smooth2d):
+        """Theorem 2 in action: output MSE ~ delta^2/12 of the
+        coefficient quantizer."""
+        eb = 0.05
+        comp = TransformCompressor(error_bound=eb, mode="abs")
+        recon = TransformCompressor.decompress(comp.compress(smooth2d))
+        delta = 2 * eb
+        assert mse(smooth2d, recon) == pytest.approx(delta**2 / 12.0, rel=0.25)
+
+    def test_dispatch_from_generic_decompress(self, smooth2d):
+        comp = TransformCompressor(error_bound=1e-3, mode="rel")
+        recon = dispatch_decompress(comp.compress(smooth2d))
+        assert psnr(smooth2d, recon) > 50.0
+
+    def test_float32(self, smooth2d):
+        x32 = smooth2d.astype(np.float32)
+        comp = TransformCompressor(error_bound=1e-3, mode="rel")
+        recon = TransformCompressor.decompress(comp.compress(x32))
+        assert recon.dtype == np.float32
+
+    def test_constant_field(self):
+        x = np.full((9, 9), -2.5)
+        comp = TransformCompressor(error_bound=1e-3)
+        assert np.array_equal(TransformCompressor.decompress(comp.compress(x)), x)
+
+    def test_compresses_smooth_data(self, smooth2d):
+        comp = TransformCompressor(error_bound=1e-4, mode="rel")
+        blob = comp.compress(smooth2d)
+        assert smooth2d.nbytes / len(blob) > 3.0
+
+    def test_escape_path(self, rough2d):
+        comp = TransformCompressor(
+            error_bound=1e-4, mode="rel", quantization_radius=8
+        )
+        blob = comp.compress(rough2d)
+        assert Container.from_bytes(blob).meta["n_escapes"] > 0
+        recon = TransformCompressor.decompress(blob)
+        assert psnr(rough2d, recon) > 60.0
+
+
+class TestValidation:
+    def test_bad_mode_raises(self):
+        with pytest.raises(ParameterError):
+            TransformCompressor(mode="fixed-rate")
+
+    def test_bad_block_raises(self):
+        with pytest.raises(ParameterError):
+            TransformCompressor(block_size=1)
+
+    def test_nan_raises(self):
+        with pytest.raises(CompressionError):
+            TransformCompressor(error_bound=1e-3).compress(np.array([1.0, np.nan]))
+
+    def test_wrong_codec_raises(self, smooth2d):
+        from repro.sz.compressor import compress
+
+        blob = compress(smooth2d, 1e-3)
+        with pytest.raises(FormatError):
+            TransformCompressor.decompress(blob)
+
+    def test_bad_dtype_raises(self):
+        with pytest.raises(ParameterError):
+            TransformCompressor(error_bound=1e-3).compress(np.zeros(4, dtype=int))

@@ -1,0 +1,79 @@
+"""Unit and property tests for the orthonormal block DCT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.transform.dct import block_dct, block_idct, dct_matrix
+
+
+class TestDCTMatrix:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 16])
+    def test_orthonormal(self, m):
+        T = dct_matrix(m)
+        assert np.allclose(T @ T.T, np.eye(m), atol=1e-12)
+
+    def test_matches_scipy(self):
+        from scipy.fft import dct
+
+        x = np.random.default_rng(0).normal(size=8)
+        ours = dct_matrix(8) @ x
+        scipys = dct(x, type=2, norm="ortho")
+        assert np.allclose(ours, scipys, atol=1e-12)
+
+    def test_bad_size_raises(self):
+        with pytest.raises(ParameterError):
+            dct_matrix(0)
+
+
+class TestBlockTransforms:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_roundtrip(self, d, rng):
+        m = 4
+        blocks = rng.normal(size=(10,) + (m,) * d)
+        back = block_idct(block_dct(blocks, m), m)
+        assert np.allclose(back, blocks, atol=1e-12)
+
+    def test_l2_preservation_theorem2(self, rng):
+        """Theorem 2's engine: the transform preserves l2 norms."""
+        m = 8
+        blocks = rng.normal(size=(20, m, m))
+        coeffs = block_dct(blocks, m)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(blocks**2), rel=1e-12)
+
+    def test_error_l2_preserved(self, rng):
+        """Perturbing coefficients perturbs data with identical MSE."""
+        m = 4
+        blocks = rng.normal(size=(30, m, m, m))
+        coeffs = block_dct(blocks, m)
+        noise = rng.normal(size=coeffs.shape) * 0.01
+        recon = block_idct(coeffs + noise, m)
+        assert np.sum((recon - blocks) ** 2) == pytest.approx(
+            np.sum(noise**2), rel=1e-9
+        )
+
+    def test_dc_coefficient(self):
+        """The (0,...,0) coefficient is the scaled block mean."""
+        m = 4
+        block = np.full((1, m, m), 2.5)
+        coeffs = block_dct(block, m)
+        assert coeffs[0, 0, 0] == pytest.approx(2.5 * m)  # 2.5 * m^(d/2), d=2
+        assert np.abs(coeffs[0]).max() == pytest.approx(2.5 * m)
+
+    def test_bad_shape_raises(self, rng):
+        with pytest.raises(ParameterError):
+            block_dct(rng.normal(size=(5, 4, 3)), 4)
+        with pytest.raises(ParameterError):
+            block_idct(rng.normal(size=(4,)), 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 8), st.integers(1, 3), st.integers(0, 2**31 - 1))
+def test_parseval_property(m, d, seed):
+    """Parseval equality holds for random blocks of any geometry."""
+    rng = np.random.default_rng(seed)
+    blocks = rng.normal(size=(3,) + (m,) * d)
+    coeffs = block_dct(blocks, m)
+    assert np.sum(coeffs**2) == pytest.approx(np.sum(blocks**2), rel=1e-10)

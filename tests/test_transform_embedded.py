@@ -1,0 +1,149 @@
+"""Unit tests for the embedded (bitplane) transform codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CompressionError,
+    DecompressionError,
+    FormatError,
+    ParameterError,
+)
+from repro.metrics.distortion import psnr
+from repro.sz.compressor import decompress
+from repro.transform.embedded import (
+    EmbeddedTransformCompressor,
+    decode_planes,
+    encode_planes,
+)
+
+
+class TestPlaneCoding:
+    def test_full_roundtrip_close(self, rng):
+        v = rng.normal(size=1000)
+        planes, scale = encode_planes(v, 40)
+        back = decode_planes(planes, v.size, 40, scale)
+        assert np.abs(back - v).max() < scale * 2.0**-39
+
+    def test_truncation_error_halves_per_plane(self, rng):
+        v = rng.normal(size=5000)
+        planes, scale = encode_planes(v, 30)
+        errors = []
+        for keep in (6, 7, 8):
+            back = decode_planes(planes[: keep + 1], v.size, 30, scale)
+            errors.append(float(np.sqrt(np.mean((back - v) ** 2))))
+        assert errors[1] == pytest.approx(errors[0] / 2, rel=0.15)
+        assert errors[2] == pytest.approx(errors[1] / 2, rel=0.15)
+
+    def test_signs_survive_truncation(self, rng):
+        v = rng.normal(size=200) * 10
+        planes, scale = encode_planes(v, 20)
+        back = decode_planes(planes[:3], v.size, 20, scale)
+        # every reconstructed value carries the original sign
+        assert np.all(np.sign(back) == np.sign(v + (v == 0)))
+
+    def test_zero_input(self):
+        planes, scale = encode_planes(np.zeros(10), 8)
+        back = decode_planes(planes, 10, 8, scale)
+        assert np.abs(back).max() <= scale * 2.0**-8
+
+    def test_bad_plane_count_raises(self):
+        with pytest.raises(ParameterError):
+            encode_planes(np.ones(4), 0)
+        with pytest.raises(ParameterError):
+            encode_planes(np.ones(4), 99)
+
+    def test_decode_validation(self):
+        planes, scale = encode_planes(np.ones(16), 8)
+        with pytest.raises(DecompressionError):
+            decode_planes([], 16, 8, scale)
+        with pytest.raises(DecompressionError):
+            decode_planes(planes, 200, 8, scale)  # plane too short
+
+
+class TestFixedRateMode:
+    def test_rate_respected(self, smooth2d):
+        for rate in (2.0, 4.0, 8.0):
+            blob = EmbeddedTransformCompressor(
+                mode="fixed_rate", rate=rate
+            ).compress(smooth2d)
+            actual = 8.0 * len(blob) / smooth2d.size
+            assert actual <= rate + 1.0  # container/sign-plane overhead
+
+    def test_quality_grows_with_rate(self, smooth2d):
+        psnrs = []
+        for rate in (2.0, 4.0, 8.0):
+            comp = EmbeddedTransformCompressor(mode="fixed_rate", rate=rate)
+            psnrs.append(psnr(smooth2d, decompress(comp.compress(smooth2d))))
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_shape_dtype_preserved(self, smooth3d):
+        comp = EmbeddedTransformCompressor(
+            mode="fixed_rate", rate=6.0, block_size=4
+        )
+        recon = decompress(comp.compress(smooth3d.astype(np.float32)))
+        assert recon.shape == smooth3d.shape
+        assert recon.dtype == np.float32
+
+
+class TestFixedPSNRMode:
+    @pytest.mark.parametrize("target", [40.0, 60.0, 80.0])
+    def test_target_met_within_plane_granularity(self, smooth2d, target):
+        """EC quantizes in whole bitplanes (6.02 dB steps), so the
+        actual PSNR lands in [target - 1, target + 7]."""
+        comp = EmbeddedTransformCompressor(mode="fixed_psnr", rate=target)
+        actual = psnr(smooth2d, decompress(comp.compress(smooth2d)))
+        assert target - 1.0 <= actual <= target + 7.0
+
+    def test_constant_field(self):
+        x = np.full((8, 8), 2.0)
+        comp = EmbeddedTransformCompressor(mode="fixed_psnr", rate=60.0)
+        assert np.array_equal(decompress(comp.compress(x)), x)
+
+
+class TestProgressiveDecompression:
+    def test_quality_grows_with_planes(self, smooth2d):
+        """Decoding more planes from the SAME blob improves quality."""
+        comp = EmbeddedTransformCompressor(mode="fixed_psnr", rate=90.0)
+        blob = comp.compress(smooth2d)
+        psnrs = [
+            psnr(
+                smooth2d,
+                EmbeddedTransformCompressor.decompress(blob, max_planes=p),
+            )
+            for p in (2, 4, 8)
+        ]
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_full_decode_matches_default(self, smooth2d):
+        comp = EmbeddedTransformCompressor(mode="fixed_psnr", rate=60.0)
+        blob = comp.compress(smooth2d)
+        full = EmbeddedTransformCompressor.decompress(blob)
+        capped = EmbeddedTransformCompressor.decompress(blob, max_planes=1000)
+        assert np.array_equal(full, capped)
+
+    def test_bad_plane_count_raises(self, smooth2d):
+        comp = EmbeddedTransformCompressor(mode="fixed_psnr", rate=60.0)
+        blob = comp.compress(smooth2d)
+        with pytest.raises(ParameterError):
+            EmbeddedTransformCompressor.decompress(blob, max_planes=0)
+
+
+class TestValidation:
+    def test_bad_mode_raises(self):
+        with pytest.raises(ParameterError):
+            EmbeddedTransformCompressor(mode="fixed_accuracy")
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(ParameterError):
+            EmbeddedTransformCompressor(rate=0.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(CompressionError):
+            EmbeddedTransformCompressor().compress(np.array([1.0, np.nan]))
+
+    def test_wrong_codec_raises(self, smooth2d):
+        from repro.sz.compressor import compress
+
+        with pytest.raises(FormatError):
+            EmbeddedTransformCompressor.decompress(compress(smooth2d, 1e-3))

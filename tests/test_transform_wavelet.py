@@ -1,0 +1,95 @@
+"""Unit tests for the Haar DWT and its codec integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.metrics.distortion import mse, psnr
+from repro.sz.compressor import decompress
+from repro.transform.compressor import TransformCompressor
+from repro.transform.dct import block_inverse, block_transform
+from repro.transform.wavelet import haar_matrix
+
+
+class TestHaarMatrix:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 16, 32])
+    def test_orthonormal(self, m):
+        T = haar_matrix(m)
+        assert np.allclose(T @ T.T, np.eye(m), atol=1e-12)
+
+    def test_scaling_row_is_average(self):
+        T = haar_matrix(8)
+        x = np.arange(8.0)
+        assert (T @ x)[0] == pytest.approx(x.sum() / np.sqrt(8))
+
+    def test_constant_signal_has_only_dc(self):
+        T = haar_matrix(16)
+        c = T @ np.full(16, 3.0)
+        assert np.allclose(c[1:], 0.0, atol=1e-12)
+
+    def test_detail_rows_detect_steps(self):
+        T = haar_matrix(4)
+        step = np.array([1.0, 1.0, -1.0, -1.0])
+        c = T @ step
+        assert c[0] == pytest.approx(0.0)
+        assert np.abs(c[1]) > 1.0  # coarse detail captures the step
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 12])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            haar_matrix(bad)
+
+
+class TestHaarCodec:
+    def test_roundtrip_psnr(self, smooth2d):
+        comp = TransformCompressor(
+            error_bound=1e-4, mode="rel", transform="haar"
+        )
+        recon = decompress(comp.compress(smooth2d))
+        assert psnr(smooth2d, recon) > 80.0
+
+    def test_theorem2_holds_for_haar(self, smooth2d):
+        """Any orthonormal transform gives MSE = delta^2/12."""
+        eb = 0.05
+        comp = TransformCompressor(error_bound=eb, mode="abs", transform="haar")
+        recon = decompress(comp.compress(smooth2d))
+        assert mse(smooth2d, recon) == pytest.approx(
+            (2 * eb) ** 2 / 12.0, rel=0.25
+        )
+
+    def test_3d(self, smooth3d):
+        comp = TransformCompressor(
+            error_bound=1e-4, mode="rel", transform="haar", block_size=4
+        )
+        recon = decompress(comp.compress(smooth3d))
+        assert recon.shape == smooth3d.shape
+
+    def test_container_records_transform(self, smooth2d):
+        from repro.io.container import Container
+
+        blob = TransformCompressor(
+            error_bound=1e-3, transform="haar"
+        ).compress(smooth2d)
+        assert Container.from_bytes(blob).meta["transform"] == 1
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ParameterError):
+            TransformCompressor(transform="fourier")
+
+    def test_haar_needs_pow2_block(self):
+        with pytest.raises(ParameterError):
+            TransformCompressor(transform="haar", block_size=6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from([2, 4, 8]), st.integers(1, 3), st.integers(0, 2**31 - 1))
+def test_haar_parseval_property(m, d, seed):
+    """Parseval equality for random blocks under the Haar transform."""
+    rng = np.random.default_rng(seed)
+    blocks = rng.normal(size=(3,) + (m,) * d)
+    T = haar_matrix(m)
+    coeffs = block_transform(blocks, T)
+    assert np.sum(coeffs**2) == pytest.approx(np.sum(blocks**2), rel=1e-10)
+    assert np.allclose(block_inverse(coeffs, T), blocks, atol=1e-10)
