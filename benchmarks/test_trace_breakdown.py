@@ -1,0 +1,56 @@
+"""Experiment X11 -- where does the time go?
+
+Runs the fixed-PSNR pipeline with the :mod:`repro.observe` trace
+enabled and persists the stage-cost breakdown as a benchmark artefact.
+Two properties are asserted on the way:
+
+* the per-stream byte counters of the ``pack`` span sum **exactly** to
+  the container size (the observability layer's accounting invariant);
+* tracing leaves the output bitstream byte-identical to an untraced
+  run (telemetry never leaks into the format).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.core.fixed_psnr import FixedPSNRCompressor
+from repro.datasets.registry import get_dataset
+from repro.observe import Trace, use_trace
+
+
+def test_trace_stage_breakdown(save_result):
+    ds = get_dataset("ATM", scale=bench_scale())
+    field = ds.field(ds.field_names[0])
+    comp = FixedPSNRCompressor(80.0)
+
+    baseline = comp.compress(field)
+    tr = Trace()
+    with use_trace(tr):
+        blob = comp.compress(field)
+    assert blob == baseline, "tracing changed the bitstream"
+
+    pack = [r for r in tr.records if r.path[-1] == "pack"]
+    assert pack, "no pack span recorded"
+    accounted = sum(
+        v
+        for k, v in pack[0].counters.items()
+        if k.startswith("bytes.")
+    )
+    assert accounted == len(blob)
+
+    agg = tr.aggregate()
+    rows = [
+        (
+            "/".join(path),
+            f"{1e3 * a['duration_s']:.2f} ms",
+            a["calls"],
+        )
+        for path, a in sorted(
+            agg.items(), key=lambda kv: -kv[1]["duration_s"]
+        )
+    ]
+    text = render_table(
+        ["stage", "time", "calls"], rows, title="X11 -- stage-cost breakdown"
+    )
+    print("\n" + text)
+    save_result("trace_breakdown", tr.as_dict(), text)

@@ -33,6 +33,8 @@ True
 """
 
 from repro.version import __version__
+from repro import observe
+from repro.observe import Trace, current_trace, use_trace
 from repro.errors import (
     ReproError,
     CompressionError,
@@ -59,6 +61,10 @@ from repro.transform.compressor import TransformCompressor
 
 __all__ = [
     "__version__",
+    "observe",
+    "Trace",
+    "current_trace",
+    "use_trace",
     "ReproError",
     "CompressionError",
     "DecompressionError",

@@ -84,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="huffman",
         help="entropy stage for the sz codec",
     )
+    p_c.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a per-stage cost tree after compressing",
+    )
+    p_c.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write the full trace (schema v1 JSON) to PATH; implies --trace",
+    )
 
     p_d = sub.add_parser("decompress", help="decompress a container")
     p_d.add_argument("input", help="compressed container file")
@@ -159,10 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         help="also write the summary to a file (.md -> Markdown, else CSV)",
     )
+    p_s.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-stage traces and print an aggregate stage breakdown",
+    )
     return parser
 
 
-def _cmd_compress(args) -> int:
+def _compress_blob(args, data) -> bytes:
+    """Dispatch ``compress`` arguments to the right codec."""
     from repro.core.fixed_psnr import FixedPSNRCompressor
     from repro.errors import ParameterError
     from repro.sz.compressor import SZCompressor
@@ -170,7 +186,6 @@ def _cmd_compress(args) -> int:
     from repro.transform.compressor import TransformCompressor
     from repro.transform.embedded import EmbeddedTransformCompressor
 
-    data = np.load(args.input)
     if args.bit_rate is not None:
         if args.codec != "embedded":
             raise ParameterError("--bit-rate requires --codec embedded")
@@ -220,10 +235,31 @@ def _cmd_compress(args) -> int:
             raise ParameterError(
                 "the embedded codec takes --bit-rate or --psnr, not error bounds"
             )
+    return blob
+
+
+def _cmd_compress(args) -> int:
+    from repro.observe import Trace, use_trace
+
+    data = np.load(args.input)
+    traced = args.trace or args.trace_json
+    if traced:
+        tr = Trace()
+        with use_trace(tr):
+            blob = _compress_blob(args, data)
+    else:
+        blob = _compress_blob(args, data)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     ratio = data.nbytes / len(blob)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes (CR {ratio:.2f})")
+    if traced:
+        print()
+        print(tr.render())
+        if args.trace_json:
+            with open(args.trace_json, "w") as fh:
+                fh.write(tr.to_json())
+            print(f"trace written to {args.trace_json}")
     return 0
 
 
@@ -282,13 +318,28 @@ def _cmd_sweep(args) -> int:
         summarize_by_target,
     )
 
-    results = sweep_dataset(
-        args.dataset,
-        targets=args.targets,
-        fields=args.fields,
-        refine="histogram" if args.refine else None,
-        n_workers=args.workers,
-    )
+    tr = None
+    if args.trace:
+        from repro.observe import Trace, use_trace
+
+        tr = Trace()
+        with use_trace(tr):
+            results = sweep_dataset(
+                args.dataset,
+                targets=args.targets,
+                fields=args.fields,
+                refine="histogram" if args.refine else None,
+                n_workers=args.workers,
+                collect_trace=True,
+            )
+    else:
+        results = sweep_dataset(
+            args.dataset,
+            targets=args.targets,
+            fields=args.fields,
+            refine="histogram" if args.refine else None,
+            n_workers=args.workers,
+        )
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2))
         return 0
@@ -301,6 +352,11 @@ def _cmd_sweep(args) -> int:
     summaries = summarize_by_target(results)
     print()
     print(render_text(summaries, title="Per-target summary (Table II layout)"))
+    if tr is not None:
+        from repro.report import render_stage_breakdown
+
+        print()
+        print(render_stage_breakdown(results))
     if args.report:
         renderer = render_markdown if args.report.endswith(".md") else render_csv
         with open(args.report, "w") as fh:

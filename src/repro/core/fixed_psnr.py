@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+import repro.observe as observe
 from repro.errors import ParameterError
 from repro.metrics.distortion import value_range as _value_range
 from repro.sz.compressor import SZCompressor
@@ -164,7 +165,19 @@ class FixedPSNRCompressor:
 
     def compress(self, data) -> bytes:
         """Run the full fixed-PSNR pipeline on one field."""
-        eb_rel = self.derive_bound(data)
+        trace = observe.current_trace()
+        with trace.span("fixed_psnr.compress") as root:
+            if trace.enabled:
+                root.set("target_psnr", self.target_psnr)
+            with trace.span("derive_bound") as sp:
+                eb_rel = self.derive_bound(data)
+                if trace.enabled:
+                    sp.set("eb_rel", eb_rel)
+                    sp.set("refined", 0 if self.refine is None else 1)
+            return self._compress_with_bound(data, eb_rel)
+
+    def _compress_with_bound(self, data, eb_rel: float) -> bytes:
+        """Step 3: run the chosen error-bounded codec at ``eb_rel``."""
         if self.codec == "transform":
             from repro.transform.compressor import TransformCompressor
 

@@ -30,6 +30,7 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.observe as observe
 from repro.encoding.bitio import pack_codes
 from repro.errors import DecompressionError, ParameterError
 
@@ -201,11 +202,15 @@ class CanonicalHuffman:
         cls, data: np.ndarray, max_length: int = MAX_TABLE_BITS
     ) -> "CanonicalHuffman":
         """Build a code from the data that will be encoded."""
-        data = np.asarray(data).ravel()
-        if data.size == 0:
-            raise ParameterError("cannot build a code from empty data")
-        symbols, counts = np.unique(data.astype(np.int64), return_counts=True)
-        return cls.from_counts(symbols, counts, max_length=max_length)
+        trace = observe.current_trace()
+        with trace.span("huffman.build") as sp:
+            data = np.asarray(data).ravel()
+            if data.size == 0:
+                raise ParameterError("cannot build a code from empty data")
+            symbols, counts = np.unique(data.astype(np.int64), return_counts=True)
+            if trace.enabled:
+                sp.set("alphabet_size", int(symbols.size))
+            return cls.from_counts(symbols, counts, max_length=max_length)
 
     # -- encoding ------------------------------------------------------
 
@@ -214,16 +219,23 @@ class CanonicalHuffman:
 
         Returns ``(payload, total_bits)``.
         """
-        flat = np.asarray(data, dtype=np.int64).ravel()
-        if flat.size == 0:
-            return b"", 0
-        idx = np.searchsorted(self.symbols, flat)
-        bad = (idx >= self.symbols.size) | (self.symbols[
-            np.minimum(idx, self.symbols.size - 1)
-        ] != flat)
-        if bad.any():
-            raise ParameterError("data contains symbols outside the alphabet")
-        return pack_codes(self.codes[idx], self.lengths[idx])
+        trace = observe.current_trace()
+        with trace.span("huffman.encode") as sp:
+            flat = np.asarray(data, dtype=np.int64).ravel()
+            if flat.size == 0:
+                return b"", 0
+            idx = np.searchsorted(self.symbols, flat)
+            bad = (idx >= self.symbols.size) | (self.symbols[
+                np.minimum(idx, self.symbols.size - 1)
+            ] != flat)
+            if bad.any():
+                raise ParameterError("data contains symbols outside the alphabet")
+            payload, total_bits = pack_codes(self.codes[idx], self.lengths[idx])
+            if trace.enabled:
+                sp.count("n_symbols", int(flat.size))
+                sp.count("total_bits", int(total_bits))
+                sp.count("bytes_out", len(payload))
+            return payload, total_bits
 
     # -- decoding ------------------------------------------------------
 

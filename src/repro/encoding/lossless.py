@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import zlib
 
+import repro.observe as observe
 from repro.errors import DecompressionError, ParameterError
 
 __all__ = ["lossless_compress", "lossless_decompress", "METHODS"]
@@ -31,7 +32,13 @@ def lossless_compress(data: bytes, method: str = "zlib", level: int = 6) -> byte
         return bytes(data)
     if not 1 <= level <= 9:
         raise ParameterError("zlib level must be in [1, 9]")
-    return zlib.compress(bytes(data), level)
+    trace = observe.current_trace()
+    with trace.span("lossless") as sp:
+        out = zlib.compress(bytes(data), level)
+        if trace.enabled:
+            sp.count("bytes_in", len(data))
+            sp.count("bytes_out", len(out))
+    return out
 
 
 def lossless_decompress(data: bytes, method: str = "zlib") -> bytes:

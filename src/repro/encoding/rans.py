@@ -27,6 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.observe as observe
 from repro.errors import DecompressionError, ParameterError
 
 __all__ = ["RansCoder", "rans_encode", "rans_decode"]
@@ -102,17 +103,30 @@ class RansCoder:
     @classmethod
     def from_data(cls, data: np.ndarray) -> "RansCoder":
         """Build the model from the data to be encoded."""
-        flat = np.asarray(data, dtype=np.int64).ravel()
-        if flat.size == 0:
-            raise ParameterError("cannot model empty data")
-        symbols, counts = np.unique(flat, return_counts=True)
-        return cls(symbols, _normalize_freqs(counts))
+        trace = observe.current_trace()
+        with trace.span("rans.build") as sp:
+            flat = np.asarray(data, dtype=np.int64).ravel()
+            if flat.size == 0:
+                raise ParameterError("cannot model empty data")
+            symbols, counts = np.unique(flat, return_counts=True)
+            if trace.enabled:
+                sp.set("alphabet_size", int(symbols.size))
+            return cls(symbols, _normalize_freqs(counts))
 
     # -- encoding ------------------------------------------------------
 
     def encode(self, data: np.ndarray) -> bytes:
         """Encode ``data``; returns a self-contained payload (the model
         itself is serialized separately via :meth:`table_bytes`)."""
+        trace = observe.current_trace()
+        with trace.span("rans.encode") as sp:
+            out = self._encode_impl(data)
+            if trace.enabled:
+                sp.count("n_symbols", int(np.asarray(data).size))
+                sp.count("bytes_out", len(out))
+        return out
+
+    def _encode_impl(self, data: np.ndarray) -> bytes:
         flat = np.asarray(data, dtype=np.int64).ravel()
         n = flat.size
         if n == 0:

@@ -23,6 +23,7 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.observe as observe
 from repro.encoding.rans import RansCoder
 from repro.errors import DecompressionError, ParameterError
 
@@ -99,14 +100,22 @@ def _unpack_stream(blob: bytes, offset: int) -> Tuple[np.ndarray, int]:
 
 def encode_rle_rans(data: np.ndarray) -> bytes:
     """RLE-split ``data`` and rANS-code both residual streams."""
-    dominant, literals, gaps, n = rle_split(data)
-    parts = [
-        struct.pack("<4sqQQ", _MAGIC, dominant, n, literals.size),
-        _pack_stream(gaps),
-    ]
-    if literals.size:
-        parts.append(_pack_stream(literals))
-    return b"".join(parts)
+    trace = observe.current_trace()
+    with trace.span("rle.encode") as sp:
+        dominant, literals, gaps, n = rle_split(data)
+        if trace.enabled:
+            sp.count("n_symbols", int(n))
+            sp.count("n_literals", int(literals.size))
+        parts = [
+            struct.pack("<4sqQQ", _MAGIC, dominant, n, literals.size),
+            _pack_stream(gaps),
+        ]
+        if literals.size:
+            parts.append(_pack_stream(literals))
+        out = b"".join(parts)
+        if trace.enabled:
+            sp.count("bytes_out", len(out))
+        return out
 
 
 def decode_rle_rans(blob: bytes) -> np.ndarray:

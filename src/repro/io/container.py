@@ -87,6 +87,10 @@ class Container:
         self.codec = codec
         self.meta = dict(meta)
         self.streams = list(streams)
+        #: Transient telemetry attached by tooling (stage costs, byte
+        #: layouts).  Deliberately NOT serialized: the container format
+        #: carries data, never measurements (see DESIGN.md).
+        self.metrics: Dict = {}
 
     def stream(self, name: str) -> bytes:
         """Return the payload of the named stream."""
@@ -98,6 +102,32 @@ class Container:
     def has_stream(self, name: str) -> bool:
         """True if a stream of that name is present."""
         return any(sname == name for sname, _ in self.streams)
+
+    def byte_layout(self) -> Dict:
+        """Exact byte accounting of the serialized form.
+
+        Returns ``{"total", "framing", "streams": {name: bytes}}``
+        where ``framing`` covers the header, metadata block and
+        per-stream name/length/CRC fields.  By construction
+        ``framing + sum(streams.values()) == total == len(to_bytes())``
+        -- the invariant the observability layer's byte counters are
+        checked against.  Repeated stream names accumulate.
+        """
+        meta_blob = json.dumps(self.meta, sort_keys=True).encode("utf-8")
+        # magic(4) + version/codec/reserved(4) + meta_len/crc(12) + meta
+        # + n_streams(4)
+        framing = 4 + 4 + 12 + len(meta_blob) + 4
+        sizes: Dict[str, int] = {}
+        payload_total = 0
+        for name, payload in self.streams:
+            framing += 2 + len(name.encode("utf-8")) + 12
+            sizes[name] = sizes.get(name, 0) + len(payload)
+            payload_total += len(payload)
+        return {
+            "total": framing + payload_total,
+            "framing": framing,
+            "streams": sizes,
+        }
 
     def to_bytes(self) -> bytes:
         """Serialize the container."""

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+import repro.observe as observe
 from repro.errors import FormatError, ParameterError
 from repro.io.container import CODEC_CHUNKED, Container
 from repro.sz.compressor import SZCompressor
@@ -32,9 +33,22 @@ from repro.sz.compressor import SZCompressor
 __all__ = ["compress_chunked", "decompress_chunked"]
 
 
-def _compress_slab(args) -> bytes:
-    data, eb_abs, options = args
-    return SZCompressor(error_bound=eb_abs, mode="abs", **options).compress(data)
+def _compress_slab(args):
+    """Compress one slab; returns ``(blob, span_records_or_None)``.
+
+    When tracing is requested the slab runs under its own local
+    :class:`repro.observe.Trace` (a worker process cannot write to the
+    parent's trace), and the picklable span records travel back with
+    the blob for the parent to merge.
+    """
+    data, eb_abs, options, traced = args
+    comp = SZCompressor(error_bound=eb_abs, mode="abs", **options)
+    if not traced:
+        return comp.compress(data), None
+    local = observe.Trace()
+    with observe.use_trace(local):
+        blob = comp.compress(data)
+    return blob, [r.as_dict() for r in local.records]
 
 
 def _decompress_slab(blob: bytes) -> np.ndarray:
@@ -54,30 +68,52 @@ def compress_chunked(
     ``n_workers=0`` compresses slabs sequentially (deterministic and
     dependency-free); positive values use a process pool.
     """
-    arr = np.asarray(data)
-    if arr.ndim == 0 or arr.size == 0:
-        raise ParameterError("data must be a non-empty array")
-    if n_chunks < 1:
-        raise ParameterError("n_chunks must be >= 1")
-    n_chunks = min(n_chunks, arr.shape[0])
-    # Resolve the bound globally so chunked == unchunked semantics.
-    probe = SZCompressor(error_bound=error_bound, mode=mode, **compressor_options)
-    eb_abs = probe.resolve_error_bound(arr)
-    slabs = np.array_split(arr, n_chunks, axis=0)
-    tasks = [(slab, eb_abs, compressor_options) for slab in slabs]
-    if n_workers <= 0:
-        blobs: List[bytes] = [_compress_slab(t) for t in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            blobs = list(pool.map(_compress_slab, tasks))
-    meta = {
-        "dtype": str(arr.dtype),
-        "shape": list(arr.shape),
-        "n_chunks": n_chunks,
-        "chunk_rows": [int(s.shape[0]) for s in slabs],
-    }
-    streams = [(f"chunk{i}", blob) for i, blob in enumerate(blobs)]
-    return Container(CODEC_CHUNKED, meta, streams).to_bytes()
+    trace = observe.current_trace()
+    with trace.span("chunked.compress") as root:
+        arr = np.asarray(data)
+        if arr.ndim == 0 or arr.size == 0:
+            raise ParameterError("data must be a non-empty array")
+        if n_chunks < 1:
+            raise ParameterError("n_chunks must be >= 1")
+        n_chunks = min(n_chunks, arr.shape[0])
+        if trace.enabled:
+            root.count("n_points", int(arr.size))
+            root.set("n_chunks", n_chunks)
+            root.set("n_workers", max(0, n_workers))
+        # Resolve the bound globally so chunked == unchunked semantics.
+        probe = SZCompressor(
+            error_bound=error_bound, mode=mode, **compressor_options
+        )
+        eb_abs = probe.resolve_error_bound(arr)
+        slabs = np.array_split(arr, n_chunks, axis=0)
+        tasks = [
+            (slab, eb_abs, compressor_options, trace.enabled) for slab in slabs
+        ]
+        if n_workers <= 0:
+            results = [_compress_slab(t) for t in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                results = list(pool.map(_compress_slab, tasks))
+        blobs: List[bytes] = []
+        for blob, records in results:
+            blobs.append(blob)
+            if records:
+                # Same "slab" prefix for every worker: repeated paths
+                # aggregate, and the tree stays stable across worker
+                # counts and scheduling.
+                trace.merge(records, prefix=("slab",))
+        meta = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "n_chunks": n_chunks,
+            "chunk_rows": [int(s.shape[0]) for s in slabs],
+        }
+        streams = [(f"chunk{i}", blob) for i, blob in enumerate(blobs)]
+        with trace.span("pack") as sp:
+            out = Container(CODEC_CHUNKED, meta, streams).to_bytes()
+            if trace.enabled:
+                observe.account_container_bytes(sp, streams, len(out))
+        return out
 
 
 def decompress_chunked(blob: bytes, n_workers: int = 0) -> np.ndarray:

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass, asdict, field as dc_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import repro.observe as observe
 from repro.errors import ParameterError
 
 __all__ = ["FieldResult", "run_field_task", "sweep_dataset", "default_workers"]
@@ -24,7 +25,14 @@ __all__ = ["FieldResult", "run_field_task", "sweep_dataset", "default_workers"]
 
 @dataclass(frozen=True)
 class FieldResult:
-    """Outcome of one (field, target) compression task."""
+    """Outcome of one (field, target) compression task.
+
+    ``metrics`` is optional stage-level telemetry (populated when the
+    sweep runs with ``collect_trace=True``): the aggregated trace dict
+    plus the raw picklable span records, so parent processes can merge
+    worker traces (see :mod:`repro.observe`).  It is excluded from
+    equality/hash so result identity stays purely about the outcome.
+    """
 
     dataset: str
     field: str
@@ -35,6 +43,7 @@ class FieldResult:
     compression_ratio: float
     bit_rate: float
     eb_rel: float
+    metrics: Optional[Dict] = dc_field(default=None, compare=False)
 
     def as_dict(self) -> Dict:
         """JSON-friendly representation."""
@@ -48,11 +57,16 @@ def run_field_task(
     scale: Optional[float] = None,
     refine: Optional[str] = None,
     codec: str = "sz",
+    collect_trace: bool = False,
 ) -> FieldResult:
     """Execute one task: regenerate the field, run the fixed-PSNR
     pipeline, measure the reconstruction.
 
     Importable at module top level so it pickles for worker processes.
+    With ``collect_trace=True`` the compression runs under a local
+    :class:`repro.observe.Trace`; the result's ``metrics`` dict carries
+    the aggregated stage costs and the raw span records back across
+    the process boundary.
     """
     # Imports inside the function keep worker start-up lean.
     from repro.core.fixed_psnr import FixedPSNRCompressor
@@ -63,7 +77,17 @@ def run_field_task(
     data = ds.field(field)
     comp = FixedPSNRCompressor(target_psnr, refine=refine, codec=codec)
     eb_rel = comp.derive_bound(data)
-    blob = comp.compress(data)
+    metrics = None
+    if collect_trace:
+        local = observe.Trace()
+        with observe.use_trace(local):
+            blob = comp.compress(data)
+        metrics = {
+            "trace": local.as_dict(),
+            "records": [r.as_dict() for r in local.records],
+        }
+    else:
+        blob = comp.compress(data)
     recon = comp.decompress(blob)
     actual = measure_psnr(data, recon)
     return FieldResult(
@@ -76,6 +100,7 @@ def run_field_task(
         compression_ratio=data.nbytes / len(blob),
         bit_rate=8.0 * len(blob) / data.size,
         eb_rel=float(eb_rel),
+        metrics=metrics,
     )
 
 
@@ -92,11 +117,16 @@ def sweep_dataset(
     refine: Optional[str] = None,
     codec: str = "sz",
     n_workers: int = 0,
+    collect_trace: bool = False,
 ) -> List[FieldResult]:
     """Run every (field, target) combination of a data set.
 
     Returns results ordered by (target, field registry order) so
     downstream tables are deterministic regardless of scheduling.
+    With ``collect_trace=True`` each task records a stage-level trace
+    (see :func:`run_field_task`); if a trace is also active in *this*
+    process, the per-worker span records are merged into it under a
+    ``field:<name>`` prefix.
     """
     from repro.datasets.registry import get_dataset
 
@@ -106,11 +136,18 @@ def sweep_dataset(
     if unknown:
         raise ParameterError(f"unknown fields for {dataset}: {sorted(unknown)}")
     tasks: List[Tuple] = [
-        (dataset, fname, float(t), scale, refine, codec)
+        (dataset, fname, float(t), scale, refine, codec, collect_trace)
         for t in targets
         for fname in names
     ]
     if n_workers <= 0:
-        return [run_field_task(*t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(run_field_task, *zip(*tasks), chunksize=1))
+        results = [run_field_task(*t) for t in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(run_field_task, *zip(*tasks), chunksize=1))
+    trace = observe.current_trace()
+    if trace.enabled:
+        for r in results:
+            if r.metrics:
+                trace.merge(r.metrics["records"], prefix=(f"field:{r.field}",))
+    return results

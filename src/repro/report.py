@@ -27,6 +27,8 @@ __all__ = [
     "render_markdown",
     "render_csv",
     "table2_text",
+    "stage_breakdown",
+    "render_stage_breakdown",
 ]
 
 
@@ -136,3 +138,49 @@ def table2_text(results: Iterable[FieldResult]) -> str:
         summarize_by_target(results),
         title="Fixed-PSNR accuracy (paper Table II layout)",
     )
+
+
+def stage_breakdown(results: Iterable[FieldResult]) -> Dict[str, Dict]:
+    """Aggregate the per-field traces attached by ``collect_trace``.
+
+    Returns a mapping ``stage name -> {"duration_s", "calls",
+    "counters"}`` summed across every result that carries ``metrics``
+    (results without traces are skipped).  The stage name is the leaf
+    of the span path, so e.g. every field's ``quantize`` span lands in
+    one bucket regardless of codec nesting.
+    """
+    stages: Dict[str, Dict] = {}
+    for r in results:
+        if not r.metrics or "records" not in r.metrics:
+            continue
+        for rec in r.metrics["records"]:
+            name = rec["path"][-1]
+            bucket = stages.setdefault(
+                name, {"duration_s": 0.0, "calls": 0, "counters": {}}
+            )
+            bucket["duration_s"] += float(rec.get("duration_s", 0.0))
+            bucket["calls"] += 1
+            for key, val in rec.get("counters", {}).items():
+                bucket["counters"][key] = bucket["counters"].get(key, 0) + val
+    return stages
+
+
+def render_stage_breakdown(results: Iterable[FieldResult]) -> str:
+    """Fixed-width text table of :func:`stage_breakdown` sorted by
+    total time (what ``fpzc sweep --trace`` prints)."""
+    stages = stage_breakdown(results)
+    if not stages:
+        return "stage breakdown: no traces collected"
+    total = sum(b["duration_s"] for b in stages.values()) or 1.0
+    lines = [
+        "stage breakdown (timings non-deterministic)",
+        f"{'stage':<24} {'time':>10} {'share':>7} {'calls':>7}",
+    ]
+    for name, b in sorted(
+        stages.items(), key=lambda kv: -kv[1]["duration_s"]
+    ):
+        lines.append(
+            f"{name:<24} {1e3 * b['duration_s']:>7.1f} ms "
+            f"{100 * b['duration_s'] / total:>6.1f}% {b['calls']:>7}"
+        )
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+import repro.observe as observe
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -193,84 +194,105 @@ class SZCompressor:
     def _encode_lattice(self, y: np.ndarray, eb_abs: float, meta, streams) -> None:
         """Core pipeline on a float64 array: lattice snap, predictor
         difference, escape, Huffman; appends to ``meta``/``streams``."""
+        trace = observe.current_trace()
         anchor = float(y.flat[0])
         meta["eb_abs"] = pack_exact_float(eb_abs)
         meta["anchor"] = pack_exact_float(anchor)
 
-        quantizer = LatticeQuantizer(eb_abs, anchor)
-        k = quantizer.quantize(y)
-        q = self._difference(k)
+        with trace.span("quantize") as sp:
+            quantizer = LatticeQuantizer(eb_abs, anchor)
+            k = quantizer.quantize(y)
+            q = self._difference(k)
+            if trace.enabled:
+                sp.count("n_points", int(q.size))
+                sp.set("bin_size", 2.0 * eb_abs)
 
         escape_symbol = self.radius + 1
-        esc_mask = np.abs(q) > self.radius
-        n_escapes = int(esc_mask.sum())
-        if n_escapes:
-            escaped_values = q[esc_mask].astype(np.int64)
-            q = q.copy()
-            q[esc_mask] = escape_symbol
-            streams.append(
-                (
-                    "escapes",
-                    lossless_compress(
-                        escaped_values.tobytes(), self.lossless, self.lossless_level
-                    ),
+        with trace.span("escape") as sp:
+            esc_mask = np.abs(q) > self.radius
+            n_escapes = int(esc_mask.sum())
+            if trace.enabled:
+                sp.count("n_outliers", n_escapes)
+                sp.set("hit_ratio", 1.0 - n_escapes / q.size)
+            if n_escapes:
+                escaped_values = q[esc_mask].astype(np.int64)
+                q = q.copy()
+                q[esc_mask] = escape_symbol
+                streams.append(
+                    (
+                        "escapes",
+                        lossless_compress(
+                            escaped_values.tobytes(),
+                            self.lossless,
+                            self.lossless_level,
+                        ),
+                    )
                 )
-            )
         meta["n_escapes"] = n_escapes
         meta["escape_symbol"] = escape_symbol
         meta["entropy"] = self.ENTROPY_CODERS[self.entropy]
 
-        if self.entropy == "rans_rle":
-            from repro.encoding.rle import encode_rle_rans
+        with trace.span("entropy") as sp:
+            if trace.enabled:
+                sp.count("n_symbols", int(q.size))
+                sp.set("coder_id", self.ENTROPY_CODERS[self.entropy])
+            if self.entropy == "rans_rle":
+                from repro.encoding.rle import encode_rle_rans
 
-            try:
-                streams.insert(0, ("payload", encode_rle_rans(q)))
-                return
-            except ParameterError:
-                meta["entropy"] = self.ENTROPY_CODERS["huffman"]
-        elif self.entropy == "rans":
-            from repro.encoding.rans import RansCoder
+                try:
+                    streams.insert(0, ("payload", encode_rle_rans(q)))
+                    return
+                except ParameterError:
+                    meta["entropy"] = self.ENTROPY_CODERS["huffman"]
+                    if trace.enabled:
+                        sp.set("coder_id", self.ENTROPY_CODERS["huffman"])
+            elif self.entropy == "rans":
+                from repro.encoding.rans import RansCoder
 
-            try:
-                coder = RansCoder.from_data(q)
-            except ParameterError:
-                meta["entropy"] = self.ENTROPY_CODERS["huffman"]
-            else:
-                # rANS output is already near-incompressible; only the
-                # model table goes through the lossless stage.
-                streams.insert(0, ("payload", coder.encode(q)))
-                streams.insert(
-                    0,
-                    (
-                        "table",
-                        lossless_compress(
-                            coder.table_bytes(),
-                            self.lossless,
-                            self.lossless_level,
+                try:
+                    coder = RansCoder.from_data(q)
+                except ParameterError:
+                    meta["entropy"] = self.ENTROPY_CODERS["huffman"]
+                    if trace.enabled:
+                        sp.set("coder_id", self.ENTROPY_CODERS["huffman"])
+                else:
+                    # rANS output is already near-incompressible; only the
+                    # model table goes through the lossless stage.
+                    streams.insert(0, ("payload", coder.encode(q)))
+                    streams.insert(
+                        0,
+                        (
+                            "table",
+                            lossless_compress(
+                                coder.table_bytes(),
+                                self.lossless,
+                                self.lossless_level,
+                            ),
                         ),
-                    ),
-                )
-                return
+                    )
+                    return
 
-        code = CanonicalHuffman.from_data(q)
-        payload, total_bits = code.encode(q)
-        meta["total_bits"] = total_bits
-        streams.insert(
-            0,
-            (
-                "payload",
-                lossless_compress(payload, self.lossless, self.lossless_level),
-            ),
-        )
-        streams.insert(
-            0,
-            (
-                "table",
-                lossless_compress(
-                    code.table_bytes(), self.lossless, self.lossless_level
+            code = CanonicalHuffman.from_data(q)
+            payload, total_bits = code.encode(q)
+            meta["total_bits"] = total_bits
+            if trace.enabled:
+                sp.count("total_bits", int(total_bits))
+            streams.insert(
+                0,
+                (
+                    "payload",
+                    lossless_compress(payload, self.lossless, self.lossless_level),
                 ),
-            ),
-        )
+            )
+            streams.insert(
+                0,
+                (
+                    "table",
+                    lossless_compress(
+                        code.table_bytes(), self.lossless, self.lossless_level
+                    ),
+                ),
+            )
 
     def _split_fill(self, data):
         """Separate the fill mask from the data; returns
@@ -307,64 +329,79 @@ class SZCompressor:
         x[mask] = replacement
         return arr, x, mask
 
+    def _pack(self, meta, streams) -> bytes:
+        """Serialize the container, with exact byte accounting when a
+        trace is active (see :mod:`repro.observe`)."""
+        trace = observe.current_trace()
+        with trace.span("pack") as sp:
+            blob = Container(CODEC_SZ, meta, streams).to_bytes()
+            if trace.enabled:
+                observe.account_container_bytes(sp, streams, len(blob))
+        return blob
+
     def compress(self, data) -> bytes:
         """Compress ``data`` and return the serialized container."""
-        arr, x, fill_mask = self._split_fill(data)
-        vr = float(x.max() - x.min())
-        meta = {
-            "dtype": str(arr.dtype),
-            "shape": list(arr.shape),
-            "mode": self.mode,
-            "bound": self.error_bound,
-            "predictor": self.predictor_id,
-            "lossless": self.lossless_id,
-            "radius": self.radius,
-            "value_range": vr,
-        }
-        if self.target_psnr is not None:
-            meta["target_psnr"] = float(self.target_psnr)
+        trace = observe.current_trace()
+        with trace.span("sz.compress") as root:
+            arr, x, fill_mask = self._split_fill(data)
+            if trace.enabled:
+                root.count("n_points", int(arr.size))
+                root.count("raw_bytes", int(arr.nbytes))
+            vr = float(x.max() - x.min())
+            meta = {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "mode": self.mode,
+                "bound": self.error_bound,
+                "predictor": self.predictor_id,
+                "lossless": self.lossless_id,
+                "radius": self.radius,
+                "value_range": vr,
+            }
+            if self.target_psnr is not None:
+                meta["target_psnr"] = float(self.target_psnr)
 
-        streams = []
-        if fill_mask is not None:
-            meta["fill_value"] = pack_exact_float(self.fill_value)
-            streams.append(
-                (
-                    "fillmask",
-                    lossless_compress(
-                        np.packbits(fill_mask).tobytes(),
-                        self.lossless,
-                        self.lossless_level,
-                    ),
+            streams = []
+            if fill_mask is not None:
+                meta["fill_value"] = pack_exact_float(self.fill_value)
+                streams.append(
+                    (
+                        "fillmask",
+                        lossless_compress(
+                            np.packbits(fill_mask).tobytes(),
+                            self.lossless,
+                            self.lossless_level,
+                        ),
+                    )
                 )
-            )
-        if self.mode == "pw_rel":
-            signs, y = forward_log_transform(x)
-            streams.append(
-                (
-                    "signs",
-                    lossless_compress(
-                        signs.tobytes(), self.lossless, self.lossless_level
-                    ),
+            if self.mode == "pw_rel":
+                signs, y = forward_log_transform(x)
+                streams.append(
+                    (
+                        "signs",
+                        lossless_compress(
+                            signs.tobytes(), self.lossless, self.lossless_level
+                        ),
+                    )
                 )
-            )
-            eb_abs = pointwise_bound_to_log_bound(self.error_bound)
-            if float(y.max() - y.min()) == 0.0:
-                meta["constant"] = pack_exact_float(float(y.flat[0]))
-                return Container(CODEC_SZ, meta, streams).to_bytes()
-            self._encode_lattice(y, eb_abs, meta, streams)
-            return Container(CODEC_SZ, meta, streams).to_bytes()
+                eb_abs = pointwise_bound_to_log_bound(self.error_bound)
+                if float(y.max() - y.min()) == 0.0:
+                    meta["constant"] = pack_exact_float(float(y.flat[0]))
+                    return self._pack(meta, streams)
+                self._encode_lattice(y, eb_abs, meta, streams)
+                return self._pack(meta, streams)
 
-        if vr == 0.0:
-            # Constant field: store the value exactly.
-            meta["constant"] = pack_exact_float(float(x.flat[0]))
-            return Container(CODEC_SZ, meta, streams).to_bytes()
+            if vr == 0.0:
+                # Constant field: store the value exactly.
+                meta["constant"] = pack_exact_float(float(x.flat[0]))
+                return self._pack(meta, streams)
 
-        if self.mode == "abs":
-            eb_abs = self.error_bound
-        else:
-            eb_abs = self.error_bound * vr
-        self._encode_lattice(x, eb_abs, meta, streams)
-        return Container(CODEC_SZ, meta, streams).to_bytes()
+            if self.mode == "abs":
+                eb_abs = self.error_bound
+            else:
+                eb_abs = self.error_bound * vr
+            self._encode_lattice(x, eb_abs, meta, streams)
+            return self._pack(meta, streams)
 
     # -- decompression ----------------------------------------------------
 
@@ -435,6 +472,40 @@ class SZCompressor:
         n = int(np.prod(shape))
         _, _, reconstruct = predictor_by_id(predictor_id)
 
+        trace = observe.current_trace()
+        with trace.span("sz.decode") as sp:
+            if trace.enabled:
+                sp.count("n_points", n)
+                sp.set("coder_id", entropy_id)
+            q = SZCompressor._decode_codes(
+                container, lossless, entropy_id, n, total_bits, shape
+            )
+
+        if n_escapes:
+            esc_blob = lossless_decompress(container.stream("escapes"), lossless)
+            escaped_values = np.frombuffer(esc_blob, dtype=np.int64)
+            if escaped_values.size != n_escapes:
+                raise DecompressionError(
+                    f"escape stream has {escaped_values.size} values, "
+                    f"expected {n_escapes}"
+                )
+            esc_mask = q == escape_symbol
+            if int(esc_mask.sum()) != n_escapes:
+                raise DecompressionError("escape marker count mismatch")
+            q = q.copy()
+            q[esc_mask] = escaped_values
+
+        with trace.span("sz.reconstruct"):
+            k = reconstruct(q)
+            quantizer = LatticeQuantizer(eb_abs, anchor)
+            values = quantizer.dequantize(k)
+            if pointwise:
+                values = inverse_log_transform(signs, values)
+        return _restore_fill(values).astype(dtype)
+
+    @staticmethod
+    def _decode_codes(container, lossless, entropy_id, n, total_bits, shape):
+        """Entropy-decode the quantization codes of one container."""
         if entropy_id == 2:
             from repro.encoding.rle import decode_rle_rans
 
@@ -458,27 +529,7 @@ class SZCompressor:
             q = code.decode(payload, n, total_bits).reshape(shape)
         else:
             raise FormatError(f"unknown entropy coder id {entropy_id}")
-
-        if n_escapes:
-            esc_blob = lossless_decompress(container.stream("escapes"), lossless)
-            escaped_values = np.frombuffer(esc_blob, dtype=np.int64)
-            if escaped_values.size != n_escapes:
-                raise DecompressionError(
-                    f"escape stream has {escaped_values.size} values, "
-                    f"expected {n_escapes}"
-                )
-            esc_mask = q == escape_symbol
-            if int(esc_mask.sum()) != n_escapes:
-                raise DecompressionError("escape marker count mismatch")
-            q = q.copy()
-            q[esc_mask] = escaped_values
-
-        k = reconstruct(q)
-        quantizer = LatticeQuantizer(eb_abs, anchor)
-        values = quantizer.dequantize(k)
-        if pointwise:
-            values = inverse_log_transform(signs, values)
-        return _restore_fill(values).astype(dtype)
+        return q
 
 
 def compress(data, error_bound: float, mode: str = "abs", **kwargs) -> bytes:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.observe as observe
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -129,82 +130,117 @@ class TransformCompressor:
             raise CompressionError("data contains NaN/Inf")
         return arr
 
+    def _pack(self, meta, streams) -> bytes:
+        """Serialize the container with byte accounting when traced."""
+        trace = observe.current_trace()
+        with trace.span("pack") as sp:
+            blob = Container(CODEC_TRANSFORM, meta, streams).to_bytes()
+            if trace.enabled:
+                observe.account_container_bytes(sp, streams, len(blob))
+        return blob
+
     def compress(self, data) -> bytes:
         """Compress ``data``; returns a serialized container."""
-        arr = self._validate(data)
-        x = arr.astype(np.float64, copy=False)
-        lo, hi = float(x.min()), float(x.max())
-        vr = hi - lo
-        meta = {
-            "dtype": str(arr.dtype),
-            "shape": list(arr.shape),
-            "mode": self.mode,
-            "bound": self.error_bound,
-            "block_size": self.block_size,
-            "lossless": self.lossless_id,
-            "radius": self.radius,
-            "value_range": vr,
-        }
-        if self.target_psnr is not None:
-            meta["target_psnr"] = float(self.target_psnr)
-        if vr == 0.0:
-            meta["constant"] = pack_exact_float(lo)
-            return Container(CODEC_TRANSFORM, meta, []).to_bytes()
+        trace = observe.current_trace()
+        with trace.span("transform.compress") as root:
+            arr = self._validate(data)
+            if trace.enabled:
+                root.count("n_points", int(arr.size))
+                root.count("raw_bytes", int(arr.nbytes))
+            x = arr.astype(np.float64, copy=False)
+            lo, hi = float(x.min()), float(x.max())
+            vr = hi - lo
+            meta = {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "mode": self.mode,
+                "bound": self.error_bound,
+                "block_size": self.block_size,
+                "lossless": self.lossless_id,
+                "radius": self.radius,
+                "value_range": vr,
+            }
+            if self.target_psnr is not None:
+                meta["target_psnr"] = float(self.target_psnr)
+            if vr == 0.0:
+                meta["constant"] = pack_exact_float(lo)
+                return self._pack(meta, [])
 
-        eb_abs = self.error_bound * vr if self.mode == "rel" else self.error_bound
-        delta = 2.0 * eb_abs
-        center = 0.5 * (lo + hi)
-        meta["eb_abs"] = pack_exact_float(eb_abs)
-        meta["center"] = pack_exact_float(center)
+            eb_abs = self.error_bound * vr if self.mode == "rel" else self.error_bound
+            delta = 2.0 * eb_abs
+            center = 0.5 * (lo + hi)
+            meta["eb_abs"] = pack_exact_float(eb_abs)
+            meta["center"] = pack_exact_float(center)
 
-        meta["transform"] = self.TRANSFORMS[self.transform]
-        T = self._matrix(self.TRANSFORMS[self.transform], self.block_size)
-        blocks = split_blocks(x - center, self.block_size)
-        coeffs = block_transform(blocks, T)
-        codes_f = np.rint(coeffs / delta)
-        if np.abs(codes_f).max() > _MAX_COEFF_CODE:
-            raise CompressionError(
-                "error bound too small: coefficient codes exceed exact range"
-            )
-        q = codes_f.astype(np.int64).ravel()
+            meta["transform"] = self.TRANSFORMS[self.transform]
+            T = self._matrix(self.TRANSFORMS[self.transform], self.block_size)
+            with trace.span("dct") as sp:
+                blocks = split_blocks(x - center, self.block_size)
+                coeffs = block_transform(blocks, T)
+                if trace.enabled:
+                    sp.count("n_blocks", int(blocks.shape[0]))
+                    sp.set("block_size", self.block_size)
+            with trace.span("quantize") as sp:
+                codes_f = np.rint(coeffs / delta)
+                if np.abs(codes_f).max() > _MAX_COEFF_CODE:
+                    raise CompressionError(
+                        "error bound too small: coefficient codes exceed exact range"
+                    )
+                q = codes_f.astype(np.int64).ravel()
+                if trace.enabled:
+                    sp.count("n_points", int(q.size))
+                    sp.set("bin_size", delta)
 
-        escape_symbol = self.radius + 1
-        esc_mask = np.abs(q) > self.radius
-        n_escapes = int(esc_mask.sum())
-        streams = []
-        if n_escapes:
-            escaped = q[esc_mask].astype(np.int64)
-            q = q.copy()
-            q[esc_mask] = escape_symbol
-            streams.append(
-                (
-                    "escapes",
-                    lossless_compress(
-                        escaped.tobytes(), self.lossless, self.lossless_level
+            escape_symbol = self.radius + 1
+            with trace.span("escape") as sp:
+                esc_mask = np.abs(q) > self.radius
+                n_escapes = int(esc_mask.sum())
+                if trace.enabled:
+                    sp.count("n_outliers", n_escapes)
+                    sp.set("hit_ratio", 1.0 - n_escapes / q.size)
+                streams = []
+                if n_escapes:
+                    escaped = q[esc_mask].astype(np.int64)
+                    q = q.copy()
+                    q[esc_mask] = escape_symbol
+                    streams.append(
+                        (
+                            "escapes",
+                            lossless_compress(
+                                escaped.tobytes(), self.lossless, self.lossless_level
+                            ),
+                        )
+                    )
+            meta["n_escapes"] = n_escapes
+            meta["escape_symbol"] = escape_symbol
+
+            with trace.span("entropy") as sp:
+                code = CanonicalHuffman.from_data(q)
+                payload, total_bits = code.encode(q)
+                meta["total_bits"] = total_bits
+                meta["n_codes"] = int(q.size)
+                if trace.enabled:
+                    sp.count("n_symbols", int(q.size))
+                    sp.count("total_bits", int(total_bits))
+                streams.insert(
+                    0,
+                    (
+                        "payload",
+                        lossless_compress(
+                            payload, self.lossless, self.lossless_level
+                        ),
                     ),
                 )
-            )
-        meta["n_escapes"] = n_escapes
-        meta["escape_symbol"] = escape_symbol
-
-        code = CanonicalHuffman.from_data(q)
-        payload, total_bits = code.encode(q)
-        meta["total_bits"] = total_bits
-        meta["n_codes"] = int(q.size)
-        streams.insert(
-            0,
-            ("payload", lossless_compress(payload, self.lossless, self.lossless_level)),
-        )
-        streams.insert(
-            0,
-            (
-                "table",
-                lossless_compress(
-                    code.table_bytes(), self.lossless, self.lossless_level
-                ),
-            ),
-        )
-        return Container(CODEC_TRANSFORM, meta, streams).to_bytes()
+                streams.insert(
+                    0,
+                    (
+                        "table",
+                        lossless_compress(
+                            code.table_bytes(), self.lossless, self.lossless_level
+                        ),
+                    ),
+                )
+            return self._pack(meta, streams)
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:

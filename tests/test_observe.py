@@ -1,0 +1,256 @@
+"""Unit tests for the stage-level observability layer (repro.observe)."""
+
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.observe as observe
+from repro.observe import (
+    FRAMING_KEY,
+    NULL_TRACE,
+    SCHEMA_VERSION,
+    SpanRecord,
+    Trace,
+    account_container_bytes,
+    current_trace,
+    use_trace,
+)
+
+
+class TestSpanNesting:
+    def test_paths_follow_lexical_nesting(self):
+        tr = Trace()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("leaf"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        paths = [r.path for r in tr.records]
+        # Records close innermost-first.
+        assert paths == [
+            ("outer", "inner", "leaf"),
+            ("outer", "inner"),
+            ("outer", "sibling"),
+            ("outer",),
+        ]
+
+    def test_sequence_numbers_monotonic(self):
+        tr = Trace()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert [r.seq for r in tr.records] == [0, 1]
+
+    def test_span_survives_exceptions(self):
+        tr = Trace()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert [r.path for r in tr.records] == [("boom",)]
+        # The stack unwound: the next span is a root again.
+        with tr.span("after"):
+            pass
+        assert tr.records[-1].path == ("after",)
+
+    def test_durations_nonnegative(self):
+        tr = Trace()
+        with tr.span("t"):
+            pass
+        assert tr.records[0].duration_s >= 0.0
+
+
+class TestCountersAndGauges:
+    def test_counters_sum_on_aggregation(self):
+        tr = Trace()
+        for _ in range(3):
+            with tr.span("stage") as sp:
+                sp.count("n_symbols", 100)
+                sp.add_bytes("payload", 10)
+        agg = tr.aggregate()[("stage",)]
+        assert agg["calls"] == 3
+        assert agg["counters"]["n_symbols"] == 300
+        assert agg["counters"]["bytes.payload"] == 30
+
+    def test_gauges_average_on_aggregation(self):
+        tr = Trace()
+        for value in (0.002, 0.004):
+            with tr.span("quantize") as sp:
+                sp.set("bin_size", value)
+        agg = tr.aggregate()[("quantize",)]
+        assert agg["gauges"]["bin_size"] == pytest.approx(0.003)
+
+    def test_count_increments_within_a_span(self):
+        tr = Trace()
+        with tr.span("s") as sp:
+            sp.count("hits")
+            sp.count("hits")
+            sp.count("hits", 3)
+        assert tr.records[0].counters["hits"] == 5
+
+    def test_account_container_bytes_sums_to_total(self):
+        tr = Trace()
+        streams = [("payload", b"x" * 100), ("table", b"y" * 40)]
+        with tr.span("pack") as sp:
+            account_container_bytes(sp, streams, 170)
+        counters = tr.records[0].counters
+        assert counters["bytes.payload"] == 100
+        assert counters["bytes.table"] == 40
+        assert counters[FRAMING_KEY] == 30
+        assert tr.total_bytes() == 170
+
+    def test_total_bytes_filters_by_path(self):
+        tr = Trace()
+        with tr.span("a") as sp:
+            sp.add_bytes("x", 7)
+        with tr.span("b") as sp:
+            sp.add_bytes("x", 11)
+        assert tr.total_bytes(path=("a",)) == 7
+        assert tr.total_bytes() == 18
+
+
+class TestDisabledPath:
+    def test_default_trace_is_null(self):
+        assert current_trace() is NULL_TRACE
+        assert not NULL_TRACE.enabled
+
+    def test_null_trace_allocates_no_records(self):
+        t = current_trace()
+        spans = set()
+        for _ in range(5):
+            with t.span("anything") as sp:
+                sp.set("k", 1)
+                sp.count("n", 2)
+                sp.add_bytes("s", 3)
+                spans.add(id(sp))
+        # One shared no-op span instance, and nothing recorded anywhere.
+        assert len(spans) == 1
+        assert NULL_TRACE.records == ()
+
+    def test_instrumented_pipeline_output_identical_when_disabled(self):
+        from repro.sz.compressor import SZCompressor
+
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(20, 20)).astype(np.float32)
+        plain = SZCompressor(1e-3, mode="abs").compress(data)
+        tr = Trace()
+        with use_trace(tr):
+            traced = SZCompressor(1e-3, mode="abs").compress(data)
+        assert plain == traced
+        assert tr.records  # the traced run did record spans
+
+    def test_use_trace_restores_previous(self):
+        t1, t2 = Trace(), Trace()
+        with use_trace(t1):
+            assert current_trace() is t1
+            with use_trace(t2):
+                assert current_trace() is t2
+            assert current_trace() is t1
+        assert current_trace() is NULL_TRACE
+
+
+def _worker_trace(n):
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    local = Trace()
+    with use_trace(local):
+        with current_trace().span("work") as sp:
+            sp.count("items", n)
+    return [r.as_dict() for r in local.records]
+
+
+class TestMerging:
+    def test_records_pickle_roundtrip(self):
+        rec = SpanRecord(
+            path=("a", "b"),
+            seq=3,
+            duration_s=0.5,
+            counters={"n": 2},
+            gauges={"g": 1.5},
+        )
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone == rec
+        assert SpanRecord.from_dict(rec.as_dict()) == rec
+
+    def test_merge_applies_prefix(self):
+        tr = Trace()
+        child = Trace()
+        with child.span("inner") as sp:
+            sp.count("n", 1)
+        tr.merge([r.as_dict() for r in child.records], prefix=("slab",))
+        assert tr.records[0].path == ("slab", "inner")
+
+    def test_merge_nests_under_open_span(self):
+        tr = Trace()
+        child = Trace()
+        with child.span("inner"):
+            pass
+        with tr.span("outer"):
+            tr.merge(child.records, prefix=("slab",))
+        assert tr.records[0].path == ("outer", "slab", "inner")
+
+    def test_cross_process_merge(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(_worker_trace, [10, 20, 30]))
+        tr = Trace()
+        for records in results:
+            tr.merge(records, prefix=("worker",))
+        agg = tr.aggregate()[("worker", "work")]
+        assert agg["calls"] == 3
+        assert agg["counters"]["items"] == 60
+
+
+class TestSerialization:
+    def _traced(self):
+        tr = Trace()
+        with tr.span("root") as sp:
+            sp.count("n", 1)
+            sp.set("g", 2.0)
+            with tr.span("child"):
+                pass
+        return tr
+
+    def test_as_dict_schema(self):
+        d = self._traced().as_dict()
+        assert d["schema"] == SCHEMA_VERSION
+        paths = {s["path"] for s in d["spans"]}
+        assert paths == {"root", "root/child"}
+        for s in d["spans"]:
+            assert set(s) == {"path", "calls", "counters", "gauges", "timing"}
+
+    def test_deterministic_dict_has_no_timing(self):
+        text = json.dumps(self._traced().deterministic_dict())
+        assert "timing" not in text
+        assert "duration" not in text
+
+    def test_deterministic_dict_reproducible(self):
+        import repro
+
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(16, 24)).astype(np.float32)
+
+        def run():
+            tr = Trace()
+            with use_trace(tr):
+                repro.sz.compressor.SZCompressor(1e-3).compress(data)
+            return tr.deterministic_dict()
+
+        assert run() == run()
+
+    def test_to_json_parses(self):
+        d = json.loads(self._traced().to_json())
+        assert d["schema"] == SCHEMA_VERSION
+
+    def test_render_tree_order(self):
+        tr = Trace()
+        with tr.span("root"):
+            with tr.span("first"):
+                pass
+            with tr.span("second"):
+                pass
+        lines = tr.render().splitlines()
+        names = [ln.split()[0] for ln in lines[1:]]
+        assert names == ["root", "first", "second"]

@@ -1,0 +1,159 @@
+"""Trace-content regression: the observability layer's deterministic
+output is part of the tested surface.
+
+Checked here, all against the golden field:
+
+* the ``pack`` span's ``bytes.*`` counters sum **exactly** to the
+  serialized container size (and agree with
+  ``Container.byte_layout()``);
+* the stage-name tree for each codec is stable (a rename or a dropped
+  stage is a breaking change for trace consumers);
+* golden comparisons use ``deterministic_dict()`` only -- timings are
+  explicitly excluded and never part of the contract.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.fixed_psnr import FixedPSNRCompressor
+from repro.io.container import Container
+from repro.observe import Trace, use_trace
+from repro.parallel.chunking import compress_chunked
+from repro.sz.compressor import SZCompressor
+from repro.transform.compressor import TransformCompressor
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def field():
+    return np.load(GOLDEN / "field.npy")
+
+
+def _traced(fn, *args):
+    tr = Trace()
+    with use_trace(tr):
+        blob = fn(*args)
+    return tr, blob
+
+
+def _pack_records(tr):
+    return [r for r in tr.records if r.path[-1] == "pack"]
+
+
+class TestByteAccounting:
+    def test_sz_pack_counters_sum_to_container_size(self, field):
+        tr, blob = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        (pack,) = _pack_records(tr)
+        total = sum(
+            v for k, v in pack.counters.items() if k.startswith("bytes.")
+        )
+        assert total == len(blob)
+
+    def test_sz_pack_counters_match_byte_layout(self, field):
+        tr, blob = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        (pack,) = _pack_records(tr)
+        layout = Container.from_bytes(blob).byte_layout()
+        assert layout["total"] == len(blob)
+        assert pack.counters["bytes.framing"] == layout["framing"]
+        for name, size in layout["streams"].items():
+            assert pack.counters[f"bytes.{name}"] == size
+
+    def test_transform_pack_counters_sum(self, field):
+        tr, blob = _traced(
+            TransformCompressor(1e-4, mode="rel").compress, field
+        )
+        (pack,) = _pack_records(tr)
+        total = sum(
+            v for k, v in pack.counters.items() if k.startswith("bytes.")
+        )
+        assert total == len(blob)
+
+    def test_chunked_outer_pack_counters_sum(self, field):
+        tr, blob = _traced(compress_chunked, field, 1e-3, "abs", 3)
+        outer = [
+            r
+            for r in _pack_records(tr)
+            if r.path == ("chunked.compress", "pack")
+        ]
+        assert len(outer) == 1
+        total = sum(
+            v
+            for k, v in outer[0].counters.items()
+            if k.startswith("bytes.")
+        )
+        assert total == len(blob)
+
+    def test_total_bytes_helper_consistent(self, field):
+        tr, blob = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        (pack,) = _pack_records(tr)
+        assert tr.total_bytes(path=pack.path) == len(blob)
+
+
+class TestStageNameStability:
+    def test_sz_stage_tree(self, field):
+        tr, _ = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        paths = {"/".join(r.path) for r in tr.records}
+        assert paths >= {
+            "sz.compress",
+            "sz.compress/quantize",
+            "sz.compress/escape",
+            "sz.compress/entropy",
+            "sz.compress/entropy/huffman.build",
+            "sz.compress/entropy/huffman.encode",
+            "sz.compress/entropy/lossless",
+            "sz.compress/pack",
+        }
+
+    def test_fixed_psnr_stage_tree(self, field):
+        tr, _ = _traced(FixedPSNRCompressor(80.0).compress, field)
+        paths = {"/".join(r.path) for r in tr.records}
+        assert "fixed_psnr.compress" in paths
+        assert "fixed_psnr.compress/derive_bound" in paths
+        assert "fixed_psnr.compress/sz.compress" in paths
+
+    def test_transform_stage_tree(self, field):
+        tr, _ = _traced(TransformCompressor(1e-4, mode="rel").compress, field)
+        paths = {"/".join(r.path) for r in tr.records}
+        assert paths >= {
+            "transform.compress",
+            "transform.compress/dct",
+            "transform.compress/quantize",
+            "transform.compress/escape",
+            "transform.compress/entropy",
+            "transform.compress/pack",
+        }
+
+    def test_chunked_stage_tree(self, field):
+        tr, _ = _traced(compress_chunked, field, 1e-3, "abs", 2)
+        paths = {"/".join(r.path) for r in tr.records}
+        assert "chunked.compress" in paths
+        assert "chunked.compress/slab/sz.compress" in paths
+        assert "chunked.compress/pack" in paths
+
+
+class TestDeterministicContent:
+    def test_deterministic_dict_stable_across_runs(self, field):
+        t1, _ = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        t2, _ = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        assert t1.deterministic_dict() == t2.deterministic_dict()
+
+    def test_exact_counters_for_golden_settings(self, field):
+        tr, blob = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        root = [r for r in tr.records if r.path == ("sz.compress",)][0]
+        assert root.counters["n_points"] == field.size
+        assert root.counters["raw_bytes"] == field.nbytes
+        quant = [r for r in tr.records if r.path[-1] == "quantize"][0]
+        assert quant.counters["n_points"] == field.size
+        assert quant.gauges["bin_size"] == pytest.approx(2e-3)
+        # bitwise-stable golden settings => bitwise-stable byte counters
+        assert blob == (GOLDEN / "sz_abs.fpz").read_bytes()
+
+    def test_timing_never_in_deterministic_output(self, field):
+        tr, _ = _traced(SZCompressor(1e-3, mode="abs").compress, field)
+        import json
+
+        text = json.dumps(tr.deterministic_dict())
+        assert "duration" not in text and "timing" not in text
