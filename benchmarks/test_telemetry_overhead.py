@@ -1,0 +1,88 @@
+"""Telemetry overhead: metrics ingestion and memory profiling costs.
+
+The observability budget (DESIGN/OBSERVABILITY): tracing off must be
+~free, tracing on must stay a small fraction of compression, and the
+two opt-in telemetry layers have measured, bounded costs:
+
+* ``record_trace`` (feeding a finished trace into the metrics
+  registry) is pure dict arithmetic -- it must be negligible next to
+  the compression that produced the trace;
+* ``profile_memory`` (tracemalloc) is expected to be *expensive* --
+  the point of measuring it is to document why it is opt-in.
+"""
+
+import time
+
+import repro.observe as observe
+from benchmarks.conftest import bench_scale, render_table
+from repro.datasets.registry import get_dataset
+from repro.sz.compressor import SZCompressor
+from repro.telemetry import MetricsRegistry, record_trace
+from repro.telemetry.memory import profile_memory
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_telemetry_overhead(save_result):
+    field = get_dataset("ATM", scale=bench_scale()).field("T500")
+    sz = SZCompressor(error_bound=1e-3, mode="abs")
+
+    def traced_compress():
+        tr = observe.Trace()
+        with observe.use_trace(tr):
+            sz.compress(field)
+        return tr
+
+    def profiled_compress():
+        tr = observe.Trace()
+        with observe.use_trace(tr), profile_memory():
+            sz.compress(field)
+        return tr
+
+    t_plain = _best_of(lambda: sz.compress(field))
+    t_traced = _best_of(traced_compress)
+    t_profiled = _best_of(profiled_compress)
+    trace = traced_compress()
+    t_ingest = _best_of(
+        lambda: record_trace(trace, registry=MetricsRegistry()), repeats=20
+    )
+
+    rows = [
+        ("plain compression", f"{1e3 * t_plain:.3f} ms", "1x"),
+        ("traced", f"{1e3 * t_traced:.3f} ms",
+         f"{t_traced / t_plain:.3f}x"),
+        ("traced + profile_memory", f"{1e3 * t_profiled:.3f} ms",
+         f"{t_profiled / t_plain:.3f}x"),
+        ("record_trace ingestion", f"{1e6 * t_ingest:.3f} us",
+         f"{100 * t_ingest / t_plain:.4f}%"),
+    ]
+    text = render_table(
+        ["step", "time", "vs plain"],
+        rows,
+        title="Telemetry overhead (ATM/T500, abs 1e-3)",
+    )
+    print("\n" + text)
+    save_result(
+        "telemetry_overhead",
+        {
+            "plain_s": t_plain,
+            "traced_s": t_traced,
+            "profiled_s": t_profiled,
+            "record_trace_s": t_ingest,
+            "ingest_fraction": t_ingest / t_plain,
+        },
+        text,
+    )
+
+    # Ingesting a trace into the registry is dict arithmetic only.
+    assert t_ingest / t_plain < 0.05
+    # Memory profiling is allowed to be slow (it is opt-in), but not
+    # absurdly so for a numpy-dominated workload.
+    assert t_profiled / t_plain < 10.0

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Perf-regression gate driver (thin wrapper over ``fpzc bench``).
+
+Intended for CI and pre-commit use::
+
+    PYTHONPATH=src python scripts/bench_gate.py             # check
+    PYTHONPATH=src python scripts/bench_gate.py --update    # rewrite
+
+``--update`` reruns the corpus and rewrites ``BENCH_compress.json`` /
+``BENCH_sweep.json`` at the repo top level -- do this (and commit the
+result) whenever a PR intentionally changes compression output; the
+gate exists so that such changes are always explicit in the diff.
+
+Anything else is forwarded to ``fpzc bench --check`` (notably
+``--time-factor``); the exit code is the gate's verdict (1 on
+deterministic drift).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli.main import main  # noqa: E402
+
+
+def run(argv: list) -> int:
+    if "--update" in argv:
+        argv = [a for a in argv if a != "--update"]
+        return main(["bench", "--dir", str(REPO), *argv])
+    return main(["bench", "--check", "--dir", str(REPO), *argv])
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

@@ -7,6 +7,8 @@ Subcommands
 ``info``        print a container's metadata
 ``table1``      print the data-set inventory (paper Table I)
 ``sweep``       run a fixed-PSNR sweep over a data set (Table II rows)
+``bench``       run the benchmark matrix; write or ``--check`` baselines
+``ledger``      print recent entries of the run ledger
 
 Examples
 --------
@@ -94,6 +96,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the full trace (schema v1 JSON) to PATH; implies --trace",
     )
+    p_c.add_argument(
+        "--profile-mem",
+        action="store_true",
+        help="per-span peak-memory profiling via tracemalloc "
+        "(slower; implies --trace)",
+    )
+    p_c.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the process metrics snapshot to PATH "
+        "(.prom -> Prometheus text, else JSON)",
+    )
+    p_c.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="run-ledger file for traced runs "
+        "(default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_c.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this traced run to the ledger",
+    )
 
     p_d = sub.add_parser("decompress", help="decompress a container")
     p_d.add_argument("input", help="compressed container file")
@@ -174,6 +199,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect per-stage traces and print an aggregate stage breakdown",
     )
+    p_s.add_argument(
+        "--profile-mem",
+        action="store_true",
+        help="per-span peak-memory profiling via tracemalloc "
+        "(slower; implies --trace)",
+    )
+    p_s.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="run-ledger file for traced sweeps "
+        "(default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_s.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this traced sweep to the ledger",
+    )
+
+    p_b = sub.add_parser(
+        "bench",
+        help="run the benchmark matrix; write or check committed baselines",
+    )
+    p_b.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh run against the committed baselines instead "
+        "of rewriting them (exit 1 on deterministic drift)",
+    )
+    p_b.add_argument(
+        "--time-factor",
+        type=float,
+        default=3.0,
+        help="allowed wall-time drift factor before a warning (default 3.0)",
+    )
+    p_b.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding BENCH_*.json baselines (default: repo root)",
+    )
+
+    p_l = sub.add_parser("ledger", help="print recent run-ledger entries")
+    p_l.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="ledger file (default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_l.add_argument(
+        "--limit", type=int, default=20, help="show at most N entries"
+    )
+    p_l.add_argument("--json", action="store_true", help="emit raw JSON lines")
     return parser
 
 
@@ -238,14 +313,49 @@ def _compress_blob(args, data) -> bytes:
     return blob
 
 
+def _write_metrics(path: str) -> None:
+    """Dump the process metrics registry to ``path`` (format by suffix)."""
+    from repro.report import render_metrics_json, render_prometheus
+    from repro.telemetry.registry import metrics
+
+    snap = metrics().snapshot()
+    text = (
+        render_prometheus(snap)
+        if path.endswith(".prom")
+        else render_metrics_json(snap)
+    )
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"metrics written to {path}")
+
+
+def _append_ledger(args, entry) -> None:
+    from pathlib import Path
+
+    from repro.telemetry.ledger import append_entry
+
+    path = append_entry(
+        entry, path=Path(args.ledger) if args.ledger else None
+    )
+    # stderr so `--json` stdout stays machine-parseable
+    print(f"ledger entry appended to {path}", file=sys.stderr)
+
+
 def _cmd_compress(args) -> int:
+    from contextlib import ExitStack
+
     from repro.observe import Trace, use_trace
 
     data = np.load(args.input)
-    traced = args.trace or args.trace_json
+    traced = args.trace or args.trace_json or args.profile_mem
     if traced:
         tr = Trace()
-        with use_trace(tr):
+        with ExitStack() as stack:
+            stack.enter_context(use_trace(tr))
+            if args.profile_mem:
+                from repro.telemetry.memory import profile_memory
+
+                stack.enter_context(profile_memory())
             blob = _compress_blob(args, data)
     else:
         blob = _compress_blob(args, data)
@@ -254,12 +364,41 @@ def _cmd_compress(args) -> int:
     ratio = data.nbytes / len(blob)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes (CR {ratio:.2f})")
     if traced:
+        from repro.telemetry.registry import record_trace
+
+        record_trace(tr)
         print()
         print(tr.render())
         if args.trace_json:
             with open(args.trace_json, "w") as fh:
                 fh.write(tr.to_json())
             print(f"trace written to {args.trace_json}")
+        if not args.no_ledger:
+            from repro.metrics.distortion import psnr as measure_psnr
+            from repro.sz.compressor import decompress
+            from repro.telemetry.ledger import entry_from_trace
+
+            achieved = (
+                float(measure_psnr(data, decompress(blob)))
+                if args.psnr is not None
+                else None
+            )
+            _append_ledger(
+                args,
+                entry_from_trace(
+                    "compress",
+                    tr,
+                    dataset=args.input,
+                    codec=args.codec,
+                    target_psnr=args.psnr,
+                    achieved_psnr=achieved,
+                    ratio=ratio,
+                    raw_bytes=int(data.nbytes),
+                    compressed_bytes=len(blob),
+                ),
+            )
+    if args.metrics:
+        _write_metrics(args.metrics)
     return 0
 
 
@@ -319,7 +458,7 @@ def _cmd_sweep(args) -> int:
     )
 
     tr = None
-    if args.trace:
+    if args.trace or args.profile_mem:
         from repro.observe import Trace, use_trace
 
         tr = Trace()
@@ -331,6 +470,7 @@ def _cmd_sweep(args) -> int:
                 refine="histogram" if args.refine else None,
                 n_workers=args.workers,
                 collect_trace=True,
+                profile_mem=args.profile_mem,
             )
     else:
         results = sweep_dataset(
@@ -340,6 +480,30 @@ def _cmd_sweep(args) -> int:
             refine="histogram" if args.refine else None,
             n_workers=args.workers,
         )
+    if tr is not None:
+        from repro.telemetry.registry import record_trace
+
+        record_trace(tr)
+        if not args.no_ledger:
+            from repro.telemetry.ledger import entry_from_trace
+
+            _append_ledger(
+                args,
+                entry_from_trace(
+                    "sweep",
+                    tr,
+                    dataset=args.dataset,
+                    field="*",
+                    codec="sz",
+                    achieved_psnr=float(
+                        np.mean([r.actual_psnr for r in results])
+                    ),
+                    ratio=float(
+                        np.mean([r.compression_ratio for r in results])
+                    ),
+                    extra={"targets": [float(t) for t in args.targets]},
+                ),
+            )
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2))
         return 0
@@ -467,6 +631,44 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.telemetry.bench import check_baselines, write_baselines
+
+    if not args.check:
+        paths = write_baselines(args.dir)
+        for p in paths:
+            print(f"baseline written to {p}")
+        return 0
+    failures, warnings = check_baselines(
+        args.dir, time_factor=args.time_factor
+    )
+    for w in warnings:
+        print(f"warning: {w}")
+    if failures:
+        print(f"bench check FAILED ({len(failures)} deterministic drifts):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("bench check passed: deterministic baselines match")
+    return 0
+
+
+def _cmd_ledger(args) -> int:
+    from repro.report import render_ledger_markdown
+    from repro.telemetry.ledger import ledger_path, read_entries
+
+    entries, skipped = read_entries(args.ledger)
+    if args.json:
+        for e in entries[-args.limit:]:
+            print(json.dumps(e.as_dict(), sort_keys=True))
+    else:
+        print(f"ledger: {ledger_path(args.ledger)} ({len(entries)} entries)")
+        print(render_ledger_markdown(entries, limit=args.limit))
+    if skipped:
+        print(f"warning: skipped {skipped} unparseable lines", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -478,6 +680,8 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "gen": _cmd_gen,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
+    "ledger": _cmd_ledger,
 }
 
 

@@ -208,6 +208,11 @@ class CanonicalHuffman:
             if data.size == 0:
                 raise ParameterError("cannot build a code from empty data")
             symbols, counts = np.unique(data.astype(np.int64), return_counts=True)
+            from repro.telemetry.registry import metrics as _metrics
+
+            _metrics().histogram("encoding.huffman.alphabet_size").observe(
+                int(symbols.size)
+            )
             if trace.enabled:
                 sp.set("alphabet_size", int(symbols.size))
             return cls.from_counts(symbols, counts, max_length=max_length)

@@ -121,8 +121,18 @@ class RansCoder:
         trace = observe.current_trace()
         with trace.span("rans.encode") as sp:
             out = self._encode_impl(data)
+            n = int(np.asarray(data).size)
+            if n:
+                from repro.telemetry.registry import (
+                    BITS_BUCKETS,
+                    metrics as _metrics,
+                )
+
+                _metrics().histogram(
+                    "encoding.rans.bits_per_symbol", BITS_BUCKETS
+                ).observe(8.0 * len(out) / n)
             if trace.enabled:
-                sp.count("n_symbols", int(np.asarray(data).size))
+                sp.count("n_symbols", n)
                 sp.count("bytes_out", len(out))
         return out
 

@@ -61,6 +61,9 @@ __all__ = [
     "current_trace",
     "use_trace",
     "account_container_bytes",
+    "traced_pack",
+    "add_span_hook",
+    "remove_span_hook",
     "FRAMING_KEY",
 ]
 
@@ -146,11 +149,19 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._trace._push(self)
+        if _SPAN_HOOKS:
+            for on_enter, _ in _SPAN_HOOKS:
+                on_enter(self)
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # Read the clock first so hook work (e.g. tracemalloc reads)
+        # never pollutes the span's own duration.
         duration = time.perf_counter() - self._t0
+        if _SPAN_HOOKS:
+            for _, on_exit in _SPAN_HOOKS:
+                on_exit(self)
         self._trace._pop(self, duration)
         return False
 
@@ -398,6 +409,31 @@ class Trace:
         return "\n".join(lines)
 
 
+# -- span hooks ---------------------------------------------------------
+
+#: Registered ``(on_enter, on_exit)`` pairs, called for every *live*
+#: span (never for the disabled-path no-op span).  The memory profiler
+#: (:mod:`repro.telemetry.memory`) is the canonical client.  The empty
+#: default keeps the hot path at one truthiness check.
+_SPAN_HOOKS: List[Tuple] = []
+
+
+def add_span_hook(on_enter, on_exit) -> None:
+    """Register a span hook: ``on_enter(span)`` runs when a span opens
+    (after it joins the stack, before its timer starts); ``on_exit(span)``
+    runs when it closes (after its timer stops, before its record is
+    appended -- so hooks may still write gauges/counters)."""
+    _SPAN_HOOKS.append((on_enter, on_exit))
+
+
+def remove_span_hook(on_enter, on_exit) -> None:
+    """Unregister a hook pair registered with :func:`add_span_hook`."""
+    try:
+        _SPAN_HOOKS.remove((on_enter, on_exit))
+    except ValueError:
+        pass
+
+
 # -- active-trace management -------------------------------------------
 
 _ACTIVE: object = NULL_TRACE
@@ -447,3 +483,23 @@ def account_container_bytes(span, streams, total_size: int) -> None:
         span.add_bytes(name, len(payload))
         payload_total += len(payload)
     span.count(FRAMING_KEY, int(total_size) - payload_total)
+
+
+def traced_pack(container) -> bytes:
+    """Serialize ``container`` under a ``pack`` span with exact byte
+    accounting.
+
+    ``container`` is duck-typed (anything with ``streams`` and
+    ``to_bytes()``), keeping this module dependency-free.  This is the
+    one serialization wrapper every codec path shares, so the
+    byte-accounting invariant -- ``bytes.framing`` plus all per-stream
+    counters sum exactly to the container size -- holds for every
+    container this package produces, constant-field short-circuits
+    included.
+    """
+    trace = current_trace()
+    with trace.span("pack") as sp:
+        blob = container.to_bytes()
+        if trace.enabled:
+            account_container_bytes(sp, container.streams, len(blob))
+    return blob

@@ -20,12 +20,14 @@ Correctness notes:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional
 
 import numpy as np
 
 import repro.observe as observe
+from repro.telemetry.registry import THROUGHPUT_BUCKETS, metrics as _metrics
 from repro.errors import FormatError, ParameterError
 from repro.io.container import CODEC_CHUNKED, Container
 from repro.sz.compressor import SZCompressor
@@ -89,11 +91,21 @@ def compress_chunked(
         tasks = [
             (slab, eb_abs, compressor_options, trace.enabled) for slab in slabs
         ]
+        t0 = time.perf_counter()
         if n_workers <= 0:
             results = [_compress_slab(t) for t in tasks]
         else:
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 results = list(pool.map(_compress_slab, tasks))
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            # Wall-clock-derived, hence excluded from deterministic
+            # snapshots.
+            _metrics().histogram(
+                "parallel.chunk_throughput_mbps",
+                THROUGHPUT_BUCKETS,
+                deterministic=False,
+            ).observe(arr.nbytes / 1e6 / elapsed)
         blobs: List[bytes] = []
         for blob, records in results:
             blobs.append(blob)

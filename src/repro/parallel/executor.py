@@ -58,6 +58,7 @@ def run_field_task(
     refine: Optional[str] = None,
     codec: str = "sz",
     collect_trace: bool = False,
+    profile_mem: bool = False,
 ) -> FieldResult:
     """Execute one task: regenerate the field, run the fixed-PSNR
     pipeline, measure the reconstruction.
@@ -66,7 +67,11 @@ def run_field_task(
     With ``collect_trace=True`` the compression runs under a local
     :class:`repro.observe.Trace`; the result's ``metrics`` dict carries
     the aggregated stage costs and the raw span records back across
-    the process boundary.
+    the process boundary.  ``profile_mem=True`` (implies
+    ``collect_trace``) additionally runs under
+    :class:`repro.telemetry.memory.profile_memory`, so every span
+    record also carries its peak traced bytes -- the readings cross the
+    process boundary inside the records like every other measurement.
     """
     # Imports inside the function keep worker start-up lean.
     from repro.core.fixed_psnr import FixedPSNRCompressor
@@ -78,10 +83,16 @@ def run_field_task(
     comp = FixedPSNRCompressor(target_psnr, refine=refine, codec=codec)
     eb_rel = comp.derive_bound(data)
     metrics = None
-    if collect_trace:
+    if collect_trace or profile_mem:
         local = observe.Trace()
-        with observe.use_trace(local):
-            blob = comp.compress(data)
+        if profile_mem:
+            from repro.telemetry.memory import profile_memory
+
+            with observe.use_trace(local), profile_memory():
+                blob = comp.compress(data)
+        else:
+            with observe.use_trace(local):
+                blob = comp.compress(data)
         metrics = {
             "trace": local.as_dict(),
             "records": [r.as_dict() for r in local.records],
@@ -118,6 +129,7 @@ def sweep_dataset(
     codec: str = "sz",
     n_workers: int = 0,
     collect_trace: bool = False,
+    profile_mem: bool = False,
 ) -> List[FieldResult]:
     """Run every (field, target) combination of a data set.
 
@@ -126,9 +138,12 @@ def sweep_dataset(
     With ``collect_trace=True`` each task records a stage-level trace
     (see :func:`run_field_task`); if a trace is also active in *this*
     process, the per-worker span records are merged into it under a
-    ``field:<name>`` prefix.
+    ``field:<name>`` prefix.  ``profile_mem=True`` adds per-span peak
+    memory to every task's records (see
+    :mod:`repro.telemetry.memory`).
     """
     from repro.datasets.registry import get_dataset
+    from repro.telemetry.registry import metrics as _metrics
 
     ds = get_dataset(dataset, scale=scale)
     names = list(fields) if fields is not None else ds.field_names
@@ -136,10 +151,12 @@ def sweep_dataset(
     if unknown:
         raise ParameterError(f"unknown fields for {dataset}: {sorted(unknown)}")
     tasks: List[Tuple] = [
-        (dataset, fname, float(t), scale, refine, codec, collect_trace)
+        (dataset, fname, float(t), scale, refine, codec, collect_trace,
+         profile_mem)
         for t in targets
         for fname in names
     ]
+    _metrics().counter("parallel.field_tasks_total").inc(len(tasks))
     if n_workers <= 0:
         results = [run_field_task(*t) for t in tasks]
     else:

@@ -29,6 +29,9 @@ __all__ = [
     "table2_text",
     "stage_breakdown",
     "render_stage_breakdown",
+    "render_prometheus",
+    "render_metrics_json",
+    "render_ledger_markdown",
 ]
 
 
@@ -96,10 +99,12 @@ def _summary_cells(s: TargetSummary) -> List[str]:
 
 
 def render_text(summaries: Sequence[TargetSummary], title: str = "") -> str:
-    """Fixed-width text table (what the CLI prints)."""
+    """Fixed-width text table (what the CLI prints).  An empty summary
+    list renders as headers only, never raises."""
     rows = [_summary_cells(s) for s in summaries]
     widths = [
-        max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(_HEADERS)
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(_HEADERS)
     ]
     lines = [title] if title else []
     lines.append("  ".join(h.rjust(w) for h, w in zip(_HEADERS, widths)))
@@ -154,15 +159,97 @@ def stage_breakdown(results: Iterable[FieldResult]) -> Dict[str, Dict]:
         if not r.metrics or "records" not in r.metrics:
             continue
         for rec in r.metrics["records"]:
-            name = rec["path"][-1]
+            path = rec.get("path") or ()
+            if not path:
+                continue
+            name = path[-1]
             bucket = stages.setdefault(
                 name, {"duration_s": 0.0, "calls": 0, "counters": {}}
             )
-            bucket["duration_s"] += float(rec.get("duration_s", 0.0))
+            duration = float(rec.get("duration_s", 0.0))
+            # A zero or non-finite duration (clock quirks, merged
+            # synthetic records) must not poison the aggregate.
+            if np.isfinite(duration):
+                bucket["duration_s"] += duration
             bucket["calls"] += 1
             for key, val in rec.get("counters", {}).items():
                 bucket["counters"][key] = bucket["counters"].get(key, 0) + val
     return stages
+
+
+def _prom_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus grammar:
+    ``fpzc_`` prefix, dots to underscores, anything else unsafe
+    replaced."""
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"fpzc_{safe}"
+
+
+def _prom_value(v) -> str:
+    if isinstance(v, float) and float(v).is_integer():
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in the Prometheus
+    text exposition format (v0.0.4).
+
+    Histogram buckets are emitted cumulatively with ``le`` labels plus
+    the standard ``_sum``/``_count`` series, so the output scrapes
+    cleanly into any Prometheus-compatible stack.  An empty snapshot
+    renders as an empty string.
+    """
+    lines = []
+    for name, entry in sorted(snapshot.get("metrics", {}).items()):
+        pname = _prom_name(name)
+        kind = entry.get("kind", "untyped")
+        lines.append(f"# TYPE {pname} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            bounds = list(entry["buckets"]) + [float("inf")]
+            for bound, count in zip(bounds, entry["counts"]):
+                cumulative += int(count)
+                le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{pname}_sum {_prom_value(entry['sum'])}")
+            lines.append(f"{pname}_count {int(entry['count'])}")
+        else:
+            lines.append(f"{pname} {_prom_value(entry['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics_json(snapshot: Dict, indent: int = 2) -> str:
+    """Render a metrics snapshot as stable, sorted JSON text."""
+    import json
+
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def render_ledger_markdown(entries: Sequence, limit: int = 20) -> str:
+    """A Markdown table of the most recent run-ledger entries (see
+    :mod:`repro.telemetry.ledger`).  Well-formed for an empty ledger."""
+    headers = [
+        "created", "kind", "rev", "dataset/field", "codec",
+        "target", "PSNR", "CR", "bytes",
+    ]
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for e in list(entries)[-limit:]:
+        where = e.dataset if not e.field else f"{e.dataset}/{e.field}"
+
+        def fmt(v, spec=".2f"):
+            return "" if v is None else format(v, spec)
+
+        lines.append(
+            "| " + " | ".join([
+                e.created, e.kind, e.git_rev, where, e.codec,
+                fmt(e.target_psnr, ".1f"), fmt(e.achieved_psnr),
+                fmt(e.ratio), "" if e.compressed_bytes is None
+                else str(e.compressed_bytes),
+            ]) + " |"
+        )
+    return "\n".join(lines)
 
 
 def render_stage_breakdown(results: Iterable[FieldResult]) -> str:

@@ -27,6 +27,11 @@ from typing import Optional
 import numpy as np
 
 import repro.observe as observe
+from repro.telemetry.registry import (
+    BITS_BUCKETS,
+    RATIO_BUCKETS,
+    metrics as _metrics,
+)
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -211,6 +216,13 @@ class SZCompressor:
         with trace.span("escape") as sp:
             esc_mask = np.abs(q) > self.radius
             n_escapes = int(esc_mask.sum())
+            reg = _metrics()
+            reg.histogram(
+                "sz.quantization.hit_ratio", RATIO_BUCKETS
+            ).observe(1.0 - n_escapes / q.size)
+            reg.histogram(
+                "sz.quantization.outlier_rate", RATIO_BUCKETS
+            ).observe(n_escapes / q.size)
             if trace.enabled:
                 sp.count("n_outliers", n_escapes)
                 sp.set("hit_ratio", 1.0 - n_escapes / q.size)
@@ -275,6 +287,9 @@ class SZCompressor:
             code = CanonicalHuffman.from_data(q)
             payload, total_bits = code.encode(q)
             meta["total_bits"] = total_bits
+            _metrics().histogram(
+                "sz.entropy.bits_per_symbol", BITS_BUCKETS
+            ).observe(total_bits / q.size)
             if trace.enabled:
                 sp.count("total_bits", int(total_bits))
             streams.insert(
@@ -332,11 +347,8 @@ class SZCompressor:
     def _pack(self, meta, streams) -> bytes:
         """Serialize the container, with exact byte accounting when a
         trace is active (see :mod:`repro.observe`)."""
-        trace = observe.current_trace()
-        with trace.span("pack") as sp:
-            blob = Container(CODEC_SZ, meta, streams).to_bytes()
-            if trace.enabled:
-                observe.account_container_bytes(sp, streams, len(blob))
+        blob = observe.traced_pack(Container(CODEC_SZ, meta, streams))
+        _metrics().counter("pipeline.compressed_bytes_total").inc(len(blob))
         return blob
 
     def compress(self, data) -> bytes:
@@ -344,6 +356,9 @@ class SZCompressor:
         trace = observe.current_trace()
         with trace.span("sz.compress") as root:
             arr, x, fill_mask = self._split_fill(data)
+            reg = _metrics()
+            reg.counter("pipeline.compress_calls").inc()
+            reg.counter("pipeline.raw_bytes_total").inc(int(arr.nbytes))
             if trace.enabled:
                 root.count("n_points", int(arr.size))
                 root.count("raw_bytes", int(arr.nbytes))

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.observe as observe
+
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -143,7 +145,7 @@ class HybridCompressor:
             meta["target_psnr"] = float(self.target_psnr)
         if vr == 0.0:
             meta["constant"] = pack_exact_float(float(x.flat[0]))
-            return Container(CODEC_HYBRID, meta, []).to_bytes()
+            return observe.traced_pack(Container(CODEC_HYBRID, meta, []))
 
         eb_abs = self.error_bound * vr if self.mode == "rel" else self.error_bound
         delta = 2.0 * eb_abs
@@ -239,7 +241,7 @@ class HybridCompressor:
                 ),
             ),
         )
-        return Container(CODEC_HYBRID, meta, streams).to_bytes()
+        return observe.traced_pack(Container(CODEC_HYBRID, meta, streams))
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:

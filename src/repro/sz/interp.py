@@ -26,6 +26,8 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+import repro.observe as observe
+
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -209,7 +211,7 @@ class InterpolationCompressor:
             meta["target_psnr"] = float(self.target_psnr)
         if vr == 0.0:
             meta["constant"] = pack_exact_float(float(x.flat[0]))
-            return Container(CODEC_INTERP, meta, []).to_bytes()
+            return observe.traced_pack(Container(CODEC_INTERP, meta, []))
 
         eb_abs = self.error_bound * vr if self.mode == "rel" else self.error_bound
         delta = 2.0 * eb_abs
@@ -279,7 +281,7 @@ class InterpolationCompressor:
                 ),
             ),
         )
-        return Container(CODEC_INTERP, meta, streams).to_bytes()
+        return observe.traced_pack(Container(CODEC_INTERP, meta, streams))
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:

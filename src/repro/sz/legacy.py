@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.observe as observe
+
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -139,7 +141,7 @@ class Sz11Compressor:
             meta["target_psnr"] = float(self.target_psnr)
         if vr == 0.0:
             meta["constant"] = pack_exact_float(float(x.flat[0]))
-            return Container(CODEC_LEGACY, meta, []).to_bytes()
+            return observe.traced_pack(Container(CODEC_LEGACY, meta, []))
 
         eb_abs = self.error_bound * vr if self.mode == "rel" else self.error_bound
         delta = 2.0 * eb_abs
@@ -215,7 +217,7 @@ class Sz11Compressor:
                 ),
             ),
         )
-        return Container(CODEC_LEGACY, meta, streams).to_bytes()
+        return observe.traced_pack(Container(CODEC_LEGACY, meta, streams))
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:

@@ -28,6 +28,8 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.observe as observe
+
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -161,7 +163,7 @@ class RegressionCompressor:
             meta["target_psnr"] = float(self.target_psnr)
         if vr == 0.0:
             meta["constant"] = pack_exact_float(float(x.flat[0]))
-            return Container(CODEC_REGRESSION, meta, []).to_bytes()
+            return observe.traced_pack(Container(CODEC_REGRESSION, meta, []))
 
         eb_abs = self.error_bound * vr if self.mode == "rel" else self.error_bound
         delta = 2.0 * eb_abs
@@ -223,7 +225,7 @@ class RegressionCompressor:
                 ),
             ),
         )
-        return Container(CODEC_REGRESSION, meta, streams).to_bytes()
+        return observe.traced_pack(Container(CODEC_REGRESSION, meta, streams))
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:

@@ -30,6 +30,8 @@ from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
+import repro.observe as observe
+
 from repro.encoding.huffman import CanonicalHuffman
 from repro.encoding.lossless import (
     lossless_compress,
@@ -243,7 +245,7 @@ class TemporalCompressor:
                 ),
             ),
         )
-        return Container(CODEC_SZ, meta, streams).to_bytes()
+        return observe.traced_pack(Container(CODEC_SZ, meta, streams))
 
 
 class TemporalDecompressor:

@@ -1,0 +1,61 @@
+"""Durable observability: metrics, memory profiles, and the run ledger.
+
+:mod:`repro.observe` answers "what did *this* run cost, stage by
+stage" -- and the answer dies with the process.  This package is the
+durable layer on top of it, the foundation the regression gate and the
+perf trajectory are built on:
+
+* :mod:`repro.telemetry.registry` -- a process-wide
+  :class:`MetricsRegistry` of counters, gauges and **deterministic
+  fixed-bucket histograms** (exact integer bucket counts, so two
+  identical runs produce bit-identical snapshots).  Fed from finished
+  :class:`repro.observe.SpanRecord` instances via :func:`record_trace`
+  plus direct instrumentation in the pipeline packages.
+* :mod:`repro.telemetry.memory` -- opt-in per-span peak-memory
+  profiling via ``tracemalloc`` (``--profile-mem``); readings travel
+  inside span records, so they merge across worker processes exactly
+  like every other trace datum.
+* :mod:`repro.telemetry.ledger` -- the run ledger: one schema-versioned
+  JSONL record per traced ``compress``/``sweep``, appended to
+  ``.fpzc/ledger.jsonl``, so the repo can answer "did this PR make
+  compression slower or hungrier?" across commits.
+* :mod:`repro.telemetry.bench` -- the regression gate: ``fpzc bench``
+  writes ``BENCH_compress.json``/``BENCH_sweep.json`` baselines,
+  ``fpzc bench --check`` re-runs the corpus and compares (hard-fail on
+  deterministic counter drift, soft-warn on wall-time drift).
+
+Separation of concerns (see docs/OBSERVABILITY.md for the full
+decision table): a **trace** is one run's stage tree, a **metric** is a
+process-lifetime aggregate, a **ledger entry** is one run's outcome
+made durable.  ``bench`` and ``ledger`` import data sets and
+subprocess machinery, so they stay lazy; importing this package costs
+only the registry.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import (
+    BYTE_BUCKETS,
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    record_trace,
+    reset_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "record_trace",
+    "reset_metrics",
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "BYTE_BUCKETS",
+]

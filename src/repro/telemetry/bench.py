@@ -1,0 +1,350 @@
+"""The perf-regression gate behind ``fpzc bench``.
+
+``fpzc bench`` runs a small fixed corpus (a handful of (data set,
+field, codec, target) compressions plus one mini sweep), collects
+stage traces, and writes two top-level baseline files:
+
+* ``BENCH_compress.json`` -- one entry per compress case,
+* ``BENCH_sweep.json`` -- the mini sweep's outcome.
+
+``fpzc bench --check`` re-runs the same corpus and compares against
+the committed baselines:
+
+* **hard failures** (exit 1) on any drift in a *deterministic* field
+  -- compressed bytes, compression ratio, achieved PSNR, exact span
+  counters.  These cannot drift from noise; a change means the
+  pipeline's output changed.
+* **soft warnings** on wall-time drift beyond ``--time-factor`` in
+  either direction.  Timing varies across machines and CI runners, so
+  the gate reports it without failing.
+
+Every field of a baseline entry lives under either ``deterministic``
+or ``timing`` -- the comparison logic never has to guess which is
+which, and adding a new measurement forces the author to classify it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import repro.observe as observe
+from repro.telemetry.ledger import git_rev
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "COMPRESS_CASES",
+    "SWEEP_CASE",
+    "run_compress_bench",
+    "run_sweep_bench",
+    "write_baselines",
+    "compare_bench",
+    "check_baselines",
+    "BASELINE_FILES",
+]
+
+#: Version of the baseline file schema (bump on incompatible change).
+BENCH_SCHEMA_VERSION = 1
+
+#: Baseline file names, keyed by corpus part.
+BASELINE_FILES = {
+    "compress": "BENCH_compress.json",
+    "sweep": "BENCH_sweep.json",
+}
+
+#: The compress corpus: (dataset, field, codec, target PSNR).  Small
+#: laptop-scale fields chosen to cover the prediction, transform and
+#: block-selection pipelines without making the gate slow.
+COMPRESS_CASES: Tuple[Tuple[str, str, str, float], ...] = (
+    ("ATM", "CLDHGH", "sz", 80.0),
+    ("ATM", "FLDS", "transform", 60.0),
+    ("Hurricane", "TC", "sz", 80.0),
+    ("NYX", "temperature", "hybrid", 60.0),
+)
+
+#: The sweep corpus: one dataset, two fields, two targets.
+SWEEP_CASE = {
+    "dataset": "ATM",
+    "fields": ("CLDHGH", "FLDS"),
+    "targets": (40.0, 80.0),
+}
+
+
+def _case_id(dataset: str, field: str, codec: str, target: float) -> str:
+    return f"{dataset}/{field}/{codec}/{target:g}dB"
+
+
+def run_compress_bench() -> Dict:
+    """Run every compress case under a trace; returns the
+    ``BENCH_compress.json`` document (schema + per-case entries, each
+    split into ``deterministic`` and ``timing``)."""
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.datasets.registry import get_dataset
+    from repro.metrics.distortion import psnr as measure_psnr
+    from repro.telemetry.registry import record_trace
+
+    cases: List[Dict] = []
+    for dataset, field, codec, target in COMPRESS_CASES:
+        data = get_dataset(dataset).field(field)
+        comp = FixedPSNRCompressor(target, codec=codec)
+        tr = observe.Trace()
+        with observe.use_trace(tr):
+            blob = comp.compress(data)
+        record_trace(tr)
+        recon = comp.decompress(blob)
+        achieved = float(measure_psnr(data, recon))
+        stage_seconds = {
+            path[-1]: agg["duration_s"]
+            for path, agg in tr.aggregate().items()
+        }
+        cases.append(
+            {
+                "id": _case_id(dataset, field, codec, target),
+                "dataset": dataset,
+                "field": field,
+                "codec": codec,
+                "target_psnr": target,
+                "deterministic": {
+                    "raw_bytes": int(data.nbytes),
+                    "compressed_bytes": len(blob),
+                    "ratio": round(data.nbytes / len(blob), 6),
+                    "achieved_psnr": round(achieved, 6),
+                    "trace": tr.deterministic_dict(),
+                },
+                "timing": {
+                    "wall_s": sum(
+                        agg["duration_s"]
+                        for path, agg in tr.aggregate().items()
+                        if len(path) == 1
+                    ),
+                    "stage_seconds": stage_seconds,
+                },
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "compress",
+        "git_rev": git_rev(),
+        "cases": cases,
+    }
+
+
+def run_sweep_bench() -> Dict:
+    """Run the mini sweep under a trace; returns the
+    ``BENCH_sweep.json`` document."""
+    from repro.parallel.executor import sweep_dataset
+
+    tr = observe.Trace()
+    with observe.use_trace(tr):
+        results = sweep_dataset(
+            SWEEP_CASE["dataset"],
+            targets=list(SWEEP_CASE["targets"]),
+            fields=list(SWEEP_CASE["fields"]),
+            n_workers=0,
+            collect_trace=True,
+        )
+    per_field = [
+        {
+            "id": _case_id(r.dataset, r.field, "sz", r.target_psnr),
+            "deterministic": {
+                "achieved_psnr": round(r.actual_psnr, 6),
+                "ratio": round(r.compression_ratio, 6),
+                "bit_rate": round(r.bit_rate, 6),
+                "met": bool(r.met),
+            },
+        }
+        for r in results
+    ]
+    wall = sum(
+        agg["duration_s"]
+        for path, agg in tr.aggregate().items()
+        if len(path) == 1
+    )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "sweep",
+        "git_rev": git_rev(),
+        "case": {
+            "dataset": SWEEP_CASE["dataset"],
+            "fields": list(SWEEP_CASE["fields"]),
+            "targets": list(SWEEP_CASE["targets"]),
+            "results": per_field,
+            "timing": {"wall_s": wall},
+        },
+    }
+
+
+def write_baselines(directory: str = ".") -> List[Path]:
+    """Run the full corpus and write both baseline files into
+    ``directory``.  Returns the paths written."""
+    outdir = Path(directory)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, doc in (
+        ("compress", run_compress_bench()),
+        ("sweep", run_sweep_bench()),
+    ):
+        path = outdir / BASELINE_FILES[name]
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+# -- comparison ---------------------------------------------------------
+
+
+def _diff_deterministic(prefix: str, base, fresh, failures: List[str]) -> None:
+    """Recursively compare two deterministic sub-documents exactly."""
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(set(base) | set(fresh)):
+            if key not in base:
+                failures.append(f"{prefix}.{key}: new field (not in baseline)")
+            elif key not in fresh:
+                failures.append(f"{prefix}.{key}: missing from fresh run")
+            else:
+                _diff_deterministic(
+                    f"{prefix}.{key}", base[key], fresh[key], failures
+                )
+        return
+    if isinstance(base, list) and isinstance(fresh, list):
+        if len(base) != len(fresh):
+            failures.append(
+                f"{prefix}: length {len(base)} -> {len(fresh)}"
+            )
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            _diff_deterministic(f"{prefix}[{i}]", b, f, failures)
+        return
+    if base != fresh:
+        failures.append(f"{prefix}: {base!r} -> {fresh!r}")
+
+
+def _check_timing(
+    prefix: str,
+    base: Dict,
+    fresh: Dict,
+    time_factor: float,
+    warnings: List[str],
+) -> None:
+    base_wall = float(base.get("wall_s", 0.0))
+    fresh_wall = float(fresh.get("wall_s", 0.0))
+    # Sub-millisecond walls are pure noise; don't warn on them.
+    if base_wall < 1e-3 or fresh_wall < 1e-3:
+        return
+    if fresh_wall > base_wall * time_factor:
+        warnings.append(
+            f"{prefix}: wall time {base_wall:.4f}s -> {fresh_wall:.4f}s "
+            f"(> x{time_factor:g} slower)"
+        )
+    elif fresh_wall * time_factor < base_wall:
+        warnings.append(
+            f"{prefix}: wall time {base_wall:.4f}s -> {fresh_wall:.4f}s "
+            f"(> x{time_factor:g} faster -- update the baseline?)"
+        )
+
+
+def compare_bench(
+    baseline: Dict, fresh: Dict, time_factor: float = 3.0
+) -> Tuple[List[str], List[str]]:
+    """Compare a fresh bench document against its baseline.
+
+    Returns ``(failures, warnings)``: failures are deterministic-field
+    drifts (the gate hard-fails), warnings are wall-time drifts beyond
+    ``time_factor`` (the gate reports but passes).
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    if baseline.get("schema") != fresh.get("schema"):
+        failures.append(
+            f"schema: {baseline.get('schema')} -> {fresh.get('schema')}"
+        )
+        return failures, warnings
+    if baseline.get("kind") == "compress":
+        base_cases = {c["id"]: c for c in baseline.get("cases", ())}
+        fresh_cases = {c["id"]: c for c in fresh.get("cases", ())}
+        for cid in sorted(set(base_cases) | set(fresh_cases)):
+            if cid not in base_cases:
+                failures.append(f"{cid}: case not in baseline")
+                continue
+            if cid not in fresh_cases:
+                failures.append(f"{cid}: case missing from fresh run")
+                continue
+            _diff_deterministic(
+                cid,
+                base_cases[cid].get("deterministic", {}),
+                fresh_cases[cid].get("deterministic", {}),
+                failures,
+            )
+            _check_timing(
+                cid,
+                base_cases[cid].get("timing", {}),
+                fresh_cases[cid].get("timing", {}),
+                time_factor,
+                warnings,
+            )
+    else:
+        base_case = baseline.get("case", {})
+        fresh_case = fresh.get("case", {})
+        base_rows = {r["id"]: r for r in base_case.get("results", ())}
+        fresh_rows = {r["id"]: r for r in fresh_case.get("results", ())}
+        for rid in sorted(set(base_rows) | set(fresh_rows)):
+            if rid not in base_rows:
+                failures.append(f"{rid}: result not in baseline")
+            elif rid not in fresh_rows:
+                failures.append(f"{rid}: result missing from fresh run")
+            else:
+                _diff_deterministic(
+                    rid,
+                    base_rows[rid].get("deterministic", {}),
+                    fresh_rows[rid].get("deterministic", {}),
+                    failures,
+                )
+        _check_timing(
+            f"sweep:{base_case.get('dataset', '?')}",
+            base_case.get("timing", {}),
+            fresh_case.get("timing", {}),
+            time_factor,
+            warnings,
+        )
+    return failures, warnings
+
+
+def check_baselines(
+    directory: str = ".",
+    time_factor: float = 3.0,
+    fresh_docs: Optional[Dict[str, Dict]] = None,
+) -> Tuple[List[str], List[str]]:
+    """Re-run the corpus (or use ``fresh_docs``, for tests) and compare
+    against the baselines in ``directory``.
+
+    Returns accumulated ``(failures, warnings)`` across both baseline
+    files; a missing baseline file is itself a failure.
+    """
+    outdir = Path(directory)
+    runners = {
+        "compress": run_compress_bench,
+        "sweep": run_sweep_bench,
+    }
+    failures: List[str] = []
+    warnings: List[str] = []
+    for name, runner in runners.items():
+        path = outdir / BASELINE_FILES[name]
+        if not path.exists():
+            failures.append(
+                f"{BASELINE_FILES[name]}: baseline missing "
+                f"(run `fpzc bench` to create it)"
+            )
+            continue
+        try:
+            baseline = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            failures.append(f"{BASELINE_FILES[name]}: unreadable ({exc})")
+            continue
+        fresh = (
+            fresh_docs[name] if fresh_docs and name in fresh_docs else runner()
+        )
+        f, w = compare_bench(baseline, fresh, time_factor=time_factor)
+        failures.extend(f"{name}: {msg}" for msg in f)
+        warnings.extend(f"{name}: {msg}" for msg in w)
+    return failures, warnings

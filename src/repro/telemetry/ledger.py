@@ -1,0 +1,268 @@
+"""The run ledger: durable per-run records in append-only JSONL.
+
+Every traced ``compress``/``sweep`` appends one schema-versioned
+record to ``.fpzc/ledger.jsonl`` (override with ``FPZC_LEDGER`` or the
+CLI's ``--ledger``).  The ledger is what turns observability from
+"what did this run cost" into "is the repo getting faster or slower"
+-- FRaZ's fixed-ratio mode is literally an optimization loop over
+repeated measured runs, and the ROADMAP judges every PR against the
+perf trajectory this file accumulates.
+
+Record layout (one JSON object per line)::
+
+    {"schema": 1, "kind": "compress", "git_rev": "15d5cf0",
+     "created": "2026-08-06T12:00:00+00:00",
+     "dataset": "ATM", "field": "CLDHGH", "codec": "sz",
+     "target_psnr": 80.0, "achieved_psnr": 80.4,
+     "ratio": 11.2, "raw_bytes": 259200, "compressed_bytes": 23143,
+     "counters": {...},              # deterministic, golden-comparable
+     "stage_seconds": {...},         # per-stage wall time (noisy)
+     "mem_peak_bytes": 1234567.0,    # present with --profile-mem
+     "extra": {...}}                 # forward-compat spillover
+
+Determinism contract: ``counters`` (and the byte/ratio fields) are
+exact and reproducible; ``created``, ``stage_seconds`` and
+``mem_peak_bytes`` are not.  Consumers comparing runs must restrict
+themselves to the deterministic fields -- :func:`deterministic_view`
+does exactly that.
+
+Schema skew: readers keep unknown top-level keys in ``extra`` and
+tolerate missing ones (-> None), so a ledger written by a newer schema
+still loads; records that do not parse as JSON objects are skipped
+with a count rather than poisoning the whole file.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field as dc_field, fields as dc_fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "DEFAULT_LEDGER_PATH",
+    "LedgerEntry",
+    "ledger_path",
+    "append_entry",
+    "read_entries",
+    "entry_from_trace",
+    "deterministic_view",
+    "git_rev",
+]
+
+#: Version of the ledger record schema (bump on incompatible change).
+LEDGER_SCHEMA_VERSION = 1
+
+#: Default ledger location, relative to the working directory.
+DEFAULT_LEDGER_PATH = Path(".fpzc") / "ledger.jsonl"
+
+
+@dataclass
+class LedgerEntry:
+    """One run's durable outcome."""
+
+    kind: str
+    schema: int = LEDGER_SCHEMA_VERSION
+    git_rev: str = ""
+    created: str = ""
+    dataset: str = ""
+    field: str = ""
+    codec: str = ""
+    target_psnr: Optional[float] = None
+    achieved_psnr: Optional[float] = None
+    ratio: Optional[float] = None
+    raw_bytes: Optional[int] = None
+    compressed_bytes: Optional[int] = None
+    counters: Dict = dc_field(default_factory=dict)
+    stage_seconds: Dict = dc_field(default_factory=dict)
+    mem_peak_bytes: Optional[float] = None
+    extra: Dict = dc_field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation (stable key order via dump)."""
+        return {
+            "schema": self.schema,
+            "kind": self.kind,
+            "git_rev": self.git_rev,
+            "created": self.created,
+            "dataset": self.dataset,
+            "field": self.field,
+            "codec": self.codec,
+            "target_psnr": self.target_psnr,
+            "achieved_psnr": self.achieved_psnr,
+            "ratio": self.ratio,
+            "raw_bytes": self.raw_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "counters": dict(self.counters),
+            "stage_seconds": dict(self.stage_seconds),
+            "mem_peak_bytes": self.mem_peak_bytes,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "LedgerEntry":
+        """Tolerant inverse of :meth:`as_dict` (see schema-skew notes
+        in the module docstring)."""
+        known = {f.name for f in dc_fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        kwargs.setdefault("kind", "unknown")
+        entry = cls(**kwargs)
+        spill = {k: v for k, v in d.items() if k not in known}
+        if spill:
+            entry.extra = {**entry.extra, **spill}
+        return entry
+
+
+def git_rev(cwd: Optional[Path] = None) -> str:
+    """The short git revision of ``cwd`` (or the working directory),
+    with ``+dirty`` appended when the tree has local modifications;
+    ``"unknown"`` outside a repository."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if rev.returncode != 0:
+            return "unknown"
+        out = rev.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            out += "+dirty"
+        return out
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def ledger_path(override: Optional[str] = None) -> Path:
+    """Resolve the ledger file path: explicit override, then the
+    ``FPZC_LEDGER`` environment variable, then the default."""
+    if override:
+        return Path(override)
+    env = os.environ.get("FPZC_LEDGER")
+    if env:
+        return Path(env)
+    return DEFAULT_LEDGER_PATH
+
+
+def append_entry(entry: LedgerEntry, path: Optional[str] = None) -> Path:
+    """Append ``entry`` to the ledger, creating directories as needed.
+    Returns the path written."""
+    target = ledger_path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    if not entry.created:
+        entry.created = _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        )
+    if not entry.git_rev:
+        entry.git_rev = git_rev()
+    with open(target, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
+    return target
+
+
+def read_entries(
+    path: Optional[str] = None,
+) -> Tuple[List[LedgerEntry], int]:
+    """Read the ledger; returns ``(entries, n_skipped)`` where
+    ``n_skipped`` counts unparseable lines (corrupt or foreign)."""
+    target = ledger_path(path)
+    if not target.exists():
+        return [], 0
+    entries: List[LedgerEntry] = []
+    skipped = 0
+    with open(target, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(doc, dict):
+                skipped += 1
+                continue
+            try:
+                entries.append(LedgerEntry.from_dict(doc))
+            except TypeError:
+                skipped += 1
+    return entries, skipped
+
+
+def deterministic_view(entry: LedgerEntry) -> Dict:
+    """The golden-comparable part of an entry: exact counters and the
+    byte/ratio/PSNR outcome, with every wall-clock or environmental
+    field (timestamps, git rev, stage seconds, memory peaks) dropped."""
+    return {
+        "kind": entry.kind,
+        "dataset": entry.dataset,
+        "field": entry.field,
+        "codec": entry.codec,
+        "target_psnr": entry.target_psnr,
+        "achieved_psnr": entry.achieved_psnr,
+        "ratio": entry.ratio,
+        "raw_bytes": entry.raw_bytes,
+        "compressed_bytes": entry.compressed_bytes,
+        "counters": dict(entry.counters),
+    }
+
+
+def entry_from_trace(
+    kind: str,
+    trace,
+    *,
+    dataset: str = "",
+    field: str = "",
+    codec: str = "",
+    target_psnr: Optional[float] = None,
+    achieved_psnr: Optional[float] = None,
+    ratio: Optional[float] = None,
+    raw_bytes: Optional[int] = None,
+    compressed_bytes: Optional[int] = None,
+    extra: Optional[Dict] = None,
+) -> LedgerEntry:
+    """Build a ledger entry from a finished trace.
+
+    Per-stage wall times come from the aggregated trace (keyed by leaf
+    stage name, summed over repeats); deterministic counters are the
+    summed span counters under the same keys; the memory peak is the
+    highest ``mem.peak_bytes`` gauge, when profiling was on.
+    """
+    if kind not in ("compress", "sweep", "bench"):
+        raise ParameterError(f"unknown ledger entry kind {kind!r}")
+    stage_seconds: Dict[str, float] = {}
+    counters: Dict[str, float] = {}
+    for path, agg in trace.aggregate().items():
+        leaf = path[-1]
+        stage_seconds[leaf] = stage_seconds.get(leaf, 0.0) + agg["duration_s"]
+        for k, v in agg["counters"].items():
+            key = f"{leaf}.{k}"
+            counters[key] = counters.get(key, 0) + v
+    from repro.telemetry.memory import trace_peak_bytes
+
+    return LedgerEntry(
+        kind=kind,
+        dataset=dataset,
+        field=field,
+        codec=codec,
+        target_psnr=target_psnr,
+        achieved_psnr=achieved_psnr,
+        ratio=ratio,
+        raw_bytes=raw_bytes,
+        compressed_bytes=compressed_bytes,
+        counters=counters,
+        stage_seconds=stage_seconds,
+        mem_peak_bytes=trace_peak_bytes(trace),
+        extra=dict(extra or {}),
+    )

@@ -1,0 +1,107 @@
+"""Opt-in per-span peak-memory profiling via ``tracemalloc``.
+
+``tracemalloc`` slows allocation-heavy code noticeably (every malloc
+takes a bookkeeping detour), so this is strictly opt-in
+(``--profile-mem``) and never part of the default trace overhead
+budget.
+
+The mechanics: :class:`profile_memory` starts ``tracemalloc`` and
+installs itself as a span hook in :mod:`repro.observe`.  On span
+entry it resets the peak accounting; on span exit it writes the peak
+traced bytes observed *during* that span into the span's gauges as
+``mem.peak_bytes``.  Because the reading lives in the ordinary span
+gauges, it is picklable, crosses process boundaries inside span
+records, and merges into parent traces exactly like every other
+measurement -- no second transport needed.
+
+Nesting: ``tracemalloc`` keeps a single global peak, so the profiler
+maintains a frame stack.  Entering a child folds the peak observed so
+far into the parent's running maximum before resetting; exiting a
+child folds the child's peak back up.  A parent's reported peak is
+therefore ``max(own allocations, any child's peak)`` -- the intuitive
+"high-water mark while this span was open".
+
+The peak is *traced Python allocation* bytes, an RSS-equivalent proxy:
+numpy array buffers dominate this pipeline and are fully visible to
+``tracemalloc``, while interpreter overhead and memory-mapped pages
+are not.  Readings are non-deterministic in general (allocator
+behaviour, GC timing) and are excluded from deterministic snapshots.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import List, Optional
+
+import repro.observe as observe
+
+__all__ = ["profile_memory", "MEM_PEAK_KEY", "trace_peak_bytes"]
+
+#: Span gauge key carrying the per-span peak traced bytes.
+MEM_PEAK_KEY = "mem.peak_bytes"
+
+
+class profile_memory:
+    """Context manager enabling per-span peak-memory profiling.
+
+    Usage (a trace must be active for readings to land anywhere)::
+
+        tr = observe.Trace()
+        with observe.use_trace(tr), telemetry.memory.profile_memory():
+            blob = compressor.compress(data)
+        peak = trace_peak_bytes(tr)
+
+    Re-entrant use is rejected: ``tracemalloc`` has one global state.
+    """
+
+    def __init__(self) -> None:
+        # Each frame: the running maximum peak seen by that span,
+        # including folded-up child peaks.
+        self._frames: List[float] = []
+        self._started_tracemalloc = False
+
+    # -- span hooks -----------------------------------------------------
+
+    def _on_enter(self, span) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        if self._frames:
+            self._frames[-1] = max(self._frames[-1], float(peak))
+        self._frames.append(0.0)
+        tracemalloc.reset_peak()
+
+    def _on_exit(self, span) -> None:
+        if not self._frames:  # span opened before profiling started
+            return
+        _, peak = tracemalloc.get_traced_memory()
+        own = max(self._frames.pop(), float(peak))
+        span.set(MEM_PEAK_KEY, own)
+        if self._frames:
+            self._frames[-1] = max(self._frames[-1], own)
+        tracemalloc.reset_peak()
+
+    # -- context management ---------------------------------------------
+
+    def __enter__(self) -> "profile_memory":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        observe.add_span_hook(self._on_enter, self._on_exit)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        observe.remove_span_hook(self._on_enter, self._on_exit)
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+        return False
+
+
+def trace_peak_bytes(trace) -> Optional[float]:
+    """The highest ``mem.peak_bytes`` reading anywhere in ``trace``
+    (including records merged from worker processes), or None if the
+    trace carries no memory readings."""
+    peaks = [
+        rec.gauges[MEM_PEAK_KEY]
+        for rec in trace.records
+        if MEM_PEAK_KEY in rec.gauges
+    ]
+    return max(peaks) if peaks else None

@@ -1,0 +1,349 @@
+"""Process-wide metrics registry with deterministic snapshots.
+
+Three metric kinds, Prometheus-flavoured but dependency-free:
+
+``Counter``
+    Monotonically increasing additive quantity (bytes packed, fields
+    compressed).  Integer-exact when fed integers.
+``Gauge``
+    Last-written reading (active worker count, last bin size).
+``Histogram``
+    **Fixed-bucket** distribution: the bucket boundaries are frozen at
+    creation, observations land in a bucket via binary search, and the
+    per-bucket counts are exact integers.  No adaptive resizing, no
+    quantile sketches -- so a snapshot of two identical runs is
+    bit-identical and can be golden-tested.
+
+Determinism contract
+--------------------
+Everything in :meth:`MetricsRegistry.snapshot` is reproducible for a
+deterministic workload **except** metrics registered with
+``deterministic=False`` (wall-clock-derived rates, durations).
+``snapshot(deterministic_only=True)`` drops those, mirroring
+``Trace.deterministic_dict()``; regression tests must compare only
+that view.
+
+The module-level default registry (:func:`metrics`) is what the
+pipeline's direct instrumentation writes to; tests that assert on it
+should call :func:`reset_metrics` first.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "reset_metrics",
+    "record_trace",
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "BYTE_BUCKETS",
+    "BITS_BUCKETS",
+    "THROUGHPUT_BUCKETS",
+]
+
+#: Generic magnitude buckets (decades with a 1-2-5 ladder would be
+#: overkill; decades suffice for order-of-magnitude dashboards).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0, 1e-6, 1e-4, 1e-2, 0.1, 1.0, 10.0, 1e2, 1e3, 1e4, 1e6, 1e9,
+)
+
+#: Buckets for quantities in [0, 1] (hit ratios, outlier rates).
+RATIO_BUCKETS: Tuple[float, ...] = (
+    0.0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75,
+    0.9, 0.95, 0.99, 0.999, 1.0,
+)
+
+#: Byte-count buckets: powers of four from 64 B to 1 GiB.
+BYTE_BUCKETS: Tuple[float, ...] = tuple(float(4**k * 64) for k in range(13))
+
+#: Bits-per-symbol buckets (entropy-coder output rates).
+BITS_BUCKETS: Tuple[float, ...] = (
+    0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+
+#: MB/s throughput buckets (wall-clock-derived -> non-deterministic).
+THROUGHPUT_BUCKETS: Tuple[float, ...] = tuple(float(2**k) for k in range(17))
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "help", "deterministic", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", deterministic: bool = True):
+        self.name = name
+        self.help = help
+        self.deterministic = deterministic
+        self.value: float = 0
+
+    def inc(self, n=1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ParameterError(f"counter {self.name} cannot decrease")
+        self.value += n
+
+    def as_dict(self) -> Dict:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-written reading."""
+
+    __slots__ = ("name", "help", "deterministic", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", deterministic: bool = True):
+        self.name = name
+        self.help = help
+        self.deterministic = deterministic
+        self.value: float = 0.0
+
+    def set(self, v) -> None:
+        """Overwrite the reading."""
+        self.value = v
+
+    def as_dict(self) -> Dict:
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact integer bucket counts.
+
+    ``buckets`` are *upper* bounds, strictly increasing; an implicit
+    ``+Inf`` bucket catches everything above the last bound.  An
+    observation ``v`` lands in the first bucket with ``v <= bound``
+    (Prometheus ``le`` semantics), found by binary search -- no float
+    arithmetic is involved in the placement, so the mapping is exact.
+    """
+
+    __slots__ = ("name", "help", "deterministic", "buckets", "counts",
+                 "count", "sum")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        deterministic: bool = True,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if len(bounds) < 1 or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ParameterError(
+                f"histogram {name}: buckets must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.deterministic = deterministic
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +Inf last
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, v) -> None:
+        """Record one observation."""
+        v = float(v)
+        self.counts[bisect_left(self.buckets, v)] += 1
+        self.count += 1
+        self.sum += v
+
+    def as_dict(self) -> Dict:
+        return {
+            "kind": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and mergeable,
+    deterministic snapshots."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # -- creation -------------------------------------------------------
+
+    def _get_or_create(self, name: str, kind, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ParameterError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).kind}, not {kind.kind}"
+                )
+            return existing
+        metric = kind(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", deterministic: bool = True
+    ) -> Counter:
+        """Get or create the named counter."""
+        return self._get_or_create(
+            name, Counter, help=help, deterministic=deterministic
+        )
+
+    def gauge(
+        self, name: str, help: str = "", deterministic: bool = True
+    ) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get_or_create(
+            name, Gauge, help=help, deterministic=deterministic
+        )
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        deterministic: bool = True,
+    ) -> Histogram:
+        """Get or create the named histogram.  The bucket layout is
+        frozen by whichever call creates it first."""
+        return self._get_or_create(
+            name, Histogram, buckets=buckets, help=help,
+            deterministic=deterministic,
+        )
+
+    # -- inspection -----------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric object, or None."""
+        return self._metrics.get(name)
+
+    def snapshot(self, deterministic_only: bool = False) -> Dict:
+        """All metrics as a JSON-able dict, sorted by name.
+
+        ``deterministic_only=True`` drops metrics registered with
+        ``deterministic=False`` (wall-clock-derived values) -- the view
+        golden/regression tests must compare.
+        """
+        out: Dict[str, Dict] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if deterministic_only and not m.deterministic:
+                continue
+            out[name] = m.as_dict()
+        return {"schema": 1, "metrics": out}
+
+    def reset(self) -> None:
+        """Drop every metric (tests and process recycling)."""
+        self._metrics.clear()
+
+    # -- merging --------------------------------------------------------
+
+    def merge_snapshot(self, snap: Dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one
+        (e.g. shipped back from a worker process).  Counters and
+        histogram counts add; gauges take the incoming reading;
+        histogram layouts must match."""
+        for name, entry in snap.get("metrics", {}).items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                h = self.histogram(name, buckets=entry["buckets"])
+                if list(h.buckets) != [float(b) for b in entry["buckets"]]:
+                    raise ParameterError(
+                        f"histogram {name!r}: incompatible bucket layouts"
+                    )
+                for i, c in enumerate(entry["counts"]):
+                    h.counts[i] += int(c)
+                h.count += int(entry["count"])
+                h.sum += float(entry["sum"])
+            else:
+                raise ParameterError(f"unknown metric kind {kind!r}")
+
+
+# -- the process-wide default registry ---------------------------------
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry the pipeline instruments into."""
+    return _REGISTRY
+
+
+def reset_metrics() -> None:
+    """Reset the process-wide registry (tests)."""
+    _REGISTRY.reset()
+
+
+# -- feeding the registry from finished traces -------------------------
+
+#: Span gauge keys that are wall-clock-derived and therefore land in
+#: non-deterministic metrics.
+_NON_DETERMINISTIC_GAUGES = ("throughput", "mb_per_s")
+
+
+def record_trace(trace, registry: Optional[MetricsRegistry] = None) -> int:
+    """Feed every finished :class:`~repro.observe.SpanRecord` of
+    ``trace`` into ``registry`` (default: the process-wide one).
+
+    Mapping, per record with leaf stage name ``<leaf>``:
+
+    * ``trace.<leaf>.calls`` counter += 1,
+    * ``trace.<leaf>.duration_s`` counter += duration
+      (non-deterministic),
+    * each span counter ``k`` -> counter ``trace.<leaf>.<k>`` += v,
+    * each span gauge ``k`` -> histogram ``trace.<leaf>.<k>``
+      observation (ratio-like keys get :data:`RATIO_BUCKETS`).
+
+    Returns the number of records ingested.  Call this once per
+    finished trace -- it is the single ingestion point, so no record is
+    ever double-counted regardless of worker topology (worker records
+    are merged into the parent trace first, then the parent ingests).
+    """
+    reg = registry if registry is not None else _REGISTRY
+    n = 0
+    for rec in trace.records:
+        leaf = rec.path[-1]
+        reg.counter(f"trace.{leaf}.calls").inc()
+        reg.counter(
+            f"trace.{leaf}.duration_s", deterministic=False
+        ).inc(rec.duration_s)
+        for k, v in rec.counters.items():
+            reg.counter(f"trace.{leaf}.{k}").inc(v)
+        for k, v in rec.gauges.items():
+            if not isinstance(v, (int, float)):
+                continue
+            ratio_like = k.endswith(("ratio", "rate", "fraction"))
+            deterministic = not any(
+                tag in k for tag in _NON_DETERMINISTIC_GAUGES
+            ) and not k.startswith("mem.")
+            reg.histogram(
+                f"trace.{leaf}.{k}",
+                buckets=RATIO_BUCKETS if ratio_like else DEFAULT_BUCKETS,
+                deterministic=deterministic,
+            ).observe(v)
+        n += 1
+    return n

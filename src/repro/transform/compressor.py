@@ -132,11 +132,10 @@ class TransformCompressor:
 
     def _pack(self, meta, streams) -> bytes:
         """Serialize the container with byte accounting when traced."""
-        trace = observe.current_trace()
-        with trace.span("pack") as sp:
-            blob = Container(CODEC_TRANSFORM, meta, streams).to_bytes()
-            if trace.enabled:
-                observe.account_container_bytes(sp, streams, len(blob))
+        from repro.telemetry.registry import metrics as _metrics
+
+        blob = observe.traced_pack(Container(CODEC_TRANSFORM, meta, streams))
+        _metrics().counter("pipeline.compressed_bytes_total").inc(len(blob))
         return blob
 
     def compress(self, data) -> bytes:
@@ -195,6 +194,14 @@ class TransformCompressor:
             with trace.span("escape") as sp:
                 esc_mask = np.abs(q) > self.radius
                 n_escapes = int(esc_mask.sum())
+                from repro.telemetry.registry import (
+                    RATIO_BUCKETS,
+                    metrics as _metrics,
+                )
+
+                _metrics().histogram(
+                    "transform.quantization.hit_ratio", RATIO_BUCKETS
+                ).observe(1.0 - n_escapes / q.size)
                 if trace.enabled:
                     sp.count("n_outliers", n_escapes)
                     sp.set("hit_ratio", 1.0 - n_escapes / q.size)

@@ -25,6 +25,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+import repro.observe as observe
+
 from repro.encoding.lossless import (
     lossless_compress,
     lossless_decompress,
@@ -193,7 +195,7 @@ class EmbeddedTransformCompressor:
         }
         if vr == 0.0:
             meta["constant"] = pack_exact_float(lo)
-            return Container(CODEC_EMBEDDED, meta, []).to_bytes()
+            return observe.traced_pack(Container(CODEC_EMBEDDED, meta, []))
 
         center = 0.5 * (lo + hi)
         meta["center"] = pack_exact_float(center)
@@ -221,7 +223,7 @@ class EmbeddedTransformCompressor:
             spent += len(blob)
             emitted += 1
         meta["n_streams"] = emitted
-        return Container(CODEC_EMBEDDED, meta, streams).to_bytes()
+        return observe.traced_pack(Container(CODEC_EMBEDDED, meta, streams))
 
     @staticmethod
     def decompress(blob: bytes, max_planes: Optional[int] = None) -> np.ndarray:

@@ -1,0 +1,179 @@
+"""Tests for the perf-regression gate (:mod:`repro.telemetry.bench`).
+
+The gate's contract: deterministic drift is a hard failure, wall-time
+drift is a warning, and a clean re-run of the same tree passes.  The
+integration tests run the real corpus (laptop-scale, a couple of
+seconds) so the gate is exercised end to end, including through the
+CLI exit codes.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.telemetry.bench import (
+    BASELINE_FILES,
+    BENCH_SCHEMA_VERSION,
+    check_baselines,
+    compare_bench,
+    run_compress_bench,
+    run_sweep_bench,
+    write_baselines,
+)
+
+
+def _mini_doc():
+    """A hand-built compress baseline (no corpus run needed)."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "compress",
+        "git_rev": "test",
+        "cases": [
+            {
+                "id": "ATM/CLDHGH/sz/80dB",
+                "deterministic": {
+                    "compressed_bytes": 1000,
+                    "ratio": 4.0,
+                    "achieved_psnr": 80.5,
+                    "trace": {"counters": {"pack.bytes.framing": 42}},
+                },
+                "timing": {"wall_s": 0.1},
+            }
+        ],
+    }
+
+
+class TestCompareBench:
+    def test_identical_docs_are_clean(self):
+        doc = _mini_doc()
+        failures, warnings = compare_bench(doc, copy.deepcopy(doc))
+        assert failures == [] and warnings == []
+
+    def test_deterministic_drift_hard_fails(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["cases"][0]["deterministic"]["compressed_bytes"] *= 2
+        failures, warnings = compare_bench(base, fresh)
+        assert len(failures) == 1
+        assert "compressed_bytes" in failures[0]
+        assert "1000" in failures[0] and "2000" in failures[0]
+        assert warnings == []
+
+    def test_nested_counter_drift_hard_fails(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["cases"][0]["deterministic"]["trace"]["counters"][
+            "pack.bytes.framing"
+        ] = 43
+        failures, _ = compare_bench(base, fresh)
+        assert any("pack.bytes.framing" in f for f in failures)
+
+    def test_new_and_missing_fields_hard_fail(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["cases"][0]["deterministic"]["brand_new"] = 1
+        del fresh["cases"][0]["deterministic"]["ratio"]
+        failures, _ = compare_bench(base, fresh)
+        assert any("brand_new" in f for f in failures)
+        assert any("ratio" in f for f in failures)
+
+    def test_time_drift_warns_but_passes(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["cases"][0]["timing"]["wall_s"] = 10.0  # 100x slower
+        failures, warnings = compare_bench(base, fresh, time_factor=3.0)
+        assert failures == []
+        assert len(warnings) == 1 and "slower" in warnings[0]
+
+    def test_big_speedup_also_warns(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["cases"][0]["timing"]["wall_s"] = 0.002  # 50x faster
+        failures, warnings = compare_bench(base, fresh, time_factor=3.0)
+        assert failures == []
+        assert len(warnings) == 1 and "faster" in warnings[0]
+
+    def test_sub_millisecond_walls_never_warn(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        base["cases"][0]["timing"]["wall_s"] = 0.0005
+        fresh["cases"][0]["timing"]["wall_s"] = 0.00005
+        _, warnings = compare_bench(base, fresh)
+        assert warnings == []
+
+    def test_schema_mismatch_fails_fast(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["schema"] = BENCH_SCHEMA_VERSION + 1
+        failures, _ = compare_bench(base, fresh)
+        assert failures and "schema" in failures[0]
+
+    def test_missing_case_fails(self):
+        base, fresh = _mini_doc(), _mini_doc()
+        fresh["cases"] = []
+        failures, _ = compare_bench(base, fresh)
+        assert any("missing from fresh run" in f for f in failures)
+
+
+class TestCheckBaselines:
+    def test_missing_baseline_is_a_failure(self, tmp_path):
+        failures, _ = check_baselines(
+            str(tmp_path), fresh_docs={"compress": {}, "sweep": {}}
+        )
+        assert len(failures) == 2
+        assert all("baseline missing" in f for f in failures)
+
+    def test_unreadable_baseline_is_a_failure(self, tmp_path):
+        for name in BASELINE_FILES.values():
+            (tmp_path / name).write_text("{not json")
+        failures, _ = check_baselines(
+            str(tmp_path), fresh_docs={"compress": {}, "sweep": {}}
+        )
+        assert len(failures) == 2
+        assert all("unreadable" in f for f in failures)
+
+
+@pytest.fixture(scope="module")
+def baseline_dir(tmp_path_factory):
+    """One real corpus run shared by the integration tests."""
+    d = tmp_path_factory.mktemp("bench")
+    write_baselines(str(d))
+    return d
+
+
+class TestGateIntegration:
+    def test_rerun_passes_clean(self, baseline_dir):
+        # Determinism end to end: a fresh corpus run matches the
+        # baselines written moments ago, bit for bit.
+        failures, _ = check_baselines(str(baseline_dir))
+        assert failures == []
+
+    def test_injected_regression_fails(self, baseline_dir):
+        fresh = {
+            "compress": run_compress_bench(),
+            "sweep": run_sweep_bench(),
+        }
+        fresh["compress"]["cases"][0]["deterministic"][
+            "compressed_bytes"
+        ] += 1
+        failures, _ = check_baselines(str(baseline_dir), fresh_docs=fresh)
+        assert len(failures) == 1
+        assert "compressed_bytes" in failures[0]
+
+    def test_cli_exit_codes(self, baseline_dir, capsys):
+        from repro.cli.main import main
+
+        assert main(["bench", "--check", "--dir", str(baseline_dir)]) == 0
+        assert "passed" in capsys.readouterr().out
+        # doctor one baseline on disk -> exit 1
+        path = baseline_dir / BASELINE_FILES["compress"]
+        doc = json.loads(path.read_text())
+        doc["cases"][0]["deterministic"]["compressed_bytes"] += 1
+        path.write_text(json.dumps(doc))
+        assert main(["bench", "--check", "--dir", str(baseline_dir)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+        # restore and pass again
+        doc["cases"][0]["deterministic"]["compressed_bytes"] -= 1
+        path.write_text(json.dumps(doc))
+        assert main(["bench", "--check", "--dir", str(baseline_dir)]) == 0
+
+    def test_cli_bench_writes_baselines(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        assert main(["bench", "--dir", str(tmp_path)]) == 0
+        for name in BASELINE_FILES.values():
+            assert (tmp_path / name).exists()

@@ -94,6 +94,124 @@ class TestRenderers:
         assert "Table II" in table2_text(results)
 
 
+class TestRendererEdgeCases:
+    def test_render_text_empty_list_is_wellformed(self):
+        text = render_text([], title="empty")
+        lines = text.splitlines()
+        assert lines[0] == "empty"
+        assert lines[1].split() == [
+            "dataset", "target", "fields", "AVG", "STDEV", "dev", "met%", "CR",
+        ]
+        assert "nan" not in text.lower()
+
+    def test_render_markdown_empty_list(self):
+        md = render_markdown([])
+        lines = md.splitlines()
+        assert len(lines) == 2  # header + separator, no rows
+        assert lines[0].startswith("| dataset |")
+
+    def test_single_result(self):
+        text = render_text(summarize_by_target([_result()]))
+        assert "NYX" in text and "nan" not in text.lower()
+
+    def test_stage_breakdown_skips_malformed_records(self):
+        from repro.report import render_stage_breakdown, stage_breakdown
+
+        r = _result()
+        malformed = FieldResult(
+            **{**r.as_dict(), "metrics": {
+                "trace": {},
+                "records": [
+                    {"path": [], "duration_s": 1.0, "counters": {}},
+                    {"path": ["ok"], "duration_s": float("nan"),
+                     "counters": {"n": 1}},
+                    {"path": ["ok"], "duration_s": 0.0,
+                     "counters": {"n": 2}},
+                ],
+            }}
+        )
+        stages = stage_breakdown([malformed])
+        assert list(stages) == ["ok"]
+        assert stages["ok"]["duration_s"] == 0.0  # NaN ignored, not summed
+        assert stages["ok"]["calls"] == 2
+        assert stages["ok"]["counters"] == {"n": 3}
+        # zero total duration must not divide by zero
+        text = render_stage_breakdown([malformed])
+        assert "ok" in text and "nan" not in text.lower()
+
+    def test_stage_breakdown_no_traces(self):
+        from repro.report import render_stage_breakdown
+
+        assert "no traces" in render_stage_breakdown([_result()])
+
+
+class TestMetricsRenderers:
+    def _snapshot(self):
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("pipeline.compress_calls").inc(3)
+        reg.gauge("last.bin_size").set(0.5)
+        h = reg.histogram("sz.hit_ratio", buckets=(0.0, 0.5, 1.0))
+        for v in (0.2, 0.9, 1.0):
+            h.observe(v)
+        return reg.snapshot()
+
+    def test_prometheus_exposition(self):
+        from repro.report import render_prometheus
+
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE fpzc_pipeline_compress_calls counter" in text
+        assert "fpzc_pipeline_compress_calls 3" in text
+        assert "fpzc_last_bin_size 0.5" in text
+        # cumulative le buckets ending at +Inf == _count
+        assert 'fpzc_sz_hit_ratio_bucket{le="0.5"} 1' in text
+        assert 'fpzc_sz_hit_ratio_bucket{le="1"} 3' in text
+        assert 'fpzc_sz_hit_ratio_bucket{le="+Inf"} 3' in text
+        assert "fpzc_sz_hit_ratio_count 3" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_empty_snapshot(self):
+        from repro.report import render_prometheus
+
+        assert render_prometheus({"schema": 1, "metrics": {}}) == ""
+
+    def test_metrics_json_roundtrips(self):
+        import json
+
+        from repro.report import render_metrics_json
+
+        snap = self._snapshot()
+        assert json.loads(render_metrics_json(snap)) == snap
+
+    def test_ledger_markdown(self):
+        from repro.report import render_ledger_markdown
+        from repro.telemetry.ledger import LedgerEntry
+
+        entries = [
+            LedgerEntry(
+                kind="compress", created="t0", git_rev="abc",
+                dataset="ATM", field="CLDHGH", codec="sz",
+                target_psnr=80.0, achieved_psnr=80.4, ratio=11.2,
+                compressed_bytes=999,
+            ),
+            LedgerEntry(kind="sweep", created="t1", git_rev="abc"),
+        ]
+        md = render_ledger_markdown(entries)
+        lines = md.splitlines()
+        assert len(lines) == 4
+        assert "ATM/CLDHGH" in lines[2]
+        assert "80.40" in lines[2] and "999" in lines[2]
+
+    def test_ledger_markdown_empty_and_limited(self):
+        from repro.report import render_ledger_markdown
+        from repro.telemetry.ledger import LedgerEntry
+
+        assert len(render_ledger_markdown([]).splitlines()) == 2
+        many = [LedgerEntry(kind="compress") for _ in range(30)]
+        assert len(render_ledger_markdown(many, limit=5).splitlines()) == 7
+
+
 class TestCLIReportFlag:
     def test_markdown_report_written(self, tmp_path, capsys):
         from repro.cli.main import main

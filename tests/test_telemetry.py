@@ -1,0 +1,325 @@
+"""Tests for :mod:`repro.telemetry`: the metrics registry, the memory
+profiler and the run ledger.
+
+The determinism contract is the load-bearing property: identical
+workloads must produce bit-identical deterministic snapshots and ledger
+counters, across processes and across runs.  Wall-clock-derived metrics
+are explicitly excluded from that contract and these tests check the
+exclusion too.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.observe import Trace, use_trace
+from repro.sz.compressor import SZCompressor
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    MetricsRegistry,
+    record_trace,
+)
+from repro.telemetry.ledger import (
+    LedgerEntry,
+    append_entry,
+    deterministic_view,
+    entry_from_trace,
+    ledger_path,
+    read_entries,
+)
+from repro.telemetry.memory import MEM_PEAK_KEY, profile_memory, trace_peak_bytes
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def field():
+    return np.load(GOLDEN / "field.npy")
+
+
+def _traced_compress(field, profile=False):
+    tr = Trace()
+    if profile:
+        with use_trace(tr), profile_memory():
+            blob = SZCompressor(1e-3, mode="abs").compress(field)
+    else:
+        with use_trace(tr):
+            blob = SZCompressor(1e-3, mode="abs").compress(field)
+    return tr, blob
+
+
+class TestMetricKinds:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc()
+        c.inc(41)
+        assert reg.counter("c").value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(2.5)
+        assert reg.gauge("g").value == 2.5
+
+    def test_histogram_le_semantics(self):
+        # v lands in the first bucket with v <= bound (Prometheus le).
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(0.0, 1.0, 10.0))
+        for v in (0.0, 0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(v)
+        # counts: [<=0, <=1, <=10, +Inf]
+        assert h.counts == [1, 2, 2, 1]
+        assert h.count == 6
+        assert h.sum == pytest.approx(27.5)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ParameterError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ParameterError):
+            reg.gauge("x")
+
+    def test_bucket_layout_frozen_by_first_creation(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("h", buckets=(0.0, 1.0))
+        h2 = reg.histogram("h", buckets=(5.0, 6.0))  # ignored
+        assert h1 is h2
+        assert h2.buckets == (0.0, 1.0)
+
+
+class TestSnapshots:
+    def test_snapshot_sorted_and_schema_versioned(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        snap = reg.snapshot()
+        assert snap["schema"] == 1
+        assert list(snap["metrics"]) == ["a", "b"]
+
+    def test_deterministic_only_drops_flagged(self):
+        reg = MetricsRegistry()
+        reg.counter("exact").inc()
+        reg.counter("wall", deterministic=False).inc()
+        snap = reg.snapshot(deterministic_only=True)
+        assert "exact" in snap["metrics"]
+        assert "wall" not in snap["metrics"]
+
+    def test_bit_identical_across_identical_runs(self, field):
+        regs = []
+        for _ in range(2):
+            tr, _ = _traced_compress(field)
+            reg = MetricsRegistry()
+            record_trace(tr, registry=reg)
+            regs.append(reg)
+        a = json.dumps(regs[0].snapshot(deterministic_only=True), sort_keys=True)
+        b = json.dumps(regs[1].snapshot(deterministic_only=True), sort_keys=True)
+        assert a == b
+
+    def test_merge_snapshot_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("c").inc(3)
+            reg.gauge("g").set(7.0)
+            reg.histogram("h", buckets=(0.0, 1.0)).observe(0.5)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("c").value == 6
+        assert a.gauge("g").value == 7.0
+        h = a.histogram("h", buckets=(0.0, 1.0))
+        assert h.counts == [0, 2, 0]
+        assert h.count == 2
+
+    def test_merge_rejects_incompatible_layouts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(0.0, 1.0))
+        b.histogram("h", buckets=(0.0, 2.0)).observe(1.5)
+        with pytest.raises(ParameterError):
+            a.merge_snapshot(b.snapshot())
+
+
+class TestRecordTrace:
+    def test_span_counters_become_counters(self, field):
+        tr, blob = _traced_compress(field)
+        reg = MetricsRegistry()
+        n = record_trace(tr, registry=reg)
+        assert n == len(tr.records)
+        assert reg.counter("trace.pack.calls").value == 1
+        assert reg.counter("trace.sz.compress.raw_bytes").value == field.nbytes
+
+    def test_durations_are_non_deterministic_counters(self, field):
+        tr, _ = _traced_compress(field)
+        reg = MetricsRegistry()
+        record_trace(tr, registry=reg)
+        m = reg.get("trace.sz.compress.duration_s")
+        assert m is not None and not m.deterministic
+        snap = reg.snapshot(deterministic_only=True)
+        assert "trace.sz.compress.duration_s" not in snap["metrics"]
+
+    def test_ratio_gauges_use_ratio_buckets(self, field):
+        tr, _ = _traced_compress(field)
+        reg = MetricsRegistry()
+        record_trace(tr, registry=reg)
+        h = reg.get("trace.escape.hit_ratio")
+        assert h is not None
+        assert h.buckets == tuple(RATIO_BUCKETS)
+
+    def test_mem_gauges_are_non_deterministic(self, field):
+        tr, _ = _traced_compress(field, profile=True)
+        reg = MetricsRegistry()
+        record_trace(tr, registry=reg)
+        h = reg.get(f"trace.pack.{MEM_PEAK_KEY}")
+        assert h is not None and not h.deterministic
+        assert h.buckets == tuple(DEFAULT_BUCKETS)
+
+
+class TestMemoryProfiler:
+    def test_every_span_carries_a_peak(self, field):
+        tr, _ = _traced_compress(field, profile=True)
+        assert tr.records, "trace must not be empty"
+        for rec in tr.records:
+            assert MEM_PEAK_KEY in rec.gauges
+            assert rec.gauges[MEM_PEAK_KEY] > 0
+
+    def test_parent_peak_covers_children(self, field):
+        tr, _ = _traced_compress(field, profile=True)
+        by_path = {r.path: r.gauges[MEM_PEAK_KEY] for r in tr.records}
+        for path, peak in by_path.items():
+            for other, other_peak in by_path.items():
+                if len(other) > len(path) and other[: len(path)] == path:
+                    assert peak >= other_peak
+
+    def test_trace_peak_bytes_helper(self, field):
+        tr, _ = _traced_compress(field, profile=True)
+        peak = trace_peak_bytes(tr)
+        assert peak == max(r.gauges[MEM_PEAK_KEY] for r in tr.records)
+        assert trace_peak_bytes(Trace()) is None
+
+    def test_unprofiled_trace_has_no_readings(self, field):
+        tr, _ = _traced_compress(field, profile=False)
+        assert all(MEM_PEAK_KEY not in r.gauges for r in tr.records)
+
+    def test_inline_task_records_carry_peaks(self):
+        from repro.parallel.executor import run_field_task
+
+        res = run_field_task(
+            "ATM", "CLDHGH", 40.0, scale=0.5, profile_mem=True
+        )
+        recs = res.metrics["records"]
+        assert any(MEM_PEAK_KEY in r["gauges"] for r in recs)
+
+    def test_cross_process_merge_carries_peaks(self):
+        # Worker-side readings must ride the pickled span records back
+        # into the parent trace like any other measurement.
+        from repro.parallel.executor import sweep_dataset
+
+        tr = Trace()
+        with use_trace(tr):
+            sweep_dataset(
+                "ATM",
+                targets=[40.0],
+                fields=["CLDHGH"],
+                scale=0.5,
+                n_workers=1,
+                collect_trace=True,
+                profile_mem=True,
+            )
+        merged = [r for r in tr.records if r.path[0].startswith("field:")]
+        assert merged
+        assert any(MEM_PEAK_KEY in r.gauges for r in merged)
+        assert trace_peak_bytes(tr) > 0
+
+
+class TestLedger:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        entry = LedgerEntry(
+            kind="compress", dataset="ATM", field="CLDHGH", codec="sz",
+            target_psnr=80.0, achieved_psnr=80.4, ratio=11.2,
+            raw_bytes=100, compressed_bytes=9,
+            counters={"pack.bytes.framing": 42},
+        )
+        written = append_entry(entry, path=str(path))
+        assert written == path
+        entries, skipped = read_entries(str(path))
+        assert skipped == 0
+        (got,) = entries
+        assert got.kind == "compress"
+        assert got.counters == {"pack.bytes.framing": 42}
+        # append_entry auto-fills environment fields
+        assert got.created and got.git_rev
+
+    def test_schema_skew_tolerated(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        newer = {
+            "schema": 99, "kind": "compress", "dataset": "X",
+            "from_the_future": {"a": 1},
+        }
+        path.write_text(
+            json.dumps(newer) + "\n"
+            + "this is not json\n"
+            + json.dumps([1, 2, 3]) + "\n"
+        )
+        entries, skipped = read_entries(str(path))
+        assert skipped == 2
+        (got,) = entries
+        assert got.schema == 99
+        assert got.achieved_psnr is None  # missing -> None
+        assert got.extra["from_the_future"] == {"a": 1}  # unknown -> extra
+
+    def test_ledger_path_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("FPZC_LEDGER", raising=False)
+        assert ledger_path() == Path(".fpzc") / "ledger.jsonl"
+        monkeypatch.setenv("FPZC_LEDGER", str(tmp_path / "env.jsonl"))
+        assert ledger_path() == tmp_path / "env.jsonl"
+        assert ledger_path("explicit.jsonl") == Path("explicit.jsonl")
+
+    def test_entry_from_trace_counters_and_stages(self, field):
+        tr, blob = _traced_compress(field)
+        entry = entry_from_trace(
+            "compress", tr, dataset="golden", codec="sz",
+            raw_bytes=field.nbytes, compressed_bytes=len(blob),
+        )
+        assert entry.counters["sz.compress.raw_bytes"] == field.nbytes
+        assert "pack" in entry.stage_seconds
+        assert entry.mem_peak_bytes is None
+
+    def test_entry_from_trace_rejects_unknown_kind(self, field):
+        tr, _ = _traced_compress(field)
+        with pytest.raises(ParameterError):
+            entry_from_trace("nonsense", tr)
+
+    def test_ledger_counters_deterministic(self, field, tmp_path):
+        views = []
+        for i in range(2):
+            tr, blob = _traced_compress(field)
+            entry = entry_from_trace(
+                "compress", tr, dataset="golden", codec="sz",
+                raw_bytes=field.nbytes, compressed_bytes=len(blob),
+            )
+            append_entry(entry, path=str(tmp_path / f"l{i}.jsonl"))
+            (got,), _ = read_entries(str(tmp_path / f"l{i}.jsonl"))
+            views.append(deterministic_view(got))
+        assert views[0] == views[1]
+
+    def test_deterministic_view_drops_environment(self, tmp_path):
+        entry = LedgerEntry(
+            kind="compress", git_rev="abc", created="now",
+            stage_seconds={"pack": 0.1}, mem_peak_bytes=123.0,
+        )
+        view = deterministic_view(entry)
+        text = json.dumps(view)
+        assert "abc" not in text and "now" not in text
+        assert "stage_seconds" not in view and "mem_peak_bytes" not in view

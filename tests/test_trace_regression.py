@@ -92,6 +92,62 @@ class TestByteAccounting:
         assert tr.total_bytes(path=pack.path) == len(blob)
 
 
+def _codec_factories():
+    """One single-argument ``compress(field) -> bytes`` per codec path
+    that serializes a container (the byte-accounting surface)."""
+    from repro.sz.hybrid import HybridCompressor
+    from repro.sz.interp import InterpolationCompressor
+    from repro.sz.legacy import Sz11Compressor
+    from repro.sz.regression import RegressionCompressor
+    from repro.sz.temporal import TemporalCompressor
+    from repro.transform.embedded import EmbeddedTransformCompressor
+
+    return {
+        "sz": lambda: SZCompressor(1e-3, mode="abs").compress,
+        "transform": lambda: TransformCompressor(1e-4, mode="rel").compress,
+        "legacy": lambda: Sz11Compressor(1e-3, mode="abs").compress,
+        "temporal": lambda: TemporalCompressor(error_bound=1e-3).push,
+        "regression": lambda: RegressionCompressor(1e-3, mode="abs").compress,
+        "interp": lambda: InterpolationCompressor(1e-3, mode="abs").compress,
+        "hybrid": lambda: HybridCompressor(1e-3, mode="abs").compress,
+        "embedded-rate": lambda: EmbeddedTransformCompressor(
+            mode="fixed_rate", rate=4.0
+        ).compress,
+        "embedded-psnr": lambda: EmbeddedTransformCompressor(
+            mode="fixed_psnr", rate=60.0
+        ).compress,
+    }
+
+
+@pytest.mark.parametrize(
+    "codec", sorted(_codec_factories()), ids=sorted(_codec_factories())
+)
+class TestByteAccountingAllCodecs:
+    """Every codec's ``pack`` span must account for every byte of its
+    container -- including the constant-field short-circuit paths."""
+
+    def _check(self, compress, data):
+        tr, blob = _traced(compress, data)
+        packs = _pack_records(tr)
+        assert len(packs) == 1, "expected exactly one container pack"
+        counters = packs[0].counters
+        total = sum(
+            v for k, v in counters.items() if k.startswith("bytes.")
+        )
+        assert total == len(blob)
+        layout = Container.from_bytes(blob).byte_layout()
+        assert counters["bytes.framing"] == layout["framing"]
+        for name, size in layout["streams"].items():
+            assert counters[f"bytes.{name}"] == size
+
+    def test_pack_accounts_for_every_byte(self, field, codec):
+        self._check(_codec_factories()[codec](), field)
+
+    def test_constant_field_path_accounts_too(self, codec):
+        const = np.full((32, 32), 3.25, dtype=np.float32)
+        self._check(_codec_factories()[codec](), const)
+
+
 class TestStageNameStability:
     def test_sz_stage_tree(self, field):
         tr, _ = _traced(SZCompressor(1e-3, mode="abs").compress, field)
