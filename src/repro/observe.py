@@ -151,7 +151,13 @@ class Span:
         self._trace._push(self)
         if _SPAN_HOOKS:
             for on_enter, _ in _SPAN_HOOKS:
-                on_enter(self)
+                try:
+                    on_enter(self)
+                except Exception:
+                    # Hooks are observers; a broken one (e.g. tracemalloc
+                    # stopped externally mid-run) must not abort the
+                    # pipeline operation it observes.
+                    pass
         self._t0 = time.perf_counter()
         return self
 
@@ -161,7 +167,10 @@ class Span:
         duration = time.perf_counter() - self._t0
         if _SPAN_HOOKS:
             for _, on_exit in _SPAN_HOOKS:
-                on_exit(self)
+                try:
+                    on_exit(self)
+                except Exception:
+                    pass
         self._trace._pop(self, duration)
         return False
 
@@ -422,7 +431,9 @@ def add_span_hook(on_enter, on_exit) -> None:
     """Register a span hook: ``on_enter(span)`` runs when a span opens
     (after it joins the stack, before its timer starts); ``on_exit(span)``
     runs when it closes (after its timer stops, before its record is
-    appended -- so hooks may still write gauges/counters)."""
+    appended -- so hooks may still write gauges/counters).  Exceptions
+    raised by hooks are swallowed: observers never abort the pipeline
+    operation they observe."""
     _SPAN_HOOKS.append((on_enter, on_exit))
 
 

@@ -34,11 +34,17 @@ import tracemalloc
 from typing import List, Optional
 
 import repro.observe as observe
+from repro.errors import ParameterError
 
 __all__ = ["profile_memory", "MEM_PEAK_KEY", "trace_peak_bytes"]
 
 #: Span gauge key carrying the per-span peak traced bytes.
 MEM_PEAK_KEY = "mem.peak_bytes"
+
+#: The profiler currently installed, if any.  ``tracemalloc`` keeps one
+#: global peak, so two overlapping profilers would double-register the
+#: span hooks and fold every reading twice.
+_ACTIVE: Optional["profile_memory"] = None
 
 
 class profile_memory:
@@ -82,6 +88,13 @@ class profile_memory:
     # -- context management ---------------------------------------------
 
     def __enter__(self) -> "profile_memory":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise ParameterError(
+                "profile_memory is already active: tracemalloc keeps one "
+                "global peak, so profilers cannot nest or overlap"
+            )
+        _ACTIVE = self
         if not tracemalloc.is_tracing():
             tracemalloc.start()
             self._started_tracemalloc = True
@@ -89,9 +102,13 @@ class profile_memory:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
         observe.remove_span_hook(self._on_enter, self._on_exit)
         if self._started_tracemalloc:
             tracemalloc.stop()
+            self._started_tracemalloc = False
+        if _ACTIVE is self:
+            _ACTIVE = None
         return False
 
 

@@ -94,7 +94,11 @@ class Counter:
         self.value += n
 
     def as_dict(self) -> Dict:
-        return {"kind": "counter", "value": self.value}
+        return {
+            "kind": "counter",
+            "value": self.value,
+            "deterministic": self.deterministic,
+        }
 
 
 class Gauge:
@@ -115,7 +119,11 @@ class Gauge:
         self.value = v
 
     def as_dict(self) -> Dict:
-        return {"kind": "gauge", "value": self.value}
+        return {
+            "kind": "gauge",
+            "value": self.value,
+            "deterministic": self.deterministic,
+        }
 
 
 class Histogram:
@@ -169,6 +177,7 @@ class Histogram:
             "counts": list(self.counts),
             "count": self.count,
             "sum": self.sum,
+            "deterministic": self.deterministic,
         }
 
 
@@ -262,25 +271,46 @@ class MetricsRegistry:
         """Fold another registry's :meth:`snapshot` into this one
         (e.g. shipped back from a worker process).  Counters and
         histogram counts add; gauges take the incoming reading;
-        histogram layouts must match."""
+        histogram layouts must match.
+
+        The determinism classification travels with the snapshot: a
+        worker's wall-clock metrics stay non-deterministic after the
+        merge, and a merge that would flip the flag on an existing
+        metric is refused -- otherwise timing data could leak into
+        ``snapshot(deterministic_only=True)`` and break golden
+        comparisons.
+        """
         for name, entry in snap.get("metrics", {}).items():
             kind = entry.get("kind")
+            det = bool(entry.get("deterministic", True))
             if kind == "counter":
-                self.counter(name).inc(entry["value"])
+                m = self.counter(name, deterministic=det)
             elif kind == "gauge":
-                self.gauge(name).set(entry["value"])
+                m = self.gauge(name, deterministic=det)
             elif kind == "histogram":
-                h = self.histogram(name, buckets=entry["buckets"])
-                if list(h.buckets) != [float(b) for b in entry["buckets"]]:
+                m = self.histogram(
+                    name, buckets=entry["buckets"], deterministic=det
+                )
+            else:
+                raise ParameterError(f"unknown metric kind {kind!r}")
+            if m.deterministic != det:
+                raise ParameterError(
+                    f"metric {name!r}: merge would flip the deterministic "
+                    f"flag ({m.deterministic} -> {det})"
+                )
+            if kind == "counter":
+                m.inc(entry["value"])
+            elif kind == "gauge":
+                m.set(entry["value"])
+            else:
+                if list(m.buckets) != [float(b) for b in entry["buckets"]]:
                     raise ParameterError(
                         f"histogram {name!r}: incompatible bucket layouts"
                     )
                 for i, c in enumerate(entry["counts"]):
-                    h.counts[i] += int(c)
-                h.count += int(entry["count"])
-                h.sum += float(entry["sum"])
-            else:
-                raise ParameterError(f"unknown metric kind {kind!r}")
+                    m.counts[i] += int(c)
+                m.count += int(entry["count"])
+                m.sum += float(entry["sum"])
 
 
 # -- the process-wide default registry ---------------------------------

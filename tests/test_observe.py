@@ -64,6 +64,50 @@ class TestSpanNesting:
         assert tr.records[0].duration_s >= 0.0
 
 
+class TestSpanHooks:
+    def test_raising_hooks_never_break_the_span(self):
+        # Hooks are observers: one that blows up (e.g. tracemalloc
+        # stopped externally mid-run) must neither abort the pipeline
+        # operation nor corrupt the span stack.
+        def boom(span):
+            raise RuntimeError("broken hook")
+
+        observe.add_span_hook(boom, boom)
+        try:
+            tr = Trace()
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    pass
+        finally:
+            observe.remove_span_hook(boom, boom)
+        assert [r.path for r in tr.records] == [
+            ("outer", "inner"),
+            ("outer",),
+        ]
+        # The stack stayed consistent: the next span is a root again.
+        with tr.span("after"):
+            pass
+        assert tr.records[-1].path == ("after",)
+
+    def test_working_hooks_still_fire(self):
+        seen = []
+
+        def on_enter(span):
+            seen.append(("enter", span.name))
+
+        def on_exit(span):
+            seen.append(("exit", span.name))
+
+        observe.add_span_hook(on_enter, on_exit)
+        try:
+            tr = Trace()
+            with tr.span("s"):
+                pass
+        finally:
+            observe.remove_span_hook(on_enter, on_exit)
+        assert seen == [("enter", "s"), ("exit", "s")]
+
+
 class TestCountersAndGauges:
     def test_counters_sum_on_aggregation(self):
         tr = Trace()

@@ -149,6 +149,29 @@ class TestSnapshots:
         with pytest.raises(ParameterError):
             a.merge_snapshot(b.snapshot())
 
+    def test_merge_preserves_determinism_flag(self):
+        # A worker's wall-clock metrics must stay non-deterministic
+        # after the cross-process merge, or they would leak into the
+        # deterministic_only view and break golden comparisons.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("trace.pack.duration_s", deterministic=False).inc(1.5)
+        b.histogram("chunk_throughput", deterministic=False).observe(3.0)
+        b.counter("exact").inc(7)
+        a.merge_snapshot(b.snapshot())
+        assert not a.get("trace.pack.duration_s").deterministic
+        assert not a.get("chunk_throughput").deterministic
+        snap = a.snapshot(deterministic_only=True)
+        assert "trace.pack.duration_s" not in snap["metrics"]
+        assert "chunk_throughput" not in snap["metrics"]
+        assert snap["metrics"]["exact"]["value"] == 7
+
+    def test_merge_refuses_determinism_flip(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc()
+        b.counter("c", deterministic=False).inc()
+        with pytest.raises(ParameterError):
+            a.merge_snapshot(b.snapshot())
+
 
 class TestRecordTrace:
     def test_span_counters_become_counters(self, field):
@@ -210,6 +233,20 @@ class TestMemoryProfiler:
     def test_unprofiled_trace_has_no_readings(self, field):
         tr, _ = _traced_compress(field, profile=False)
         assert all(MEM_PEAK_KEY not in r.gauges for r in tr.records)
+
+    def test_reentrant_profiling_rejected(self):
+        # tracemalloc has one global peak; overlapping profilers would
+        # double-register the span hooks and fold readings twice.
+        with profile_memory():
+            with pytest.raises(ParameterError):
+                with profile_memory():
+                    pass
+        # A clean exit releases the slot: profiling works again.
+        tr = Trace()
+        with use_trace(tr), profile_memory():
+            with tr.span("s"):
+                pass
+        assert MEM_PEAK_KEY in tr.records[0].gauges
 
     def test_inline_task_records_carry_peaks(self):
         from repro.parallel.executor import run_field_task
