@@ -1,0 +1,192 @@
+"""Trial memoization and warm starts for the autotune search.
+
+Two cost-avoidance layers:
+
+``TrialCache``
+    In-process memoization keyed by *data fingerprint x codec x exact
+    bound*.  The search revisits bounds freely (parallel pre-probes,
+    subsample-then-confirm, repeated searches over the same field), so
+    hits are common; a hit returns the recorded :class:`Trial` marked
+    ``cached=True`` and must never change a search's converged result
+    (property-tested).
+
+``warm_start``
+    An initial-bound guess mined from the run ledger
+    (:mod:`repro.telemetry.ledger`):
+
+    1. prior ``autotune`` records for the same codec and objective are
+       log-log interpolated to the new target (compression ratio is
+       near power-law in the bound, so two prior points predict well);
+    2. failing that, sibling ``compress``/``sweep`` records carrying an
+       achieved PSNR are converted to the bound that produced them via
+       Eq. 8 (``repro.core.fixed_psnr.psnr_to_relative_bound``) and
+       paired with their recorded ratio -- the paper's closed form is
+       exactly the bridge from a *measured* sibling run to a bound
+       guess for this one.
+
+    A good warm start typically saves 2-4 of the 12-trial budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["fingerprint", "TrialCache", "warm_start"]
+
+
+def fingerprint(data) -> str:
+    """Stable content hash of an array: dtype, shape and raw bytes.
+
+    SHA-1 over the C-contiguous buffer; two arrays share a fingerprint
+    iff they are element-wise identical with the same dtype and shape.
+    """
+    a = np.ascontiguousarray(data)
+    h = hashlib.sha1()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class TrialCache:
+    """Memoized trials keyed by (fingerprint, codec, objective, bound).
+
+    The bound enters the key exactly (``float.hex``), so only a probe
+    at the *identical* bound hits -- no tolerance matching, which keeps
+    cached searches bit-identical to uncached ones.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[str, str, str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def _key(fp: str, codec: str, objective: str, eb_rel: float):
+        return (fp, codec, objective, float(eb_rel).hex())
+
+    def get(self, fp: str, codec: str, objective: str, eb_rel: float):
+        """The cached trial (marked ``cached=True``) or None."""
+        trial = self._store.get(self._key(fp, codec, objective, eb_rel))
+        if trial is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trial.replace(cached=True)
+
+    def put(self, fp: str, codec: str, objective: str, trial) -> None:
+        """Record a freshly evaluated trial."""
+        self._store[self._key(fp, codec, objective, trial.eb_rel)] = trial
+
+    def wrap(self, evaluate, fp: str, codec: str, objective: str):
+        """A cache-through version of ``evaluate(eb_rel) -> Trial``."""
+
+        def cached_evaluate(eb_rel: float):
+            hit = self.get(fp, codec, objective, eb_rel)
+            if hit is not None:
+                return hit
+            trial = evaluate(eb_rel)
+            self.put(fp, codec, objective, trial)
+            return trial
+
+        return cached_evaluate
+
+
+# -- ledger mining ------------------------------------------------------
+
+
+def _interp_points(
+    points: Sequence[Tuple[float, float]], target: float
+) -> Optional[float]:
+    """Log-log interpolate/extrapolate ``(eb, value)`` points to the eb
+    whose value would be ``target``; None when the points cannot say."""
+    pts = [
+        (float(e), float(v))
+        for e, v in points
+        if e > 0 and v > 0 and math.isfinite(e) and math.isfinite(v)
+    ]
+    if not pts or target <= 0:
+        return None
+    if len(pts) == 1:
+        return pts[0][0]
+    xs = [math.log(e) for e, _ in pts]
+    ys = [math.log(v) for _, v in pts]
+    n = len(pts)
+    mx, my = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0 or sxy == 0:
+        return pts[0][0]
+    slope = sxy / sxx
+    return math.exp(mx + (math.log(target) - my) / slope)
+
+
+def warm_start(
+    objective,
+    entries: Sequence,
+    dataset: str = "",
+) -> Optional[float]:
+    """Mine ledger ``entries`` for an initial bound for ``objective``.
+
+    Prefers prior autotune records matching the objective and codec
+    (the ledger's ``extra`` carries their converged ``eb_rel`` and
+    achieved value); falls back to sibling compress/sweep records via
+    Eq. 8.  ``dataset``, when given, restricts the sibling pass to runs
+    of the same data set.  Returns None when the ledger has nothing
+    usable -- the caller then uses ``objective.default_guess``.
+    """
+    auto_points: List[Tuple[float, float]] = []
+    sibling_points: List[Tuple[float, float]] = []
+    for e in entries:
+        codec = getattr(e, "codec", "")
+        if codec and codec != objective.codec:
+            continue
+        if getattr(e, "kind", "") == "autotune":
+            extra = getattr(e, "extra", {}) or {}
+            if extra.get("objective") != objective.name:
+                continue
+            eb = extra.get("eb_rel")
+            achieved = getattr(e, "achieved", None)
+            if eb and achieved:
+                auto_points.append((float(eb), float(achieved)))
+            continue
+        if objective.name not in ("ratio", "bitrate"):
+            continue
+        if dataset and getattr(e, "dataset", "") != dataset:
+            continue
+        psnr = getattr(e, "achieved_psnr", None)
+        ratio = getattr(e, "ratio", None)
+        if not psnr or not ratio or not math.isfinite(psnr):
+            continue
+        # Eq. 8: the bound that produced this sibling's measured PSNR.
+        from repro.core.fixed_psnr import (
+            MAX_TARGET_PSNR,
+            MIN_TARGET_PSNR,
+            psnr_to_relative_bound,
+        )
+
+        if not (MIN_TARGET_PSNR < psnr < MAX_TARGET_PSNR):
+            continue
+        eb = psnr_to_relative_bound(psnr)
+        value = (
+            float(ratio)
+            if objective.name == "ratio"
+            else 8.0 * 4.0 / float(ratio)  # bits/value assuming float32
+        )
+        sibling_points.append((eb, value))
+    guess = _interp_points(auto_points, objective.target)
+    if guess is None:
+        guess = _interp_points(sibling_points, objective.target)
+    return guess

@@ -1,0 +1,403 @@
+"""Error-bound search: the measurement loop at the heart of autotuning.
+
+FRaZ (arXiv:2001.06139) showed that a *generic* fixed-ratio mode for
+error-bounded compressors needs no analytical model at all: run trial
+compressions, measure, and iterate the error bound until the measured
+quantity hits the target.  This module implements that loop over
+``log10(eb_rel)`` with two strategies:
+
+* **Monotone fast path** (ratio, bit rate, max pointwise error, PSNR,
+  SSIM -- anything that moves one way as the bound grows): geometric
+  bracket expansion from the warm-start guess, then a log-log secant
+  step (regula falsi with a bisection clamp) inside the bracket.
+  Compression ratio is close to log-log-linear in the bound, so the
+  secant usually lands within tolerance in 2-4 trials once bracketed.
+* **Derivative-free global path** (user metrics with unknown shape):
+  a coarse scan over the search interval followed by golden-section
+  refinement of ``|measured - target| / |target|`` around the best
+  probe.  (A full Davis-King-style LIPO global optimizer is overkill
+  at <= a dozen affordable trials; the scan + golden section keeps the
+  same "no gradients, bounded evaluations" contract.)
+
+The searcher never compresses anything itself: it drives an
+``evaluate(eb_rel) -> Trial`` callable supplied by the driver, which
+layers caching, subsampling and telemetry underneath (see
+:mod:`repro.autotune.driver`).
+
+Budgets are hard limits: ``max_trials`` counts evaluate calls (cache
+hits included -- determinism requires the trajectory, not the cost, to
+be bounded) and ``max_seconds`` is a wall-clock cap checked between
+trials.  Either stop yields the best trial seen so far with
+``converged=False`` and an explanatory ``stop_reason``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["SearchBudget", "SearchResult", "search", "relative_error"]
+
+#: Default search interval for the value-range-relative bound.  The
+#: lower end is float64 noise; above ~0.5 the quantizer bin exceeds
+#: the value range and every codec degenerates to a constant field.
+DEFAULT_EB_LO = 1e-12
+DEFAULT_EB_HI = 0.5
+
+#: Geometric bracket-expansion factor (in eb space) per probe.
+_EXPAND_FACTOR = 32.0
+
+#: Golden ratio complement for the global path.
+_INV_PHI = 0.6180339887498949
+
+
+def relative_error(value: float, target: float) -> float:
+    """``|value - target| / |target|`` -- the convergence criterion."""
+    return abs(value - target) / abs(target)
+
+
+@dataclass
+class SearchBudget:
+    """Iteration and wall-clock limits for one search."""
+
+    max_trials: int = 12
+    max_seconds: Optional[float] = None
+    _t0: float = dc_field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_trials < 1:
+            raise ParameterError("max_trials must be >= 1")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ParameterError("max_seconds must be positive")
+
+    def start(self) -> None:
+        self._t0 = time.monotonic()
+
+    def exhausted(self, trials_done: int) -> Optional[str]:
+        """The stop reason if the budget is spent, else None."""
+        if trials_done >= self.max_trials:
+            return "max_trials"
+        if (
+            self.max_seconds is not None
+            and time.monotonic() - self._t0 >= self.max_seconds
+        ):
+            return "max_seconds"
+        return None
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one error-bound search (the convergence report)."""
+
+    converged: bool
+    eb_rel: float
+    achieved: float
+    target: float
+    tolerance: float
+    stop_reason: str
+    trials: List = dc_field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def deviation(self) -> float:
+        """Relative miss of the best trial."""
+        return relative_error(self.achieved, self.target)
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation (trial trajectory included)."""
+        return {
+            "converged": self.converged,
+            "eb_rel": self.eb_rel,
+            "achieved": self.achieved,
+            "target": self.target,
+            "tolerance": self.tolerance,
+            "deviation": self.deviation,
+            "stop_reason": self.stop_reason,
+            "n_trials": self.n_trials,
+            "trajectory": [
+                {"eb_rel": t.eb_rel, "value": t.value, "cached": t.cached}
+                for t in self.trials
+            ],
+        }
+
+    def report(self) -> str:
+        """Human-readable convergence report."""
+        lines = [
+            f"{'converged' if self.converged else 'NOT converged'} "
+            f"after {self.n_trials} trials ({self.stop_reason}): "
+            f"eb_rel {self.eb_rel:.6g} -> {self.achieved:.6g} "
+            f"(target {self.target:.6g} +/- {100 * self.tolerance:g}%, "
+            f"miss {100 * self.deviation:.2f}%)"
+        ]
+        for i, t in enumerate(self.trials):
+            tag = " (cached)" if t.cached else ""
+            lines.append(
+                f"  trial {i + 1:2d}: eb_rel {t.eb_rel:<12.6g} "
+                f"-> {t.value:.6g}{tag}"
+            )
+        return "\n".join(lines)
+
+
+def _log_interp(lo_eb, lo_v, hi_eb, hi_v, target) -> float:
+    """Secant step in (log eb, log value) space, clamped to the middle
+    of the bracket so a flat segment cannot stall the search."""
+    la, lb = math.log(lo_eb), math.log(hi_eb)
+    if lo_v > 0 and hi_v > 0 and lo_v != hi_v:
+        f = (math.log(target) - math.log(lo_v)) / (
+            math.log(hi_v) - math.log(lo_v)
+        )
+    else:
+        f = 0.5
+    f = min(0.9, max(0.1, f))
+    return math.exp(la + f * (lb - la))
+
+
+def _search_monotone(
+    evaluate: Callable,
+    target: float,
+    increasing: bool,
+    tol: float,
+    initial: float,
+    lo: float,
+    hi: float,
+    budget: SearchBudget,
+) -> SearchResult:
+    """Bracket + log-log secant for a monotone objective."""
+    trials: List = []
+
+    def probe(eb: float):
+        t = evaluate(eb)
+        trials.append(t)
+        return t
+
+    def result(best, reason: str) -> SearchResult:
+        conv = relative_error(best.value, target) <= tol
+        return SearchResult(
+            converged=conv,
+            eb_rel=best.eb_rel,
+            achieved=best.value,
+            target=target,
+            tolerance=tol,
+            stop_reason="converged" if conv else reason,
+            trials=trials,
+        )
+
+    # Orient so "below" always means the measured value is under the
+    # target on the low-eb side of the crossing.
+    def signed(v: float) -> float:
+        return (v - target) if increasing else (target - v)
+
+    cur = probe(initial)
+    best = cur
+    below = cur if signed(cur.value) < 0 else None
+    above = cur if signed(cur.value) >= 0 else None
+    # Expand geometrically until the target is bracketed.
+    while below is None or above is None:
+        if relative_error(best.value, target) <= tol:
+            return result(best, "converged")
+        reason = budget.exhausted(len(trials))
+        if reason:
+            return result(best, reason)
+        if below is None:
+            # The orientation puts "below" on the low-eb side for both
+            # directions, so a missing "below" always means: probe a
+            # smaller bound.
+            nxt = max(lo, above.eb_rel / _EXPAND_FACTOR)
+            at_edge = nxt <= lo
+        else:
+            nxt = min(hi, below.eb_rel * _EXPAND_FACTOR)
+            at_edge = nxt >= hi
+        if trials and abs(nxt - trials[-1].eb_rel) == 0.0:
+            return result(best, "bracket_exhausted")
+        cur = probe(nxt)
+        if relative_error(cur.value, target) < relative_error(best.value, target):
+            best = cur
+        if signed(cur.value) < 0:
+            below = cur
+        else:
+            above = cur
+        if at_edge and (below is None or above is None):
+            # The target lies outside the reachable range.
+            return result(best, "bracket_exhausted")
+    # Refine inside the bracket.
+    while True:
+        if relative_error(best.value, target) <= tol:
+            return result(best, "converged")
+        reason = budget.exhausted(len(trials))
+        if reason:
+            return result(best, reason)
+        lo_eb, hi_eb = sorted((below.eb_rel, above.eb_rel))
+        if hi_eb / lo_eb <= 1.0 + 1e-9:
+            # Degenerate bracket: the objective steps over the target
+            # (discrete plateau); best effort is the closest side.
+            return result(best, "plateau")
+        lo_t = below if below.eb_rel < above.eb_rel else above
+        hi_t = above if below.eb_rel < above.eb_rel else below
+        nxt = _log_interp(
+            lo_t.eb_rel, lo_t.value, hi_t.eb_rel, hi_t.value, target
+        )
+        cur = probe(nxt)
+        if relative_error(cur.value, target) < relative_error(best.value, target):
+            best = cur
+        if signed(cur.value) < 0:
+            below = cur
+        else:
+            above = cur
+
+
+def _search_global(
+    evaluate: Callable,
+    target: float,
+    tol: float,
+    initial: Optional[float],
+    lo: float,
+    hi: float,
+    budget: SearchBudget,
+    scan_points: int = 4,
+) -> SearchResult:
+    """Coarse scan + golden-section refinement for unknown shapes."""
+    trials: List = []
+
+    def probe(eb: float):
+        t = evaluate(eb)
+        trials.append(t)
+        return t
+
+    def miss(t) -> float:
+        return relative_error(t.value, target)
+
+    def result(best, reason: str) -> SearchResult:
+        conv = miss(best) <= tol
+        return SearchResult(
+            converged=conv,
+            eb_rel=best.eb_rel,
+            achieved=best.value,
+            target=target,
+            tolerance=tol,
+            stop_reason="converged" if conv else reason,
+            trials=trials,
+        )
+
+    la, lb = math.log(lo), math.log(hi)
+    grid = [math.exp(la + (lb - la) * i / (scan_points - 1))
+            for i in range(scan_points)]
+    if initial is not None and lo <= initial <= hi:
+        grid.append(initial)
+    best = None
+    for eb in sorted(grid):
+        reason = budget.exhausted(len(trials))
+        if reason:
+            return result(best, reason)
+        t = probe(eb)
+        if best is None or miss(t) < miss(best):
+            best = t
+        if miss(best) <= tol:
+            return result(best, "converged")
+    # Golden-section around the best probe: bracket = neighbours of the
+    # best scan point in eb order.
+    by_eb = sorted(trials, key=lambda t: t.eb_rel)
+    i = by_eb.index(best)
+    a = math.log(by_eb[max(0, i - 1)].eb_rel)
+    b = math.log(by_eb[min(len(by_eb) - 1, i + 1)].eb_rel)
+    c = b - _INV_PHI * (b - a)
+    d = a + _INV_PHI * (b - a)
+    fc = fd = None
+    while True:
+        reason = budget.exhausted(len(trials))
+        if reason:
+            return result(best, reason)
+        if b - a < 1e-9:
+            return result(best, "plateau")
+        if fc is None:
+            fc = probe(math.exp(c))
+            if miss(fc) < miss(best):
+                best = fc
+            if miss(best) <= tol:
+                return result(best, "converged")
+            continue
+        if fd is None:
+            fd = probe(math.exp(d))
+            if miss(fd) < miss(best):
+                best = fd
+            if miss(best) <= tol:
+                return result(best, "converged")
+            continue
+        if miss(fc) < miss(fd):
+            b, d, fd = d, c, fc
+            c = b - _INV_PHI * (b - a)
+            fc = None
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INV_PHI * (b - a)
+            fd = None
+
+
+def search(
+    evaluate: Callable,
+    target: float,
+    *,
+    increasing: Optional[bool] = None,
+    tol: float = 0.05,
+    initial: Optional[float] = None,
+    lo: float = DEFAULT_EB_LO,
+    hi: float = DEFAULT_EB_HI,
+    max_trials: int = 12,
+    max_seconds: Optional[float] = None,
+) -> SearchResult:
+    """Find the error bound whose measured objective value hits
+    ``target`` within relative tolerance ``tol``.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(eb_rel) -> Trial`` -- runs one trial compression and
+        returns its measurements (see :mod:`repro.autotune.objective`).
+    target:
+        The value to hit; must be finite and non-zero (the criterion is
+        relative).
+    increasing:
+        Monotone direction of the objective value in ``eb_rel``:
+        ``True`` (ratio, max error), ``False`` (bit rate, PSNR, SSIM)
+        or ``None`` for the derivative-free global path.
+    initial:
+        Warm-start bound (cache / ledger / Eq. 8 -- see
+        :mod:`repro.autotune.cache`); defaults to the log-midpoint of
+        ``[lo, hi]``.
+    lo, hi:
+        Search interval for ``eb_rel``; ``0 < lo < hi``.
+    max_trials, max_seconds:
+        Hard budget (see :class:`SearchBudget`).
+    """
+    if not (target == target) or target in (float("inf"), float("-inf")):
+        raise ParameterError("target must be finite")
+    if target == 0:
+        raise ParameterError(
+            "target must be non-zero (convergence is relative)"
+        )
+    if not (0.0 < tol < 1.0):
+        raise ParameterError("tol must be in (0, 1)")
+    if not (0.0 < lo < hi):
+        raise ParameterError("need 0 < lo < hi for the eb search interval")
+    if initial is not None:
+        if initial <= 0:
+            raise ParameterError("initial bound must be positive")
+        initial = min(hi, max(lo, float(initial)))
+    budget = SearchBudget(max_trials=max_trials, max_seconds=max_seconds)
+    budget.start()
+    if increasing is None:
+        return _search_global(
+            evaluate, float(target), tol, initial, lo, hi, budget
+        )
+    if initial is None:
+        initial = math.exp(0.5 * (math.log(lo) + math.log(hi)))
+    return _search_monotone(
+        evaluate, float(target), bool(increasing), tol, initial, lo, hi,
+        budget,
+    )

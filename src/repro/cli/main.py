@@ -2,7 +2,10 @@
 
 Subcommands
 -----------
-``compress``    compress a ``.npy`` array (fixed-PSNR, abs or rel bound)
+``compress``    compress a ``.npy`` array (fixed-PSNR/NRMSE/MSE, abs or
+                rel bound, or a searched ``--ratio`` target)
+``autotune``    search the error-bound space for a ratio/bit-rate/
+                SSIM/max-error target (FRaZ-style trial loop)
 ``decompress``  reconstruct a ``.npy`` from a compressed container
 ``info``        print a container's metadata
 ``table1``      print the data-set inventory (paper Table I)
@@ -15,7 +18,10 @@ Examples
 ::
 
     fpzc compress field.npy -o field.fpz --psnr 80
+    fpzc compress field.npy -o field.fpz --nrmse 1e-4
+    fpzc compress field.npy -o field.fpz --ratio 10
     fpzc compress field.npy -o field.fpz --abs 1e-3 --codec transform
+    fpzc autotune field.npy --ratio 10 --tol 0.05 -o field.fpz
     fpzc decompress field.fpz -o recon.npy
     fpzc sweep ATM --targets 40 80 120 --workers 4
 """
@@ -69,6 +75,31 @@ def build_parser() -> argparse.ArgumentParser:
         dest="bit_rate",
         help="fixed-rate mode: bits per value (embedded codec)",
     )
+    group.add_argument(
+        "--nrmse",
+        type=float,
+        dest="nrmse",
+        help="target NRMSE (fixed-NRMSE mode, Eq. 8 via Eq. 5)",
+    )
+    group.add_argument(
+        "--mse",
+        type=float,
+        dest="mse",
+        help="target MSE (fixed-MSE mode, Eq. 8 via Eq. 4)",
+    )
+    group.add_argument(
+        "--ratio",
+        type=float,
+        dest="ratio",
+        help="target compression ratio (autotune search; see "
+        "`fpzc autotune` for the full knob set)",
+    )
+    p_c.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        help="relative tolerance for --ratio (default 0.05)",
+    )
     p_c.add_argument(
         "--codec",
         choices=("sz", "transform", "regression", "hybrid", "interp", "embedded"),
@@ -118,6 +149,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-ledger",
         action="store_true",
         help="do not append this traced run to the ledger",
+    )
+
+    p_at = sub.add_parser(
+        "autotune",
+        help="search the error-bound space for a measured target "
+        "(fixed ratio / bit rate / SSIM / max error)",
+    )
+    p_at.add_argument("input", help="input .npy file (float32/float64 array)")
+    p_at.add_argument(
+        "-o", "--output",
+        help="also write the container compressed at the converged bound",
+    )
+    at_group = p_at.add_mutually_exclusive_group(required=True)
+    at_group.add_argument(
+        "--ratio", type=float, help="target compression ratio"
+    )
+    at_group.add_argument(
+        "--bitrate", type=float, help="target bits per value"
+    )
+    at_group.add_argument(
+        "--ssim", type=float, help="target block SSIM in (0, 1]"
+    )
+    at_group.add_argument(
+        "--max-error",
+        type=float,
+        dest="max_error",
+        help="target maximum pointwise absolute error",
+    )
+    p_at.add_argument(
+        "--codec",
+        choices=("sz", "transform", "regression", "hybrid", "interp"),
+        default="sz",
+        help="error-bounded codec to tune",
+    )
+    p_at.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        help="relative convergence tolerance (default 0.05 = 5%%)",
+    )
+    p_at.add_argument(
+        "--max-trials",
+        type=int,
+        default=12,
+        dest="max_trials",
+        help="trial-compression budget (default 12)",
+    )
+    p_at.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        dest="max_seconds",
+        help="wall-clock budget per search phase (default: none)",
+    )
+    p_at.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallel pre-probe worker processes (default 0 = inline)",
+    )
+    p_at.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="ignore prior ledger runs when choosing the initial bound",
+    )
+    p_at.add_argument("--json", action="store_true", help="emit a JSON report")
+    p_at.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-trial stage-cost tree after the search",
+    )
+    p_at.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write the full trace (schema v1 JSON) to PATH; implies --trace",
+    )
+    p_at.add_argument(
+        "--profile-mem",
+        action="store_true",
+        help="per-span peak-memory profiling via tracemalloc "
+        "(slower; implies --trace)",
+    )
+    p_at.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the process metrics snapshot to PATH "
+        "(.prom -> Prometheus text, else JSON)",
+    )
+    p_at.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="run-ledger file (default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_at.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the ledger",
     )
 
     p_d = sub.add_parser("decompress", help="decompress a container")
@@ -252,8 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _compress_blob(args, data) -> bytes:
-    """Dispatch ``compress`` arguments to the right codec."""
+def _compress_blob(args, data):
+    """Dispatch ``compress`` arguments to the right codec.
+
+    Returns ``(blob, mode, target)`` where ``mode`` names the control
+    mode the user asked for (``"psnr"``, ``"nrmse"``, ``"mse"``,
+    ``"ratio"``, ``"rate"`` or ``"bound"``) and ``target`` is the
+    requested value in that unit (``None`` for plain error-bound runs).
+    """
     from repro.core.fixed_psnr import FixedPSNRCompressor
     from repro.errors import ParameterError
     from repro.sz.compressor import SZCompressor
@@ -261,12 +395,56 @@ def _compress_blob(args, data) -> bytes:
     from repro.transform.compressor import TransformCompressor
     from repro.transform.embedded import EmbeddedTransformCompressor
 
-    if args.bit_rate is not None:
+    mode, target = "bound", None
+    if args.nrmse is not None:
+        from repro.core.modes import compress_fixed_nrmse
+
+        if args.codec == "embedded":
+            raise ParameterError("--nrmse is not supported by --codec embedded")
+        blob = compress_fixed_nrmse(
+            data,
+            args.nrmse,
+            refine="histogram" if args.refine else None,
+            codec=args.codec,
+        )
+        mode, target = "nrmse", args.nrmse
+    elif args.mse is not None:
+        from repro.core.modes import compress_fixed_mse
+
+        if args.codec == "embedded":
+            raise ParameterError("--mse is not supported by --codec embedded")
+        blob = compress_fixed_mse(
+            data,
+            args.mse,
+            refine="histogram" if args.refine else None,
+            codec=args.codec,
+        )
+        mode, target = "mse", args.mse
+    elif args.ratio is not None:
+        from repro.autotune import autotune
+
+        if args.codec == "embedded":
+            raise ParameterError(
+                "--ratio autotuning is not supported by --codec embedded"
+            )
+        result = autotune(
+            data,
+            "ratio",
+            args.ratio,
+            codec=args.codec,
+            tol=args.tol,
+            keep_blob=True,
+        )
+        print(result.report(), file=sys.stderr)
+        blob = result.blob
+        mode, target = "ratio", args.ratio
+    elif args.bit_rate is not None:
         if args.codec != "embedded":
             raise ParameterError("--bit-rate requires --codec embedded")
         blob = EmbeddedTransformCompressor(
             mode="fixed_rate", rate=args.bit_rate
         ).compress(data)
+        mode, target = "rate", args.bit_rate
     elif args.psnr is not None:
         if args.codec == "embedded":
             blob = EmbeddedTransformCompressor(
@@ -279,6 +457,7 @@ def _compress_blob(args, data) -> bytes:
                 codec=args.codec,
             )
             blob = comp.compress(data)
+        mode, target = "psnr", args.psnr
     elif args.pw_rel_bound is not None:
         if args.codec != "sz":
             raise ParameterError("--pw-rel requires --codec sz")
@@ -286,31 +465,31 @@ def _compress_blob(args, data) -> bytes:
             error_bound=args.pw_rel_bound, mode="pw_rel", entropy=args.entropy
         ).compress(data)
     else:
-        mode = "abs" if args.abs_bound is not None else "rel"
+        bmode = "abs" if args.abs_bound is not None else "rel"
         bound = args.abs_bound if args.abs_bound is not None else args.rel_bound
         if args.codec == "sz":
             blob = SZCompressor(
-                error_bound=bound, mode=mode, entropy=args.entropy
+                error_bound=bound, mode=bmode, entropy=args.entropy
             ).compress(data)
         elif args.codec == "transform":
-            blob = TransformCompressor(error_bound=bound, mode=mode).compress(data)
+            blob = TransformCompressor(error_bound=bound, mode=bmode).compress(data)
         elif args.codec == "regression":
-            blob = RegressionCompressor(error_bound=bound, mode=mode).compress(data)
+            blob = RegressionCompressor(error_bound=bound, mode=bmode).compress(data)
         elif args.codec == "hybrid":
             from repro.sz.hybrid import HybridCompressor
 
-            blob = HybridCompressor(error_bound=bound, mode=mode).compress(data)
+            blob = HybridCompressor(error_bound=bound, mode=bmode).compress(data)
         elif args.codec == "interp":
             from repro.sz.interp import InterpolationCompressor
 
             blob = InterpolationCompressor(
-                error_bound=bound, mode=mode
+                error_bound=bound, mode=bmode
             ).compress(data)
         else:
             raise ParameterError(
                 "the embedded codec takes --bit-rate or --psnr, not error bounds"
             )
-    return blob
+    return blob, mode, target
 
 
 def _write_metrics(path: str) -> None:
@@ -356,13 +535,41 @@ def _cmd_compress(args) -> int:
                 from repro.telemetry.memory import profile_memory
 
                 stack.enter_context(profile_memory())
-            blob = _compress_blob(args, data)
+            blob, mode, target = _compress_blob(args, data)
     else:
-        blob = _compress_blob(args, data)
+        blob, mode, target = _compress_blob(args, data)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     ratio = data.nbytes / len(blob)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes (CR {ratio:.2f})")
+
+    # When a quality (or ratio) target was requested, decompress once
+    # and report how close the run actually landed.
+    achieved_psnr = None
+    achieved = None
+    if mode in ("psnr", "nrmse", "mse", "ratio") and args.codec != "embedded":
+        from repro.metrics.distortion import mse as measure_mse
+        from repro.metrics.distortion import nrmse as measure_nrmse
+        from repro.metrics.distortion import psnr as measure_psnr
+        from repro.sz.compressor import decompress
+
+        recon = decompress(blob)
+        achieved_psnr = float(measure_psnr(data, recon))
+        line = f"achieved: PSNR {achieved_psnr:.2f} dB"
+        if mode == "nrmse":
+            achieved = float(measure_nrmse(data, recon))
+            line += f", NRMSE {achieved:.4g} (target {target:g})"
+        elif mode == "mse":
+            achieved = float(measure_mse(data, recon))
+            line += f", MSE {achieved:.4g} (target {target:g})"
+        elif mode == "ratio":
+            achieved = float(ratio)
+            line += f", CR {ratio:.2f} (target {target:g})"
+        else:
+            achieved = achieved_psnr
+            line += f" (target {target:g})"
+        print(line)
+
     if traced:
         from repro.telemetry.registry import record_trace
 
@@ -374,15 +581,8 @@ def _cmd_compress(args) -> int:
                 fh.write(tr.to_json())
             print(f"trace written to {args.trace_json}")
         if not args.no_ledger:
-            from repro.metrics.distortion import psnr as measure_psnr
-            from repro.sz.compressor import decompress
             from repro.telemetry.ledger import entry_from_trace
 
-            achieved = (
-                float(measure_psnr(data, decompress(blob)))
-                if args.psnr is not None
-                else None
-            )
             _append_ledger(
                 args,
                 entry_from_trace(
@@ -390,8 +590,11 @@ def _cmd_compress(args) -> int:
                     tr,
                     dataset=args.input,
                     codec=args.codec,
+                    mode=mode,
+                    target=target,
+                    achieved=achieved,
                     target_psnr=args.psnr,
-                    achieved_psnr=achieved,
+                    achieved_psnr=achieved_psnr,
                     ratio=ratio,
                     raw_bytes=int(data.nbytes),
                     compressed_bytes=len(blob),
@@ -400,6 +603,116 @@ def _cmd_compress(args) -> int:
     if args.metrics:
         _write_metrics(args.metrics)
     return 0
+
+
+def _cmd_autotune(args) -> int:
+    """Search the error-bound space for a measured target and report
+    the convergence trajectory.  Exit code 0 when the search converged
+    within tolerance, 1 when a budget ran out first."""
+    import json as _json
+    from contextlib import ExitStack
+
+    from repro.autotune import autotune
+    from repro.observe import Trace, use_trace
+
+    data = np.load(args.input)
+    for name in ("ratio", "bitrate", "ssim", "max_error"):
+        target = getattr(args, name)
+        if target is not None:
+            objective = name
+            break
+
+    ledger_entries = None
+    if not args.no_warm_start:
+        from repro.telemetry.ledger import read_entries
+
+        try:
+            ledger_entries, _ = read_entries(args.ledger)
+        except OSError:
+            ledger_entries = None
+
+    # Always trace: the ledger record and --trace/--metrics output are
+    # both built from the per-trial spans.
+    tr = Trace()
+    with ExitStack() as stack:
+        stack.enter_context(use_trace(tr))
+        if args.profile_mem:
+            from repro.telemetry.memory import profile_memory
+
+            stack.enter_context(profile_memory())
+        result = autotune(
+            data,
+            objective,
+            target,
+            codec=args.codec,
+            tol=args.tol,
+            max_trials=args.max_trials,
+            max_seconds=args.max_seconds,
+            n_workers=args.workers,
+            ledger_entries=ledger_entries,
+            keep_blob=args.output is not None,
+        )
+
+    from repro.telemetry.registry import record_trace
+
+    record_trace(tr)
+    if args.json:
+        print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.report())
+    if args.output is not None:
+        with open(args.output, "wb") as fh:
+            fh.write(result.blob)
+        print(
+            f"{args.output}: {data.nbytes} -> {len(result.blob)} bytes "
+            f"(CR {data.nbytes / len(result.blob):.2f})",
+            file=sys.stderr,
+        )
+    if args.trace or args.trace_json or args.profile_mem:
+        print(file=sys.stderr)
+        print(tr.render(), file=sys.stderr)
+        if args.trace_json:
+            with open(args.trace_json, "w") as fh:
+                fh.write(tr.to_json())
+            print(f"trace written to {args.trace_json}", file=sys.stderr)
+    if not args.no_ledger:
+        from repro.telemetry.ledger import entry_from_trace
+
+        _append_ledger(
+            args,
+            entry_from_trace(
+                "autotune",
+                tr,
+                dataset=args.input,
+                codec=args.codec,
+                mode=result.objective,
+                target=result.target,
+                achieved=result.achieved,
+                ratio=(
+                    float(data.nbytes) / len(result.blob)
+                    if result.blob
+                    else None
+                ),
+                raw_bytes=int(data.nbytes),
+                compressed_bytes=(
+                    len(result.blob) if result.blob else None
+                ),
+                extra={
+                    "objective": result.objective,
+                    "eb_rel": result.eb_rel,
+                    "tolerance": result.tolerance,
+                    "converged": result.converged,
+                    "n_trials": result.n_trials,
+                    "cache_hits": result.cache_hits,
+                    "subsample_trials": result.subsample_trials,
+                    "stop_reason": result.stop_reason,
+                    "trajectory": result.search.as_dict()["trajectory"],
+                },
+            ),
+        )
+    if args.metrics:
+        _write_metrics(args.metrics)
+    return 0 if result.converged else 1
 
 
 def _cmd_decompress(args) -> int:
@@ -671,6 +984,7 @@ def _cmd_ledger(args) -> int:
 
 _COMMANDS = {
     "compress": _cmd_compress,
+    "autotune": _cmd_autotune,
     "decompress": _cmd_decompress,
     "info": _cmd_info,
     "table1": _cmd_table1,

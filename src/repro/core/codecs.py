@@ -1,0 +1,73 @@
+"""Codec factory: one place that maps a codec name to a compressor.
+
+The same dispatch used to live in three places (the fixed-PSNR
+pipeline, the CLI and now the autotune objective layer); this module
+is the single registry they all share.  Every codec listed here is an
+error-bounded compressor taking ``error_bound``/``mode`` and exposing
+``compress(data) -> bytes``; decompression is format-dispatched by
+:func:`repro.sz.compressor.decompress` for all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["ERROR_BOUNDED_CODECS", "make_compressor"]
+
+#: Codec names accepted by :func:`make_compressor` (the error-bounded
+#: family; the embedded codec is rate-driven and lives outside it).
+ERROR_BOUNDED_CODECS: Tuple[str, ...] = (
+    "sz",
+    "transform",
+    "regression",
+    "hybrid",
+    "interp",
+)
+
+
+def make_compressor(
+    codec: str, error_bound: float, mode: str = "rel", **options
+):
+    """Instantiate the named error-bounded compressor.
+
+    Parameters
+    ----------
+    codec:
+        One of :data:`ERROR_BOUNDED_CODECS`.
+    error_bound, mode:
+        Forwarded to the compressor (``mode`` is ``"abs"``/``"rel"``,
+        plus ``"pw_rel"`` for the sz codec).
+    **options:
+        Codec-specific keyword options (entropy stage, block size,
+        fill value, ...).
+
+    Imports are local so instantiating one codec never pays for the
+    others (the CLI and worker processes rely on that).
+    """
+    if codec == "sz":
+        from repro.sz.compressor import SZCompressor
+
+        return SZCompressor(error_bound=error_bound, mode=mode, **options)
+    if codec == "transform":
+        from repro.transform.compressor import TransformCompressor
+
+        return TransformCompressor(error_bound=error_bound, mode=mode, **options)
+    if codec == "regression":
+        from repro.sz.regression import RegressionCompressor
+
+        return RegressionCompressor(error_bound=error_bound, mode=mode, **options)
+    if codec == "hybrid":
+        from repro.sz.hybrid import HybridCompressor
+
+        return HybridCompressor(error_bound=error_bound, mode=mode, **options)
+    if codec == "interp":
+        from repro.sz.interp import InterpolationCompressor
+
+        return InterpolationCompressor(
+            error_bound=error_bound, mode=mode, **options
+        )
+    raise ParameterError(
+        f"unknown codec {codec!r}; use one of {', '.join(ERROR_BOUNDED_CODECS)}"
+    )

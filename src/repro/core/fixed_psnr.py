@@ -24,8 +24,8 @@ import numpy as np
 
 import repro.observe as observe
 from repro.errors import ParameterError
+from repro.core.codecs import ERROR_BOUNDED_CODECS
 from repro.metrics.distortion import value_range as _value_range
-from repro.sz.compressor import SZCompressor
 
 __all__ = [
     "psnr_to_relative_bound",
@@ -133,10 +133,10 @@ class FixedPSNRCompressor:
         self.margin_db = float(margin_db)
         if refine not in (None, "histogram"):
             raise ParameterError(f"unknown refine mode {refine!r}")
-        if codec not in ("sz", "transform", "regression", "hybrid", "interp"):
+        if codec not in ERROR_BOUNDED_CODECS:
             raise ParameterError(
-                f"unknown codec {codec!r}; use 'sz', 'transform', "
-                f"'regression', 'hybrid' or 'interp'"
+                f"unknown codec {codec!r}; use one of "
+                f"{', '.join(repr(c) for c in ERROR_BOUNDED_CODECS)}"
             )
         if refine == "histogram" and codec != "sz":
             raise ParameterError(
@@ -178,32 +178,9 @@ class FixedPSNRCompressor:
 
     def _compress_with_bound(self, data, eb_rel: float) -> bytes:
         """Step 3: run the chosen error-bounded codec at ``eb_rel``."""
-        if self.codec == "transform":
-            from repro.transform.compressor import TransformCompressor
+        from repro.core.codecs import make_compressor
 
-            comp = TransformCompressor(
-                error_bound=eb_rel, mode="rel", **self._options
-            )
-        elif self.codec == "regression":
-            from repro.sz.regression import RegressionCompressor
-
-            comp = RegressionCompressor(
-                error_bound=eb_rel, mode="rel", **self._options
-            )
-        elif self.codec == "hybrid":
-            from repro.sz.hybrid import HybridCompressor
-
-            comp = HybridCompressor(
-                error_bound=eb_rel, mode="rel", **self._options
-            )
-        elif self.codec == "interp":
-            from repro.sz.interp import InterpolationCompressor
-
-            comp = InterpolationCompressor(
-                error_bound=eb_rel, mode="rel", **self._options
-            )
-        else:
-            comp = SZCompressor(error_bound=eb_rel, mode="rel", **self._options)
+        comp = make_compressor(self.codec, eb_rel, mode="rel", **self._options)
         comp.target_psnr = self.target_psnr
         return comp.compress(data)
 

@@ -20,7 +20,33 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import repro.observe as observe
 from repro.errors import ParameterError
 
-__all__ = ["FieldResult", "run_field_task", "sweep_dataset", "default_workers"]
+__all__ = [
+    "FieldResult",
+    "run_field_task",
+    "sweep_dataset",
+    "default_workers",
+    "map_tasks",
+]
+
+
+def map_tasks(fn, argtuples, n_workers: int = 0):
+    """Order-preserving parallel map over argument tuples.
+
+    The generic fan-out primitive the autotune driver uses for
+    speculative trial probes: ``fn`` must be a module-level (picklable)
+    callable and each element of ``argtuples`` a tuple of its
+    positional arguments.  ``n_workers <= 0`` runs inline -- same
+    results, no pool -- which is what unit tests and small searches
+    use.  An empty task list short-circuits without spawning a pool.
+    """
+    tasks = list(argtuples)
+    if not tasks:
+        return []
+    if n_workers <= 0:
+        return [fn(*t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [pool.submit(fn, *t) for t in tasks]
+        return [f.result() for f in futures]
 
 
 @dataclass(frozen=True)

@@ -230,8 +230,8 @@ def render_ledger_markdown(entries: Sequence, limit: int = 20) -> str:
     """A Markdown table of the most recent run-ledger entries (see
     :mod:`repro.telemetry.ledger`).  Well-formed for an empty ledger."""
     headers = [
-        "created", "kind", "rev", "dataset/field", "codec",
-        "target", "PSNR", "CR", "bytes",
+        "created", "kind", "rev", "dataset/field", "codec", "mode",
+        "target", "achieved", "PSNR", "CR", "bytes",
     ]
     lines = ["| " + " | ".join(headers) + " |",
              "|" + "|".join("---" for _ in headers) + "|"]
@@ -241,11 +241,23 @@ def render_ledger_markdown(entries: Sequence, limit: int = 20) -> str:
         def fmt(v, spec=".2f"):
             return "" if v is None else format(v, spec)
 
+        # Schema-1 records carry only the PSNR pair; show it under the
+        # generic target/achieved columns so old ledgers stay readable.
+        mode = getattr(e, "mode", "") or (
+            "psnr" if e.target_psnr is not None else ""
+        )
+        target = getattr(e, "target", None)
+        achieved = getattr(e, "achieved", None)
+        if target is None:
+            target = e.target_psnr
+        if achieved is None:
+            achieved = e.achieved_psnr
         lines.append(
             "| " + " | ".join([
-                e.created, e.kind, e.git_rev, where, e.codec,
-                fmt(e.target_psnr, ".1f"), fmt(e.achieved_psnr),
-                fmt(e.ratio), "" if e.compressed_bytes is None
+                e.created, e.kind, e.git_rev, where, e.codec, mode,
+                fmt(target, ".4g"), fmt(achieved, ".4g"),
+                fmt(e.achieved_psnr), fmt(e.ratio),
+                "" if e.compressed_bytes is None
                 else str(e.compressed_bytes),
             ]) + " |"
         )

@@ -1,11 +1,14 @@
 """The perf-regression gate behind ``fpzc bench``.
 
 ``fpzc bench`` runs a small fixed corpus (a handful of (data set,
-field, codec, target) compressions plus one mini sweep), collects
-stage traces, and writes two top-level baseline files:
+field, codec, target) compressions, one mini sweep and two autotune
+searches), collects stage traces, and writes three top-level baseline
+files:
 
 * ``BENCH_compress.json`` -- one entry per compress case,
-* ``BENCH_sweep.json`` -- the mini sweep's outcome.
+* ``BENCH_sweep.json`` -- the mini sweep's outcome,
+* ``BENCH_autotune.json`` -- the measurement-driven searches' cost
+  (trial count, convergence, converged bound).
 
 ``fpzc bench --check`` re-runs the same corpus and compares against
 the committed baselines:
@@ -36,8 +39,10 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "COMPRESS_CASES",
     "SWEEP_CASE",
+    "AUTOTUNE_CASES",
     "run_compress_bench",
     "run_sweep_bench",
+    "run_autotune_bench",
     "write_baselines",
     "compare_bench",
     "check_baselines",
@@ -51,6 +56,7 @@ BENCH_SCHEMA_VERSION = 1
 BASELINE_FILES = {
     "compress": "BENCH_compress.json",
     "sweep": "BENCH_sweep.json",
+    "autotune": "BENCH_autotune.json",
 }
 
 #: The compress corpus: (dataset, field, codec, target PSNR).  Small
@@ -69,6 +75,15 @@ SWEEP_CASE = {
     "fields": ("CLDHGH", "FLDS"),
     "targets": (40.0, 80.0),
 }
+
+#: The autotune corpus: (dataset, field, codec, objective, target).
+#: Tracks the cost of the measurement-driven search (trial count,
+#: convergence, achieved value) so a regression in the search -- more
+#: trials, a wider miss -- fails the gate like any byte drift.
+AUTOTUNE_CASES: Tuple[Tuple[str, str, str, str, float], ...] = (
+    ("ATM", "CLDHGH", "sz", "ratio", 10.0),
+    ("ATM", "FLDS", "sz", "bitrate", 4.0),
+)
 
 
 def _case_id(dataset: str, field: str, codec: str, target: float) -> str:
@@ -175,6 +190,69 @@ def run_sweep_bench() -> Dict:
     }
 
 
+def run_autotune_bench() -> Dict:
+    """Run every autotune case under a trace; returns the
+    ``BENCH_autotune.json`` document.
+
+    Deterministic fields are everything the search's arithmetic pins
+    down: the converged bound, the achieved value, the trial count and
+    whether it converged.  The search runs without wall budgets,
+    workers or ledger warm starts, so repeated runs are bit-identical.
+    """
+    from repro.autotune import autotune
+    from repro.datasets.registry import get_dataset
+    from repro.telemetry.registry import record_trace
+
+    rows: List[Dict] = []
+    wall = 0.0
+    for dataset, field, codec, objective, target in AUTOTUNE_CASES:
+        data = get_dataset(dataset).field(field)
+        tr = observe.Trace()
+        with observe.use_trace(tr):
+            result = autotune(
+                data,
+                objective,
+                target,
+                codec=codec,
+                tol=0.05,
+                n_workers=0,
+                keep_blob=False,
+            )
+        record_trace(tr)
+        case_wall = sum(
+            agg["duration_s"]
+            for path, agg in tr.aggregate().items()
+            if len(path) == 1
+        )
+        wall += case_wall
+        rows.append(
+            {
+                "id": f"{dataset}/{field}/{codec}/{objective}={target:g}",
+                "deterministic": {
+                    "converged": bool(result.converged),
+                    "eb_rel": round(result.eb_rel, 12),
+                    "achieved": round(result.achieved, 6),
+                    "n_trials": int(result.n_trials),
+                    "subsample_trials": int(result.subsample_trials),
+                    "stop_reason": result.stop_reason,
+                },
+                "timing": {"wall_s": case_wall},
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "autotune",
+        "git_rev": git_rev(),
+        "case": {
+            "cases": [
+                f"{d}/{f}/{c}/{o}={t:g}" for d, f, c, o, t in AUTOTUNE_CASES
+            ],
+            "results": rows,
+            "timing": {"wall_s": wall},
+        },
+    }
+
+
 def write_baselines(directory: str = ".") -> List[Path]:
     """Run the full corpus and write both baseline files into
     ``directory``.  Returns the paths written."""
@@ -184,6 +262,7 @@ def write_baselines(directory: str = ".") -> List[Path]:
     for name, doc in (
         ("compress", run_compress_bench()),
         ("sweep", run_sweep_bench()),
+        ("autotune", run_autotune_bench()),
     ):
         path = outdir / BASELINE_FILES[name]
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -301,7 +380,8 @@ def compare_bench(
                     failures,
                 )
         _check_timing(
-            f"sweep:{base_case.get('dataset', '?')}",
+            f"{baseline.get('kind', 'sweep')}:"
+            f"{base_case.get('dataset', 'corpus')}",
             base_case.get("timing", {}),
             fresh_case.get("timing", {}),
             time_factor,
@@ -325,6 +405,7 @@ def check_baselines(
     runners = {
         "compress": run_compress_bench,
         "sweep": run_sweep_bench,
+        "autotune": run_autotune_bench,
     }
     failures: List[str] = []
     warnings: List[str] = []

@@ -10,15 +10,28 @@ perf trajectory this file accumulates.
 
 Record layout (one JSON object per line)::
 
-    {"schema": 1, "kind": "compress", "git_rev": "15d5cf0",
+    {"schema": 2, "kind": "compress", "git_rev": "15d5cf0",
      "created": "2026-08-06T12:00:00+00:00",
      "dataset": "ATM", "field": "CLDHGH", "codec": "sz",
+     "mode": "psnr",                 # psnr/nrmse/mse/ratio/bitrate/...
+     "target": 80.0, "achieved": 80.4,
      "target_psnr": 80.0, "achieved_psnr": 80.4,
      "ratio": 11.2, "raw_bytes": 259200, "compressed_bytes": 23143,
      "counters": {...},              # deterministic, golden-comparable
      "stage_seconds": {...},         # per-stage wall time (noisy)
      "mem_peak_bytes": 1234567.0,    # present with --profile-mem
      "extra": {...}}                 # forward-compat spillover
+
+Schema 2 adds the generic target triple (``mode``/``target``/
+``achieved``): ``mode`` names the error-control mode the run used
+(``psnr``, ``nrmse``, ``mse``, ``abs``, ``rel``, ``pw_rel``,
+``bit_rate``, or an autotune objective such as ``ratio``) and
+``target``/``achieved`` carry that mode's requested and measured
+values.  ``target_psnr``/``achieved_psnr`` remain for PSNR runs and
+for schema-1 readers.  Autotune runs append ``kind: "autotune"``
+records whose ``extra`` holds the converged ``eb_rel``, trial counts
+and the search trajectory -- the warm-start source for later searches
+(:func:`repro.autotune.cache.warm_start`).
 
 Determinism contract: ``counters`` (and the byte/ratio fields) are
 exact and reproducible; ``created``, ``stage_seconds`` and
@@ -56,8 +69,9 @@ __all__ = [
     "git_rev",
 ]
 
-#: Version of the ledger record schema (bump on incompatible change).
-LEDGER_SCHEMA_VERSION = 1
+#: Version of the ledger record schema (bumped to 2 for the generic
+#: mode/target/achieved triple; readers tolerate either direction).
+LEDGER_SCHEMA_VERSION = 2
 
 #: Default ledger location, relative to the working directory.
 DEFAULT_LEDGER_PATH = Path(".fpzc") / "ledger.jsonl"
@@ -74,6 +88,9 @@ class LedgerEntry:
     dataset: str = ""
     field: str = ""
     codec: str = ""
+    mode: str = ""
+    target: Optional[float] = None
+    achieved: Optional[float] = None
     target_psnr: Optional[float] = None
     achieved_psnr: Optional[float] = None
     ratio: Optional[float] = None
@@ -94,6 +111,9 @@ class LedgerEntry:
             "dataset": self.dataset,
             "field": self.field,
             "codec": self.codec,
+            "mode": self.mode,
+            "target": self.target,
+            "achieved": self.achieved,
             "target_psnr": self.target_psnr,
             "achieved_psnr": self.achieved_psnr,
             "ratio": self.ratio,
@@ -209,6 +229,9 @@ def deterministic_view(entry: LedgerEntry) -> Dict:
         "dataset": entry.dataset,
         "field": entry.field,
         "codec": entry.codec,
+        "mode": entry.mode,
+        "target": entry.target,
+        "achieved": entry.achieved,
         "target_psnr": entry.target_psnr,
         "achieved_psnr": entry.achieved_psnr,
         "ratio": entry.ratio,
@@ -225,6 +248,9 @@ def entry_from_trace(
     dataset: str = "",
     field: str = "",
     codec: str = "",
+    mode: str = "",
+    target: Optional[float] = None,
+    achieved: Optional[float] = None,
     target_psnr: Optional[float] = None,
     achieved_psnr: Optional[float] = None,
     ratio: Optional[float] = None,
@@ -239,7 +265,7 @@ def entry_from_trace(
     summed span counters under the same keys; the memory peak is the
     highest ``mem.peak_bytes`` gauge, when profiling was on.
     """
-    if kind not in ("compress", "sweep", "bench"):
+    if kind not in ("compress", "sweep", "bench", "autotune"):
         raise ParameterError(f"unknown ledger entry kind {kind!r}")
     stage_seconds: Dict[str, float] = {}
     counters: Dict[str, float] = {}
@@ -256,6 +282,9 @@ def entry_from_trace(
         dataset=dataset,
         field=field,
         codec=codec,
+        mode=mode,
+        target=target,
+        achieved=achieved,
         target_psnr=target_psnr,
         achieved_psnr=achieved_psnr,
         ratio=ratio,

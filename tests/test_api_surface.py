@@ -87,6 +87,12 @@ class TestTopLevelExports:
         "repro.parallel.comm",
         "repro.cli",
         "repro.cli.main",
+        "repro.core.codecs",
+        "repro.autotune",
+        "repro.autotune.search",
+        "repro.autotune.objective",
+        "repro.autotune.cache",
+        "repro.autotune.driver",
     ],
 )
 class TestModuleHygiene:

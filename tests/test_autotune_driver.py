@@ -1,0 +1,200 @@
+"""End-to-end tests for the autotune driver (repro.autotune.driver):
+real codec trials, budgets, telemetry, caching and warm starts."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import TrialCache, autotune
+from repro.autotune.driver import SUBSAMPLE_THRESHOLD, _strided_subsample
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def field():
+    """Smooth float32 field, large enough to be compressible but far
+    below the subsample threshold (trials stay cheap)."""
+    r = np.random.default_rng(11)
+    x = np.cumsum(np.cumsum(r.normal(size=(96, 96)), axis=0), axis=1)
+    return x.astype(np.float32)
+
+
+class TestConvergence:
+    def test_fixed_ratio_within_tolerance_and_budget(self, field):
+        res = autotune(field, "ratio", 10.0, tol=0.05)
+        assert res.converged
+        assert res.deviation <= 0.05
+        assert res.n_trials <= 12
+        assert res.stop_reason == "converged"
+
+    def test_fixed_bitrate(self, field):
+        res = autotune(field, "bitrate", 4.0, tol=0.05)
+        assert res.converged
+        assert abs(res.achieved - 4.0) / 4.0 <= 0.05
+
+    def test_fixed_max_error(self, field):
+        res = autotune(field, "max_error", 0.05, tol=0.05)
+        assert res.converged
+        assert res.achieved <= 0.05 * 1.05
+
+    def test_measured_psnr_matches_eq8_regime(self, field):
+        res = autotune(field, "psnr", 70.0, tol=0.02)
+        assert res.converged
+        # Eq. 8 should make the very first guess land close.
+        assert res.n_trials <= 3
+
+    def test_blob_decompresses_to_converged_outcome(self, field):
+        from repro.sz.compressor import decompress
+
+        res = autotune(field, "ratio", 10.0, tol=0.05, keep_blob=True)
+        assert res.blob is not None
+        assert field.nbytes / len(res.blob) == pytest.approx(
+            res.achieved, rel=1e-9
+        )
+        assert decompress(res.blob).shape == field.shape
+
+    def test_keep_blob_false_omits_payload(self, field):
+        res = autotune(field, "ratio", 10.0, keep_blob=False)
+        assert res.blob is None
+
+    def test_budget_exhaustion_returns_best_effort(self, field):
+        res = autotune(field, "ratio", 10.0, tol=1e-9, max_trials=3)
+        assert not res.converged
+        assert res.n_trials <= 3
+        assert res.stop_reason in ("max_trials", "plateau")
+        assert res.achieved > 0
+
+    def test_objective_instance_accepted(self, field):
+        from repro.autotune import get_objective
+
+        obj = get_objective("ratio", 12.0)
+        res = autotune(field, obj)
+        assert res.objective == "ratio"
+        assert res.target == 12.0
+
+    def test_conflicting_targets_rejected(self, field):
+        from repro.autotune import get_objective
+
+        with pytest.raises(ParameterError):
+            autotune(field, get_objective("ratio", 12.0), 10.0)
+
+
+class TestValidation:
+    def test_constant_field_rejected(self):
+        with pytest.raises(ParameterError, match="constant field"):
+            autotune(np.zeros((32, 32), dtype=np.float32), "ratio", 10.0)
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ParameterError):
+            autotune(np.empty((0,), dtype=np.float32), "ratio", 10.0)
+
+    def test_missing_target_rejected(self, field):
+        with pytest.raises(ParameterError, match="needs a target"):
+            autotune(field, "ratio")
+
+    def test_unknown_objective_rejected(self, field):
+        with pytest.raises(ParameterError, match="unknown objective"):
+            autotune(field, "entropy", 1.0)
+
+
+class TestSubsample:
+    def test_strided_subsample_preserves_shape_rank(self):
+        a = np.arange(4096, dtype=np.float64).reshape(64, 64)
+        sub = _strided_subsample(a, 256)
+        assert sub.ndim == a.ndim
+        assert sub.size <= 4 * 256  # ceil'd strides overshoot at most 2x/axis
+        assert sub.flags["C_CONTIGUOUS"]
+
+    def test_small_array_passes_through(self):
+        a = np.arange(100.0)
+        assert _strided_subsample(a, 256) is a
+
+    def test_large_field_uses_subsample_phase(self):
+        r = np.random.default_rng(12)
+        n = int(np.sqrt(SUBSAMPLE_THRESHOLD * 2))
+        big = np.cumsum(
+            np.cumsum(r.normal(size=(n, n)), axis=0), axis=1
+        ).astype(np.float32)
+        res = autotune(big, "ratio", 10.0, tol=0.05)
+        assert res.subsample_trials > 0
+        assert res.subsample_search is not None
+        assert res.converged
+        assert res.n_trials <= 12
+
+
+class TestTelemetry:
+    def test_metrics_counters_advance(self, field):
+        from repro.telemetry.registry import metrics
+
+        reg = metrics()
+        before = (
+            reg.counter("autotune.searches_total").value,
+            reg.counter("autotune.trials_total").value,
+        )
+        res = autotune(field, "ratio", 10.0, tol=0.05)
+        assert reg.counter("autotune.searches_total").value == before[0] + 1
+        assert (
+            reg.counter("autotune.trials_total").value
+            >= before[1] + res.n_trials - res.cache_hits
+        )
+        assert "autotune.cache_hit_ratio" in reg
+
+    def test_trace_spans_cover_every_trial(self, field):
+        from repro.observe import Trace, use_trace
+
+        tr = Trace()
+        with use_trace(tr):
+            res = autotune(field, "ratio", 10.0, tol=0.05)
+        agg = {path[-1]: a for path, a in tr.aggregate().items()}
+        assert agg["autotune.trial"]["calls"] >= res.n_trials - res.cache_hits
+        assert "autotune" in agg
+
+    def test_as_dict_and_report(self, field):
+        res = autotune(field, "ratio", 10.0, tol=0.05)
+        doc = res.as_dict()
+        assert doc["objective"] == "ratio"
+        assert doc["search"]["n_trials"] == len(doc["search"]["trajectory"])
+        assert "autotune[ratio" in res.report()
+
+
+class TestCacheIntegration:
+    def test_shared_cache_makes_repeat_search_free(self, field):
+        cache = TrialCache()
+        first = autotune(field, "ratio", 10.0, cache=cache, keep_blob=False)
+        hits_before = cache.hits
+        second = autotune(field, "ratio", 10.0, cache=cache, keep_blob=False)
+        assert cache.hits > hits_before
+        assert second.eb_rel == first.eb_rel
+        assert second.achieved == first.achieved
+        assert second.converged == first.converged
+
+    def test_ledger_warm_start_shortens_search(self, field):
+        from types import SimpleNamespace
+
+        cold = autotune(field, "ratio", 10.0, keep_blob=False)
+        prior = SimpleNamespace(
+            kind="autotune", codec="sz", achieved=cold.achieved,
+            extra={"objective": "ratio", "eb_rel": cold.eb_rel},
+        )
+        warm = autotune(
+            field, "ratio", 10.0, keep_blob=False, ledger_entries=[prior]
+        )
+        assert warm.converged
+        assert warm.n_trials <= cold.n_trials
+        assert warm.n_trials == 1
+
+    def test_explicit_initial_bound_used_first(self, field):
+        cold = autotune(field, "ratio", 10.0, keep_blob=False)
+        res = autotune(
+            field, "ratio", 10.0, keep_blob=False, initial=cold.eb_rel
+        )
+        assert res.trial_history[0].eb_rel == pytest.approx(cold.eb_rel)
+        assert res.n_trials == 1
+
+
+class TestParallelProbes:
+    def test_worker_fanout_matches_inline_result(self, field):
+        inline = autotune(field, "ratio", 10.0, n_workers=0, keep_blob=False)
+        fanned = autotune(field, "ratio", 10.0, n_workers=2, keep_blob=False)
+        assert fanned.converged == inline.converged
+        assert fanned.eb_rel == pytest.approx(inline.eb_rel)
+        assert fanned.achieved == pytest.approx(inline.achieved)

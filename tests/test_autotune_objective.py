@@ -1,0 +1,202 @@
+"""Unit tests for trial objectives (repro.autotune.objective) and the
+block-SSIM metric they rely on."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.objective import (
+    BUILTIN_OBJECTIVES,
+    MetricObjective,
+    Trial,
+    get_objective,
+)
+from repro.errors import ParameterError
+from repro.metrics.distortion import ssim
+
+
+class TestGetObjective:
+    def test_all_builtins_instantiate(self):
+        for name in BUILTIN_OBJECTIVES:
+            obj = get_objective(name, 0.5 if name == "ssim" else 10.0)
+            assert obj.name == name
+            assert obj.target > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown objective"):
+            get_objective("entropy", 1.0)
+
+    def test_unknown_codec_fails_fast(self):
+        with pytest.raises(ParameterError):
+            get_objective("ratio", 10.0, codec="nope")
+
+    def test_bad_target_rejected(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ParameterError):
+                get_objective("ratio", bad)
+
+    def test_ssim_target_range(self):
+        with pytest.raises(ParameterError):
+            get_objective("ssim", 1.5)
+        assert get_objective("ssim", 1.0).target == 1.0
+
+    def test_monotone_directions(self):
+        incr = {"ratio", "nrmse", "mse", "max_error"}
+        decr = {"bitrate", "psnr", "ssim"}
+        for name in incr:
+            assert get_objective(name, 0.5).increasing is True
+        for name in decr:
+            target = 0.5 if name == "ssim" else 10.0
+            assert get_objective(name, target).increasing is False
+
+
+class TestEvaluate:
+    def test_trial_measurements_consistent(self, smooth2d):
+        data = np.ascontiguousarray(smooth2d)
+        t = get_objective("ratio", 10.0).evaluate(data, 1e-3)
+        assert t.value == pytest.approx(data.nbytes / t.compressed_bytes)
+        assert t.ratio == pytest.approx(t.value)
+        assert t.bit_rate == pytest.approx(
+            8.0 * t.compressed_bytes / data.size
+        )
+        assert t.raw_bytes == data.nbytes
+        assert not t.cached
+        assert t.blob is None
+
+    def test_keep_blob_round_trips(self, smooth2d):
+        from repro.metrics.distortion import max_abs_error
+        from repro.sz.compressor import decompress
+
+        data = np.ascontiguousarray(smooth2d)
+        t = get_objective("ratio", 10.0).evaluate(data, 1e-3, keep_blob=True)
+        recon = decompress(t.blob)
+        assert max_abs_error(data, recon) == pytest.approx(t.max_abs_error)
+
+    def test_objective_values_agree_with_metrics(self, smooth2d):
+        from repro.metrics.distortion import distortion_report
+        from repro.sz.compressor import decompress
+
+        data = np.ascontiguousarray(smooth2d)
+        eb = 1e-4
+        blob_trial = get_objective("psnr", 60.0).evaluate(
+            data, eb, keep_blob=True
+        )
+        rep = distortion_report(data, decompress(blob_trial.blob))
+        assert blob_trial.value == pytest.approx(rep.psnr)
+        assert get_objective("nrmse", 1e-4).evaluate(data, eb).value == (
+            pytest.approx(rep.nrmse)
+        )
+        assert get_objective("max_error", 1e-3).evaluate(data, eb).value == (
+            pytest.approx(rep.max_abs_error)
+        )
+
+    def test_bad_bound_rejected(self, smooth2d):
+        obj = get_objective("ratio", 10.0)
+        for bad in (0.0, -1e-3, float("nan")):
+            with pytest.raises(ParameterError):
+                obj.evaluate(smooth2d, bad)
+
+    def test_evaluate_emits_trial_span(self, smooth2d):
+        from repro.observe import Trace, use_trace
+
+        tr = Trace()
+        with use_trace(tr):
+            get_objective("ratio", 10.0).evaluate(smooth2d, 1e-3)
+        names = {path[-1] for path, _ in tr.aggregate().items()}
+        assert "autotune.trial" in names
+
+    def test_spec_is_picklable_and_rebuilds(self, smooth2d):
+        import pickle
+
+        obj = get_objective("bitrate", 4.0, codec="transform")
+        spec = pickle.loads(pickle.dumps(obj.spec()))
+        clone = get_objective(
+            spec["name"], spec["target"], codec=spec["codec"],
+            **spec["codec_options"],
+        )
+        assert clone.name == obj.name
+        assert clone.codec == obj.codec
+
+
+class TestWarmGuesses:
+    def test_rate_guesses_scale_with_target(self, smooth2d):
+        loose = get_objective("ratio", 5.0).default_guess(smooth2d)
+        tight = get_objective("ratio", 50.0).default_guess(smooth2d)
+        # A higher ratio target needs a larger bound.
+        assert tight > loose > 0
+
+    def test_psnr_guess_is_eq8(self, smooth2d):
+        from repro.core.fixed_psnr import psnr_to_relative_bound
+
+        obj = get_objective("psnr", 70.0)
+        assert obj.default_guess(smooth2d) == pytest.approx(
+            psnr_to_relative_bound(70.0)
+        )
+
+    def test_nrmse_guess_is_eq8_via_eq5(self, smooth2d):
+        from repro.core.fixed_psnr import psnr_to_relative_bound
+        from repro.core.psnr_model import nrmse_to_psnr
+
+        obj = get_objective("nrmse", 1e-4)
+        assert obj.default_guess(smooth2d) == pytest.approx(
+            psnr_to_relative_bound(nrmse_to_psnr(1e-4))
+        )
+
+
+class TestMetricObjective:
+    def test_custom_metric_measures(self, smooth2d):
+        def neg_mse(a, b):
+            return float(np.mean((a - b) ** 2)) + 1e-30
+
+        obj = MetricObjective(1e-6, neg_mse, name="my_mse", increasing=True)
+        t = obj.evaluate(np.ascontiguousarray(smooth2d), 1e-4)
+        assert t.value > 0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ParameterError):
+            MetricObjective(1.0, metric="not callable")
+
+    def test_unknown_direction_defaults_to_global(self):
+        obj = MetricObjective(1.0, lambda a, b: 1.0)
+        assert obj.increasing is None
+
+
+class TestTrial:
+    def test_replace_preserves_equality_modulo_blob(self):
+        t = Trial(
+            eb_rel=1e-3, value=10.0, ratio=10.0, bit_rate=3.2, psnr=60.0,
+            nrmse=1e-3, max_abs_error=0.1, raw_bytes=100, compressed_bytes=10,
+        )
+        assert t.replace(blob=b"payload") == t
+        assert t.replace(cached=True) != t
+
+    def test_as_dict_excludes_blob(self):
+        t = Trial(
+            eb_rel=1e-3, value=10.0, ratio=10.0, bit_rate=3.2, psnr=60.0,
+            nrmse=1e-3, max_abs_error=0.1, raw_bytes=100,
+            compressed_bytes=10, blob=b"payload",
+        )
+        assert "blob" not in t.as_dict()
+
+
+class TestSSIMMetric:
+    def test_identical_fields_score_one(self, smooth2d):
+        assert ssim(smooth2d, smooth2d) == pytest.approx(1.0)
+
+    def test_degradation_lowers_score(self, smooth2d, rng):
+        a = np.ascontiguousarray(smooth2d)
+        small = ssim(a, a + rng.normal(size=a.shape) * 0.01)
+        large = ssim(a, a + rng.normal(size=a.shape) * 5.0)
+        assert large < small <= 1.0
+
+    def test_score_bounded(self, rough2d, rng):
+        a = np.ascontiguousarray(rough2d)
+        s = ssim(a, a + rng.normal(size=a.shape))
+        assert -1.0 <= s <= 1.0
+
+    def test_window_larger_than_field(self):
+        a = np.arange(9.0).reshape(3, 3)
+        assert ssim(a, a, window=8) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, smooth2d):
+        with pytest.raises(ParameterError):
+            ssim(smooth2d, smooth2d[:-1])

@@ -1,0 +1,208 @@
+"""Unit tests for the error-bound search loop (repro.autotune.search).
+
+The searcher drives a black-box ``evaluate(eb_rel) -> Trial``; these
+tests use cheap synthetic objectives (power laws, step functions,
+non-monotone bumps) so every branch -- bracketing, secant refinement,
+the global path, budgets and degenerate plateaus -- is exercised
+without compressing anything.
+"""
+
+import math
+
+import pytest
+
+from repro.autotune.objective import Trial
+from repro.autotune.search import (
+    DEFAULT_EB_HI,
+    DEFAULT_EB_LO,
+    SearchBudget,
+    SearchResult,
+    relative_error,
+    search,
+)
+from repro.errors import ParameterError
+
+
+def make_trial(eb, value):
+    return Trial(
+        eb_rel=float(eb),
+        value=float(value),
+        ratio=1.0,
+        bit_rate=1.0,
+        psnr=0.0,
+        nrmse=0.0,
+        max_abs_error=0.0,
+        raw_bytes=0,
+        compressed_bytes=0,
+    )
+
+
+def synthetic(fn):
+    """Wrap a scalar function of eb into an evaluate() callable that
+    also counts its calls."""
+    calls = []
+
+    def evaluate(eb):
+        calls.append(eb)
+        return make_trial(eb, fn(eb))
+
+    evaluate.calls = calls
+    return evaluate
+
+
+class TestMonotone:
+    def test_power_law_increasing_converges(self):
+        # CR ~ eb^0.4 -- the shape real codecs follow.
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=0.05)
+        assert res.converged
+        assert relative_error(res.achieved, 10.0) <= 0.05
+        assert res.stop_reason == "converged"
+        assert res.n_trials <= 12
+
+    def test_power_law_decreasing_converges(self):
+        # bitrate-like: value falls as the bound grows.
+        ev = synthetic(lambda eb: 0.05 * eb**-0.45)
+        res = search(ev, 3.0, increasing=False, tol=0.05)
+        assert res.converged
+        assert relative_error(res.achieved, 3.0) <= 0.05
+
+    def test_decreasing_brackets_from_far_guess(self):
+        # A warm start far on the wrong side must still bracket by
+        # expanding in the correct direction (regression: the expansion
+        # used to walk away from the target for decreasing objectives).
+        ev = synthetic(lambda eb: 0.05 * eb**-0.45)
+        res = search(ev, 3.0, increasing=False, tol=0.05, initial=0.4)
+        assert res.converged
+
+    def test_trials_recorded_in_order(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=0.05)
+        assert [t.eb_rel for t in res.trials] == ev.calls
+
+    def test_max_trials_budget_is_hard(self):
+        # tol so tight it can never converge.
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=1e-12, max_trials=4)
+        assert not res.converged
+        assert res.stop_reason == "max_trials"
+        assert res.n_trials <= 4
+
+    def test_budget_of_one_returns_initial_probe(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=1e-12, max_trials=1)
+        assert res.n_trials == 1
+        assert not res.converged
+
+    def test_unreachable_target_reports_bracket_exhausted(self):
+        # Value tops out at ~ 200*0.5^0.4 < 1000: the target is above
+        # anything the interval can produce.
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 1e6, increasing=True, tol=0.05)
+        assert not res.converged
+        assert res.stop_reason in ("bracket_exhausted", "max_trials")
+
+    def test_step_function_plateau(self):
+        # The objective jumps over the target: 1 below eb=1e-3, 100
+        # above; no bound yields ~10.
+        ev = synthetic(lambda eb: 1.0 if eb < 1e-3 else 100.0)
+        res = search(ev, 10.0, increasing=True, tol=0.05, max_trials=50)
+        assert not res.converged
+        assert res.stop_reason in ("plateau", "max_trials")
+
+    def test_returns_best_trial_seen(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=1e-12, max_trials=6)
+        best = min(
+            res.trials, key=lambda t: relative_error(t.value, 10.0)
+        )
+        assert res.eb_rel == best.eb_rel
+        assert res.achieved == best.value
+
+
+class TestGlobal:
+    def test_non_monotone_bump(self):
+        # Peak at log10(eb) = -6; no monotone direction declared.
+        def bump(eb):
+            return 50.0 * math.exp(-((math.log10(eb) + 6.0) ** 2) / 4.0)
+
+        ev = synthetic(bump)
+        res = search(ev, 40.0, tol=0.05, max_trials=20)
+        assert res.converged
+
+    def test_global_budget_is_hard(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, tol=1e-12, max_trials=5)
+        assert not res.converged
+        assert res.n_trials <= 5
+
+    def test_global_uses_initial_probe(self):
+        exact = (10.0 / 200.0) ** (1.0 / 0.4)
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, tol=0.05, initial=exact)
+        assert res.converged
+        assert exact in ev.calls
+
+
+class TestValidation:
+    def test_zero_target_rejected(self):
+        ev = synthetic(lambda eb: eb)
+        with pytest.raises(ParameterError):
+            search(ev, 0.0, increasing=True)
+
+    def test_nan_and_inf_target_rejected(self):
+        ev = synthetic(lambda eb: eb)
+        with pytest.raises(ParameterError):
+            search(ev, float("nan"), increasing=True)
+        with pytest.raises(ParameterError):
+            search(ev, float("inf"), increasing=True)
+
+    def test_bad_tolerance_rejected(self):
+        ev = synthetic(lambda eb: eb)
+        for tol in (0.0, 1.0, -0.5):
+            with pytest.raises(ParameterError):
+                search(ev, 1.0, increasing=True, tol=tol)
+
+    def test_bad_interval_rejected(self):
+        ev = synthetic(lambda eb: eb)
+        with pytest.raises(ParameterError):
+            search(ev, 1.0, increasing=True, lo=0.5, hi=0.5)
+        with pytest.raises(ParameterError):
+            search(ev, 1.0, increasing=True, lo=-1.0, hi=0.5)
+
+    def test_initial_clamped_into_interval(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, initial=5.0)
+        assert all(DEFAULT_EB_LO <= e <= DEFAULT_EB_HI for e in ev.calls)
+        assert res.n_trials >= 1
+
+    def test_budget_validation(self):
+        with pytest.raises(ParameterError):
+            SearchBudget(max_trials=0)
+        with pytest.raises(ParameterError):
+            SearchBudget(max_seconds=0.0)
+
+
+class TestSearchResult:
+    def test_as_dict_round_trips_trajectory(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=0.05)
+        doc = res.as_dict()
+        assert doc["converged"] is True
+        assert doc["n_trials"] == len(doc["trajectory"])
+        assert doc["trajectory"][0]["eb_rel"] == res.trials[0].eb_rel
+        assert all(row["cached"] is False for row in doc["trajectory"])
+
+    def test_report_mentions_every_trial(self):
+        ev = synthetic(lambda eb: 200.0 * eb**0.4)
+        res = search(ev, 10.0, increasing=True, tol=0.05)
+        text = res.report()
+        assert "converged" in text
+        assert text.count("\n  trial") == res.n_trials
+
+    def test_deviation_property(self):
+        res = SearchResult(
+            converged=True, eb_rel=1e-3, achieved=9.5, target=10.0,
+            tolerance=0.05, stop_reason="converged",
+        )
+        assert res.deviation == pytest.approx(0.05)

@@ -112,18 +112,20 @@ class TestCompareBench:
 class TestCheckBaselines:
     def test_missing_baseline_is_a_failure(self, tmp_path):
         failures, _ = check_baselines(
-            str(tmp_path), fresh_docs={"compress": {}, "sweep": {}}
+            str(tmp_path),
+            fresh_docs={"compress": {}, "sweep": {}, "autotune": {}},
         )
-        assert len(failures) == 2
+        assert len(failures) == len(BASELINE_FILES)
         assert all("baseline missing" in f for f in failures)
 
     def test_unreadable_baseline_is_a_failure(self, tmp_path):
         for name in BASELINE_FILES.values():
             (tmp_path / name).write_text("{not json")
         failures, _ = check_baselines(
-            str(tmp_path), fresh_docs={"compress": {}, "sweep": {}}
+            str(tmp_path),
+            fresh_docs={"compress": {}, "sweep": {}, "autotune": {}},
         )
-        assert len(failures) == 2
+        assert len(failures) == len(BASELINE_FILES)
         assert all("unreadable" in f for f in failures)
 
 
@@ -177,3 +179,64 @@ class TestGateIntegration:
         assert main(["bench", "--dir", str(tmp_path)]) == 0
         for name in BASELINE_FILES.values():
             assert (tmp_path / name).exists()
+
+
+class TestAutotuneScenario:
+    """The autotune part of the corpus: deterministic and comparable."""
+
+    def _mini_autotune_doc(self):
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "kind": "autotune",
+            "git_rev": "test",
+            "case": {
+                "cases": ["ATM/CLDHGH/sz/ratio=10"],
+                "results": [
+                    {
+                        "id": "ATM/CLDHGH/sz/ratio=10",
+                        "deterministic": {
+                            "converged": True,
+                            "eb_rel": 1e-3,
+                            "achieved": 9.9,
+                            "n_trials": 5,
+                            "subsample_trials": 0,
+                            "stop_reason": "converged",
+                        },
+                        "timing": {"wall_s": 0.1},
+                    }
+                ],
+                "timing": {"wall_s": 0.1},
+            },
+        }
+
+    def test_identical_docs_are_clean(self):
+        doc = self._mini_autotune_doc()
+        failures, warnings = compare_bench(doc, copy.deepcopy(doc))
+        assert failures == [] and warnings == []
+
+    def test_trial_count_drift_fails(self):
+        base = self._mini_autotune_doc()
+        fresh = copy.deepcopy(base)
+        fresh["case"]["results"][0]["deterministic"]["n_trials"] = 9
+        failures, _ = compare_bench(base, fresh)
+        assert any("n_trials" in f for f in failures)
+
+    def test_convergence_regression_fails(self):
+        base = self._mini_autotune_doc()
+        fresh = copy.deepcopy(base)
+        det = fresh["case"]["results"][0]["deterministic"]
+        det["converged"] = False
+        det["stop_reason"] = "max_trials"
+        failures, _ = compare_bench(base, fresh)
+        assert any("converged" in f for f in failures)
+
+    def test_real_run_is_reproducible(self):
+        from repro.telemetry.bench import run_autotune_bench
+
+        a = run_autotune_bench()
+        b = run_autotune_bench()
+        failures, _ = compare_bench(a, b)
+        assert failures == []
+        rows = a["case"]["results"]
+        assert all(r["deterministic"]["converged"] for r in rows)
+        assert all(r["deterministic"]["n_trials"] <= 12 for r in rows)

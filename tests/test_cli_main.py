@@ -264,3 +264,176 @@ class TestSweep:
         assert len(records) == 1
         assert records[0]["field"] == "velocity_x"
         assert abs(records[0]["deviation"]) < 3.0
+
+
+class TestDistortionTargets:
+    """--nrmse / --mse / --ratio on `fpzc compress` (library modes
+    surfaced on the CLI) and the achieved-value summary line."""
+
+    def test_nrmse_flag_reports_achieved(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        assert main(
+            ["compress", str(demo_npy), "-o", str(out), "--nrmse", "1e-4"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "NRMSE" in text and "target 0.0001" in text
+        rec = tmp_path / "r.npy"
+        assert main(["decompress", str(out), "-o", str(rec)]) == 0
+        from repro.metrics.distortion import nrmse
+
+        achieved = nrmse(np.load(demo_npy), np.load(rec))
+        assert achieved == pytest.approx(1e-4, rel=0.5)
+
+    def test_mse_flag_reports_achieved(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        assert main(
+            ["compress", str(demo_npy), "-o", str(out), "--mse", "1e-4"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "MSE" in text and "PSNR" in text
+
+    def test_psnr_summary_prints_achieved(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        assert main(
+            ["compress", str(demo_npy), "-o", str(out), "--psnr", "70"]
+        ) == 0
+        assert "achieved: PSNR" in capsys.readouterr().out
+
+    def test_ratio_flag_autotunes(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        assert main(
+            [
+                "compress", str(demo_npy), "-o", str(out),
+                "--ratio", "10", "--tol", "0.05",
+            ]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "CR" in text and "target 10" in text
+        raw = np.load(demo_npy).nbytes
+        assert abs(raw / out.stat().st_size - 10.0) <= 0.5
+
+    def test_distortion_flags_mutually_exclusive(self, demo_npy):
+        for extra in (["--mse", "1"], ["--ratio", "10"], ["--psnr", "60"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["compress", str(demo_npy), "-o", "x", "--nrmse", "1e-4"]
+                    + extra
+                )
+
+    def test_traced_ledger_records_mode(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(
+            [
+                "compress", str(demo_npy), "-o", str(out),
+                "--nrmse", "1e-4", "--trace", "--ledger", str(ledger),
+            ]
+        ) == 0
+        from repro.telemetry.ledger import read_entries
+
+        (entry,), skipped = read_entries(str(ledger))
+        assert skipped == 0
+        assert entry.mode == "nrmse"
+        assert entry.target == pytest.approx(1e-4)
+        assert entry.achieved == pytest.approx(1e-4, rel=0.5)
+        assert entry.achieved_psnr is not None
+
+
+class TestAutotuneCommand:
+    def test_ratio_search_writes_output(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        code = main(
+            [
+                "autotune", str(demo_npy), "--ratio", "10",
+                "--tol", "0.05", "-o", str(out), "--no-ledger",
+            ]
+        )
+        assert code == 0  # converged
+        text = capsys.readouterr().out
+        assert "autotune[ratio -> 10" in text
+        assert "converged" in text
+        raw = np.load(demo_npy).nbytes
+        assert abs(raw / out.stat().st_size - 10.0) <= 0.5
+
+    def test_json_report(self, demo_npy, capsys):
+        code = main(
+            [
+                "autotune", str(demo_npy), "--ratio", "10",
+                "--json", "--no-ledger",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["objective"] == "ratio"
+        assert doc["converged"] is True
+        assert doc["n_trials"] <= 12
+        assert doc["search"]["trajectory"]
+
+    def test_requires_exactly_one_target(self, demo_npy):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["autotune", str(demo_npy)])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "autotune", str(demo_npy),
+                    "--ratio", "10", "--bitrate", "4",
+                ]
+            )
+
+    def test_ledger_record_appended(self, demo_npy, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(
+            [
+                "autotune", str(demo_npy), "--ratio", "10",
+                "--ledger", str(ledger),
+            ]
+        ) == 0
+        from repro.telemetry.ledger import read_entries
+
+        (entry,), skipped = read_entries(str(ledger))
+        assert skipped == 0
+        assert entry.kind == "autotune"
+        assert entry.mode == "ratio"
+        assert entry.extra["converged"] is True
+        assert entry.extra["objective"] == "ratio"
+        assert entry.extra["eb_rel"] > 0
+        assert entry.extra["trajectory"]
+
+    def test_no_ledger_skips_append(self, demo_npy, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(
+            [
+                "autotune", str(demo_npy), "--ratio", "10",
+                "--ledger", str(ledger), "--no-ledger",
+            ]
+        ) == 0
+        assert not ledger.exists()
+
+    def test_budget_exhaustion_exits_nonzero(self, demo_npy, capsys):
+        code = main(
+            [
+                "autotune", str(demo_npy), "--ratio", "10",
+                "--tol", "1e-9", "--max-trials", "2", "--no-ledger",
+            ]
+        )
+        assert code == 1
+        assert "NOT converged" in capsys.readouterr().out
+
+    def test_constant_field_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "const.npy"
+        np.save(path, np.zeros((32, 32), dtype=np.float32))
+        code = main(
+            ["autotune", str(path), "--ratio", "10", "--no-ledger"]
+        )
+        assert code == 2
+        assert "constant field" in capsys.readouterr().err
+
+    def test_max_error_objective(self, demo_npy, capsys):
+        code = main(
+            [
+                "autotune", str(demo_npy), "--max-error", "0.05",
+                "--no-ledger",
+            ]
+        )
+        assert code == 0
+        assert "max_error" in capsys.readouterr().out

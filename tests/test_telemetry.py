@@ -360,3 +360,59 @@ class TestLedger:
         text = json.dumps(view)
         assert "abc" not in text and "now" not in text
         assert "stage_seconds" not in view and "mem_peak_bytes" not in view
+
+
+class TestLedgerSchema2:
+    """Schema v2: generic mode/target/achieved plus the autotune kind."""
+
+    def test_mode_fields_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        entry = LedgerEntry(
+            kind="compress", dataset="ATM", field="CLDHGH", codec="sz",
+            mode="nrmse", target=1e-4, achieved=9.9e-5,
+            achieved_psnr=80.1, ratio=11.2,
+        )
+        append_entry(entry, path=str(path))
+        (got,), skipped = read_entries(str(path))
+        assert skipped == 0
+        assert (got.mode, got.target, got.achieved) == (
+            "nrmse", 1e-4, 9.9e-5
+        )
+        det = deterministic_view(got)
+        assert det["mode"] == "nrmse"
+        assert det["target"] == 1e-4
+
+    def test_autotune_kind_accepted(self):
+        tr = Trace()
+        with use_trace(tr):
+            with tr.span("autotune"):
+                pass
+        entry = entry_from_trace(
+            "autotune", tr, dataset="f.npy", codec="sz", mode="ratio",
+            target=10.0, achieved=9.8,
+            extra={"objective": "ratio", "eb_rel": 1e-3},
+        )
+        assert entry.kind == "autotune"
+        assert entry.extra["objective"] == "ratio"
+
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(ParameterError):
+            entry_from_trace("tune", Trace())
+
+    def test_schema1_records_render_with_psnr_fallback(self):
+        from repro.report import render_ledger_markdown
+
+        old = LedgerEntry(
+            kind="compress", dataset="ATM", codec="sz",
+            target_psnr=80.0, achieved_psnr=80.4, ratio=11.2,
+            created="2026-01-01T00:00:00+00:00", git_rev="abc",
+        )
+        # Simulate a schema-1 ledger line: no mode/target/achieved keys.
+        doc = old.as_dict()
+        for key in ("mode", "target", "achieved"):
+            doc.pop(key, None)
+        got = LedgerEntry.from_dict(doc)
+        table = render_ledger_markdown([got])
+        row = table.splitlines()[-1]
+        assert "| psnr |" in row
+        assert "80" in row
