@@ -34,6 +34,7 @@ True
 
 from repro.version import __version__
 from repro import observe
+from repro import resilience
 from repro.observe import Trace, current_trace, use_trace
 from repro.errors import (
     ReproError,
@@ -62,6 +63,7 @@ from repro.transform.compressor import TransformCompressor
 __all__ = [
     "__version__",
     "observe",
+    "resilience",
     "Trace",
     "current_trace",
     "use_trace",

@@ -289,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_v.add_argument(
         "--original", help="original .npy to measure reconstruction fidelity"
     )
+    p_v.add_argument(
+        "--salvage",
+        action="store_true",
+        help="best-effort decode of a damaged container/archive: print "
+        "a salvage report (exit 0 clean, 1 losses, 2 unrecoverable)",
+    )
 
     p_a = sub.add_parser(
         "archive", help="compress a whole data-set snapshot into one archive"
@@ -316,6 +322,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_s.add_argument("--workers", type=int, default=0, help="worker processes")
     p_s.add_argument(
         "--refine", action="store_true", help="histogram-refined derivation"
+    )
+    p_s.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        dest="max_retries",
+        help="retry failing field tasks up to N times with exponential "
+        "backoff before degrading them to a failed row (default 0)",
+    )
+    p_s.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        dest="task_timeout",
+        help="per-task deadline in seconds; a slower attempt counts as "
+        "a failure and is retried (default: none)",
+    )
+    p_s.add_argument(
+        "--retry-seed",
+        type=int,
+        default=0,
+        dest="retry_seed",
+        help="seed for the backoff jitter RNG (default 0)",
     )
     p_s.add_argument("--json", action="store_true", help="emit JSON records")
     p_s.add_argument(
@@ -770,6 +799,15 @@ def _cmd_sweep(args) -> int:
         summarize_by_target,
     )
 
+    retry = None
+    if args.max_retries > 0 or args.task_timeout is not None:
+        from repro.resilience.retry import RetryPolicy
+
+        retry = RetryPolicy(
+            max_retries=args.max_retries,
+            task_timeout=args.task_timeout,
+            seed=args.retry_seed,
+        )
     tr = None
     if args.trace or args.profile_mem:
         from repro.observe import Trace, use_trace
@@ -784,6 +822,7 @@ def _cmd_sweep(args) -> int:
                 n_workers=args.workers,
                 collect_trace=True,
                 profile_mem=args.profile_mem,
+                retry=retry,
             )
     else:
         results = sweep_dataset(
@@ -792,7 +831,10 @@ def _cmd_sweep(args) -> int:
             fields=args.fields,
             refine="histogram" if args.refine else None,
             n_workers=args.workers,
+            retry=retry,
         )
+    ok_results = [r for r in results if r.status == "ok"]
+    failed = [r for r in results if r.status != "ok"]
     if tr is not None:
         from repro.telemetry.registry import record_trace
 
@@ -800,6 +842,25 @@ def _cmd_sweep(args) -> int:
         if not args.no_ledger:
             from repro.telemetry.ledger import entry_from_trace
 
+            extra = {"targets": [float(t) for t in args.targets]}
+            if retry is not None:
+                from repro.telemetry.registry import metrics as _metrics
+
+                def _ctr(name):
+                    m = _metrics().get(name)
+                    return 0 if m is None else m.value
+
+                extra["resilience"] = {
+                    "max_retries": retry.max_retries,
+                    "task_timeout": retry.task_timeout,
+                    "failed_fields": [
+                        {"field": r.field, "target": r.target_psnr,
+                         "code": r.error_code, "attempts": r.attempts}
+                        for r in failed
+                    ],
+                    "retries": _ctr("resilience.retries_total"),
+                    "timeouts": _ctr("resilience.task_timeouts_total"),
+                }
             _append_ledger(
                 args,
                 entry_from_trace(
@@ -808,38 +869,61 @@ def _cmd_sweep(args) -> int:
                     dataset=args.dataset,
                     field="*",
                     codec="sz",
-                    achieved_psnr=float(
-                        np.mean([r.actual_psnr for r in results])
+                    achieved_psnr=(
+                        float(np.mean([r.actual_psnr for r in ok_results]))
+                        if ok_results
+                        else None
                     ),
-                    ratio=float(
-                        np.mean([r.compression_ratio for r in results])
+                    ratio=(
+                        float(
+                            np.mean([r.compression_ratio for r in ok_results])
+                        )
+                        if ok_results
+                        else None
                     ),
-                    extra={"targets": [float(t) for t in args.targets]},
+                    extra=extra,
                 ),
             )
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2))
-        return 0
+        return 1 if failed else 0
     print(f"{'target':>8} {'field':<16} {'actual':>8} {'dev':>7} {'CR':>8}")
     for r in results:
+        if r.status == "ok":
+            print(
+                f"{r.target_psnr:>8.1f} {r.field:<16} {r.actual_psnr:>8.2f} "
+                f"{r.deviation:>+7.2f} {r.compression_ratio:>8.2f}"
+            )
+        else:
+            print(
+                f"{r.target_psnr:>8.1f} {r.field:<16} "
+                f"FAILED [{r.error_code}] after {r.attempts} attempt(s)"
+            )
+    if ok_results:
+        summaries = summarize_by_target(ok_results)
+        print()
         print(
-            f"{r.target_psnr:>8.1f} {r.field:<16} {r.actual_psnr:>8.2f} "
-            f"{r.deviation:>+7.2f} {r.compression_ratio:>8.2f}"
+            render_text(summaries, title="Per-target summary (Table II layout)")
         )
-    summaries = summarize_by_target(results)
-    print()
-    print(render_text(summaries, title="Per-target summary (Table II layout)"))
+    else:
+        summaries = []
+        print("\nno tasks succeeded; nothing to summarize", file=sys.stderr)
+    if failed:
+        from repro.report import render_sweep_failures
+
+        print()
+        print(render_sweep_failures(results), file=sys.stderr)
     if tr is not None:
         from repro.report import render_stage_breakdown
 
         print()
         print(render_stage_breakdown(results))
-    if args.report:
+    if args.report and summaries:
         renderer = render_markdown if args.report.endswith(".md") else render_csv
         with open(args.report, "w") as fh:
             fh.write(renderer(summaries))
         print(f"\nreport written to {args.report}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_archive(args) -> int:
@@ -927,6 +1011,8 @@ def _cmd_verify(args) -> int:
 
     with open(args.input, "rb") as fh:
         blob = fh.read()
+    if args.salvage:
+        return _verify_salvage(blob)
     # Container.from_bytes CRC-checks every stream; decompressing
     # exercises the full pipeline.
     recon = decompress(blob)
@@ -942,6 +1028,28 @@ def _cmd_verify(args) -> int:
             f"max|err| {rep.max_abs_error:.3e}, NRMSE {rep.nrmse:.3e}"
         )
     return 0
+
+
+def _verify_salvage(blob: bytes) -> int:
+    """Best-effort decode for ``fpzc verify --salvage``: print the
+    salvage report for a container or archive (sniffed by magic).
+    Exit 0 when everything was recovered, 1 on partial loss, 2 when
+    the identity header is unusable."""
+    from repro.errors import FormatError
+    from repro.report import render_salvage
+    from repro.resilience.salvage import salvage_archive, salvage_container
+
+    try:
+        if blob[:4] == b"FPZA":
+            _fields, report = salvage_archive(blob)
+        else:
+            _container, report = salvage_container(blob)
+    except FormatError as exc:
+        code = f" [{exc.code}]" if exc.code else ""
+        print(f"unrecoverable:{code} {exc}", file=sys.stderr)
+        return 2
+    print(render_salvage(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args) -> int:

@@ -8,7 +8,12 @@ from repro.io.container import (
     CODEC_REGRESSION,
     CODEC_EMBEDDED,
 )
-from repro.io.archive import Archive, write_archive, read_archive_field
+from repro.io.archive import (
+    Archive,
+    write_archive,
+    read_archive_field,
+    salvage_fields,
+)
 from repro.io.campaign import CampaignWriter, CampaignReader
 
 __all__ = [
@@ -21,6 +26,7 @@ __all__ = [
     "Archive",
     "write_archive",
     "read_archive_field",
+    "salvage_fields",
     "CampaignWriter",
     "CampaignReader",
 ]

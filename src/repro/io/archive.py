@@ -27,9 +27,15 @@ from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-from repro.errors import FormatError, ParameterError
+from repro.errors import ErrorCode, FormatError, ParameterError
 
-__all__ = ["write_archive", "read_archive_index", "read_archive_field", "Archive"]
+__all__ = [
+    "write_archive",
+    "read_archive_index",
+    "read_archive_field",
+    "salvage_fields",
+    "Archive",
+]
 
 MAGIC = b"FPZA"
 VERSION = 1
@@ -74,17 +80,32 @@ def write_archive(fields: Iterable[Tuple[str, bytes]]) -> bytes:
 def _parse_header(blob: bytes) -> Tuple[List[Dict], int]:
     """Return (index entries, payload base offset)."""
     if len(blob) < 20 or blob[:4] != MAGIC:
-        raise FormatError("not an FPZA archive")
+        raise FormatError(
+            "not an FPZA archive",
+            code=(
+                ErrorCode.TRUNCATED
+                if blob[:4] == MAGIC
+                else ErrorCode.BAD_MAGIC
+            ),
+        )
     (version,) = struct.unpack_from("<B", blob, 4)
     if version != VERSION:
-        raise FormatError(f"unsupported archive version {version}")
+        raise FormatError(
+            f"unsupported archive version {version}",
+            code=ErrorCode.BAD_VERSION,
+        )
     index_len, index_crc = struct.unpack_from("<QI", blob, 8)
     base = 20 + index_len
     if len(blob) < base:
-        raise FormatError("archive truncated in index")
+        raise FormatError(
+            "archive truncated in index", code=ErrorCode.TRUNCATED
+        )
     index_blob = blob[20:base]
     if zlib.crc32(index_blob) != index_crc:
-        raise FormatError("archive index failed its CRC check")
+        raise FormatError(
+            "archive index failed its CRC check",
+            code=ErrorCode.CRC_MISMATCH,
+        )
     try:
         index = json.loads(index_blob.decode("utf-8"))
         entries = index["fields"]
@@ -102,7 +123,9 @@ def _parse_header(blob: bytes) -> Tuple[List[Dict], int]:
         TypeError,
         ValueError,
     ) as exc:
-        raise FormatError(f"bad archive index: {exc}") from exc
+        raise FormatError(
+            f"bad archive index: {exc}", code=ErrorCode.BAD_INDEX
+        ) from exc
     return entries, base
 
 
@@ -120,12 +143,36 @@ def read_archive_field(blob: bytes, name: str) -> bytes:
             start = base + int(e["offset"])
             end = start + int(e["length"])
             if end > len(blob):
-                raise FormatError(f"field {name!r} extends past the archive")
+                raise FormatError(
+                    f"field {name!r} extends past the archive",
+                    code=ErrorCode.TRUNCATED,
+                )
             payload = blob[start:end]
             if zlib.crc32(payload) != int(e["crc32"]):
-                raise FormatError(f"field {name!r} failed its CRC check")
+                raise FormatError(
+                    f"field {name!r} failed its CRC check",
+                    code=ErrorCode.CRC_MISMATCH,
+                )
             return payload
-    raise FormatError(f"archive has no field named {name!r}")
+    raise FormatError(
+        f"archive has no field named {name!r}",
+        code=ErrorCode.MISSING_STREAM,
+    )
+
+
+def salvage_fields(blob: bytes):
+    """Best-effort per-field recovery of a damaged archive.
+
+    Returns ``(fields, report)`` -- an ordered ``{name: container
+    bytes}`` of every bit-exactly recovered field plus the
+    :class:`repro.resilience.salvage.SalvageReport` describing losses.
+    Thin delegation to :func:`repro.resilience.salvage.salvage_archive`
+    so io-layer callers need not import the resilience package
+    directly.
+    """
+    from repro.resilience.salvage import salvage_archive
+
+    return salvage_archive(blob)
 
 
 class Archive:

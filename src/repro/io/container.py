@@ -27,7 +27,7 @@ import struct
 import zlib
 from typing import Dict, List, Tuple
 
-from repro.errors import FormatError, ParameterError
+from repro.errors import ErrorCode, FormatError, ParameterError
 
 __all__ = [
     "Container",
@@ -87,6 +87,9 @@ class Container:
         self.codec = codec
         self.meta = dict(meta)
         self.streams = list(streams)
+        #: :class:`repro.resilience.salvage.SalvageReport` when this
+        #: container came out of a salvage decode; None otherwise.
+        self.salvage = None
         #: Transient telemetry attached by tooling (stage costs, byte
         #: layouts).  Deliberately NOT serialized: the container format
         #: carries data, never measurements (see DESIGN.md).
@@ -97,7 +100,10 @@ class Container:
         for sname, payload in self.streams:
             if sname == name:
                 return payload
-        raise FormatError(f"container has no stream named {name!r}")
+        raise FormatError(
+            f"container has no stream named {name!r}",
+            code=ErrorCode.MISSING_STREAM,
+        )
 
     def has_stream(self, name: str) -> bool:
         """True if a stream of that name is present."""
@@ -150,36 +156,69 @@ class Container:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "Container":
-        """Parse and validate a serialized container."""
+    def from_bytes(cls, blob: bytes, salvage: bool = False) -> "Container":
+        """Parse and validate a serialized container.
+
+        Strict by default: the first bad byte raises a
+        :class:`~repro.errors.FormatError` carrying a structured
+        ``code``.  With ``salvage=True`` the parse is best-effort
+        instead (see :func:`repro.resilience.salvage.salvage_container`):
+        CRC-failing streams are skipped, the parser resynchronizes on
+        provable stream boundaries, and the returned container's
+        ``salvage`` attribute holds the
+        :class:`~repro.resilience.salvage.SalvageReport`.  Salvage
+        still raises (typed) when the identity header itself is
+        unusable.
+        """
+        if salvage:
+            from repro.resilience.salvage import salvage_container
+
+            container, _report = salvage_container(bytes(blob))
+            return container
         view = memoryview(blob)
         pos = 0
 
         def take(n: int) -> memoryview:
             nonlocal pos
             if pos + n > len(view):
-                raise FormatError("container truncated")
+                raise FormatError(
+                    "container truncated", code=ErrorCode.TRUNCATED
+                )
             out = view[pos : pos + n]
             pos += n
             return out
 
         if bytes(take(4)) != MAGIC:
-            raise FormatError("bad magic: not a FPZC container")
+            raise FormatError(
+                "bad magic: not a FPZC container", code=ErrorCode.BAD_MAGIC
+            )
         version, codec, _reserved = struct.unpack("<BBH", take(4))
         if version != VERSION:
-            raise FormatError(f"unsupported container version {version}")
+            raise FormatError(
+                f"unsupported container version {version}",
+                code=ErrorCode.BAD_VERSION,
+            )
         if codec not in _KNOWN_CODECS:
-            raise FormatError(f"unknown codec id {codec}")
+            raise FormatError(
+                f"unknown codec id {codec}", code=ErrorCode.BAD_CODEC
+            )
         meta_len, meta_crc = struct.unpack("<QI", take(12))
         meta_blob = bytes(take(meta_len))
         if zlib.crc32(meta_blob) != meta_crc:
-            raise FormatError("metadata block failed its CRC check")
+            raise FormatError(
+                "metadata block failed its CRC check",
+                code=ErrorCode.CRC_MISMATCH,
+            )
         try:
             meta = json.loads(meta_blob.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise FormatError(f"bad metadata block: {exc}") from exc
+            raise FormatError(
+                f"bad metadata block: {exc}", code=ErrorCode.BAD_META
+            ) from exc
         if not isinstance(meta, dict):
-            raise FormatError("metadata block is not a JSON object")
+            raise FormatError(
+                "metadata block is not a JSON object", code=ErrorCode.BAD_META
+            )
         (n_streams,) = struct.unpack("<I", take(4))
         streams: List[Tuple[str, bytes]] = []
         for _ in range(n_streams):
@@ -187,12 +226,20 @@ class Container:
             try:
                 name = bytes(take(name_len)).decode("utf-8")
             except UnicodeDecodeError as exc:
-                raise FormatError(f"bad stream name: {exc}") from exc
+                raise FormatError(
+                    f"bad stream name: {exc}", code=ErrorCode.BAD_STREAM_NAME
+                ) from exc
             payload_len, crc = struct.unpack("<QI", take(12))
             payload = bytes(take(payload_len))
             if zlib.crc32(payload) != crc:
-                raise FormatError(f"stream {name!r} failed its CRC check")
+                raise FormatError(
+                    f"stream {name!r} failed its CRC check",
+                    code=ErrorCode.CRC_MISMATCH,
+                )
             streams.append((name, payload))
         if pos != len(view):
-            raise FormatError(f"{len(view) - pos} trailing bytes after container")
+            raise FormatError(
+                f"{len(view) - pos} trailing bytes after container",
+                code=ErrorCode.TRAILING_BYTES,
+            )
         return cls(codec, meta, streams)

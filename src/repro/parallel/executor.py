@@ -8,17 +8,31 @@ mpi4py guide recommends: communicate work descriptions, not payloads).
 
 ``n_workers=0`` runs inline, which is what the unit tests and small
 sweeps use; the benchmarks choose a worker count from ``os.cpu_count``.
+
+Resilience
+----------
+``sweep_dataset`` optionally runs under a
+:class:`repro.resilience.retry.RetryPolicy`: each failing attempt
+(worker exception, per-task deadline exceeded, poisoned result) is
+retried with exponential backoff and seeded jitter, and a task that
+exhausts its attempts degrades to a *failed* :class:`FieldResult`
+(``status="failed"``, NaN measurements) instead of aborting the sweep.
+The ``fault`` hook accepts a
+:class:`repro.resilience.inject.WorkerFault` so the failure paths are
+deterministically testable -- CI's fault matrix drives it.  Without a
+policy the legacy fail-fast behaviour is unchanged.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, asdict, field as dc_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro.observe as observe
-from repro.errors import ParameterError
+from repro.errors import ErrorCode, ParameterError
 
 __all__ = [
     "FieldResult",
@@ -58,6 +72,13 @@ class FieldResult:
     plus the raw picklable span records, so parent processes can merge
     worker traces (see :mod:`repro.observe`).  It is excluded from
     equality/hash so result identity stays purely about the outcome.
+
+    ``status`` is ``"ok"`` for a successful task and ``"failed"`` for
+    one that exhausted its retry budget under a
+    :class:`~repro.resilience.retry.RetryPolicy`; failed results carry
+    NaN measurements, the last failure's :class:`~repro.errors.ErrorCode`
+    in ``error_code`` and its message in ``error``.  ``attempts``
+    counts attempts actually made (1 when nothing went wrong).
     """
 
     dataset: str
@@ -70,10 +91,45 @@ class FieldResult:
     bit_rate: float
     eb_rel: float
     metrics: Optional[Dict] = dc_field(default=None, compare=False)
+    status: str = "ok"
+    error: Optional[str] = None
+    error_code: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
     def as_dict(self) -> Dict:
         """JSON-friendly representation."""
         return asdict(self)
+
+
+def _failed_result(
+    dataset: str,
+    field: str,
+    target_psnr: float,
+    *,
+    error: str,
+    error_code: str,
+    attempts: int,
+) -> FieldResult:
+    nan = float("nan")
+    return FieldResult(
+        dataset=dataset,
+        field=field,
+        target_psnr=float(target_psnr),
+        actual_psnr=nan,
+        deviation=nan,
+        met=False,
+        compression_ratio=nan,
+        bit_rate=nan,
+        eb_rel=nan,
+        status="failed",
+        error=error,
+        error_code=error_code,
+        attempts=attempts,
+    )
 
 
 def run_field_task(
@@ -85,6 +141,8 @@ def run_field_task(
     codec: str = "sz",
     collect_trace: bool = False,
     profile_mem: bool = False,
+    fault=None,
+    attempt: int = 0,
 ) -> FieldResult:
     """Execute one task: regenerate the field, run the fixed-PSNR
     pipeline, measure the reconstruction.
@@ -98,7 +156,19 @@ def run_field_task(
     :class:`repro.telemetry.memory.profile_memory`, so every span
     record also carries its peak traced bytes -- the readings cross the
     process boundary inside the records like every other measurement.
+
+    ``fault`` is an optional
+    :class:`repro.resilience.inject.WorkerFault` evaluated before any
+    real work -- the deterministic stand-in for worker crashes, hangs
+    and corrupted results that the retry layer is tested against.
+    ``attempt`` is the zero-based attempt index the executor passes so
+    a bounded fault can fail N attempts and then succeed.
     """
+    if fault is not None:
+        from repro.resilience.inject import POISON, apply_worker_fault
+
+        if apply_worker_fault(fault, field, attempt) is not None:
+            return POISON  # type: ignore[return-value]  (poisoned on purpose)
     # Imports inside the function keep worker start-up lean.
     from repro.core.fixed_psnr import FixedPSNRCompressor
     from repro.datasets.registry import get_dataset
@@ -146,6 +216,232 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+# ---------------------------------------------------------------------------
+# resilient execution
+# ---------------------------------------------------------------------------
+
+
+def _classify_failure(exc: Optional[BaseException], result) -> Tuple[str, str]:
+    """Map an attempt outcome to ``(error_code, message)``."""
+    if exc is not None:
+        return ErrorCode.TASK_FAILED, f"{type(exc).__name__}: {exc}"
+    return (
+        ErrorCode.POISONED_RESULT,
+        f"worker returned {type(result).__name__!s} instead of a FieldResult",
+    )
+
+
+def _resilience_counters():
+    from repro.telemetry.registry import metrics as _metrics
+
+    reg = _metrics()
+    return {
+        "failures": reg.counter(
+            "resilience.task_failures_total",
+            help="task attempts that failed (any cause)",
+        ),
+        # Deadline trips depend on wall-clock scheduling, and backoff
+        # totals on the (completion-ordered) jitter draw sequence --
+        # neither belongs in golden comparisons.
+        "timeouts": reg.counter(
+            "resilience.task_timeouts_total",
+            help="task attempts that exceeded the per-task deadline",
+            deterministic=False,
+        ),
+        "poisoned": reg.counter(
+            "resilience.poisoned_results_total",
+            help="task attempts that returned a non-FieldResult",
+        ),
+        "retries": reg.counter(
+            "resilience.retries_total", help="task attempts re-scheduled"
+        ),
+        "exhausted": reg.counter(
+            "resilience.tasks_exhausted_total",
+            help="tasks that failed every attempt and degraded to a "
+            "failed result",
+        ),
+        "backoff": reg.counter(
+            "resilience.backoff_seconds_total",
+            help="total scheduled backoff delay",
+            deterministic=False,
+        ),
+    }
+
+
+class _TaskState:
+    """Book-keeping for one task's attempts (parent side)."""
+
+    __slots__ = ("index", "task", "attempt", "last_error")
+
+    def __init__(self, index: int, task: Tuple):
+        self.index = index
+        self.task = task
+        self.attempt = 0  # zero-based index of the attempt in flight
+        self.last_error: Tuple[str, str] = (ErrorCode.TASK_FAILED, "")
+
+
+def _record_failure(state, code, message, policy, rng, counters):
+    """Account one failed attempt.  Returns the backoff delay before
+    the next attempt, or ``None`` when the budget is exhausted."""
+    state.last_error = (code, message)
+    counters["failures"].inc()
+    if code == ErrorCode.TASK_TIMEOUT:
+        counters["timeouts"].inc()
+    elif code == ErrorCode.POISONED_RESULT:
+        counters["poisoned"].inc()
+    if state.attempt >= policy.max_retries:
+        counters["exhausted"].inc()
+        return None
+    state.attempt += 1
+    counters["retries"].inc()
+    delay = policy.delay(state.attempt, rng)
+    counters["backoff"].inc(delay)
+    return delay
+
+
+def _exhausted_result(state) -> FieldResult:
+    code, message = state.last_error
+    dataset, field, target = state.task[0], state.task[1], state.task[2]
+    return _failed_result(
+        dataset,
+        field,
+        target,
+        error=message,
+        error_code=code,
+        attempts=state.attempt + 1,
+    )
+
+
+def _validated(result) -> bool:
+    return isinstance(result, FieldResult)
+
+
+def _with_attempts(result: FieldResult, attempts: int) -> FieldResult:
+    if attempts == result.attempts:
+        return result
+    import dataclasses
+
+    return dataclasses.replace(result, attempts=attempts)
+
+
+def _sweep_inline_with_retry(tasks, policy, fault, counters):
+    rng = policy.rng()
+    results: List[FieldResult] = []
+    for index, task in enumerate(tasks):
+        state = _TaskState(index, task)
+        while True:
+            start = time.monotonic()
+            exc = None
+            result = None
+            try:
+                result = run_field_task(*task, fault=fault, attempt=state.attempt)
+            except Exception as e:  # noqa: BLE001 -- worker faults are arbitrary
+                exc = e
+            elapsed = time.monotonic() - start
+            if (
+                policy.task_timeout is not None
+                and elapsed > policy.task_timeout
+            ):
+                # Inline mode cannot preempt, so the deadline is
+                # enforced post-hoc: a late result is discarded to keep
+                # timeout semantics identical to the pool path.
+                code, message = ErrorCode.TASK_TIMEOUT, (
+                    f"attempt took {elapsed:.3f}s "
+                    f"(deadline {policy.task_timeout:.3f}s)"
+                )
+            elif exc is None and _validated(result):
+                results.append(_with_attempts(result, state.attempt + 1))
+                break
+            else:
+                code, message = _classify_failure(exc, result)
+            delay = _record_failure(
+                state, code, message, policy, rng, counters
+            )
+            if delay is None:
+                results.append(_exhausted_result(state))
+                break
+            time.sleep(delay)
+    return results
+
+
+def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers):
+    rng = policy.rng()
+    results: List[Optional[FieldResult]] = [None] * len(tasks)
+    states = [_TaskState(i, t) for i, t in enumerate(tasks)]
+    pool = ProcessPoolExecutor(max_workers=n_workers)
+    inflight: Dict = {}  # future -> (state, deadline or None)
+    waiting: List[Tuple[float, _TaskState]] = []  # (ready_at, state)
+
+    def submit(state: _TaskState) -> None:
+        fut = pool.submit(
+            run_field_task, *state.task, fault=fault, attempt=state.attempt
+        )
+        deadline = (
+            time.monotonic() + policy.task_timeout
+            if policy.task_timeout is not None
+            else None
+        )
+        inflight[fut] = (state, deadline)
+
+    def settle(state: _TaskState, code: str, message: str) -> None:
+        delay = _record_failure(state, code, message, policy, rng, counters)
+        if delay is None:
+            results[state.index] = _exhausted_result(state)
+        else:
+            waiting.append((time.monotonic() + delay, state))
+
+    try:
+        for state in states:
+            submit(state)
+        while inflight or waiting:
+            now = time.monotonic()
+            for ready_at, state in list(waiting):
+                if ready_at <= now:
+                    waiting.remove((ready_at, state))
+                    submit(state)
+            if not inflight:
+                next_ready = min(ready_at for ready_at, _ in waiting)
+                time.sleep(max(0.0, next_ready - time.monotonic()))
+                continue
+            timeout = None
+            deadlines = [dl for _, dl in inflight.values() if dl is not None]
+            horizons = deadlines + [ready_at for ready_at, _ in waiting]
+            if horizons:
+                timeout = max(0.0, min(horizons) - time.monotonic())
+            done, _pending = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                state, _deadline = inflight.pop(fut)
+                exc = fut.exception()
+                result = None if exc is not None else fut.result()
+                if exc is None and _validated(result):
+                    results[state.index] = _with_attempts(
+                        result, state.attempt + 1
+                    )
+                else:
+                    settle(state, *_classify_failure(exc, result))
+            now = time.monotonic()
+            for fut, (state, deadline) in list(inflight.items()):
+                if deadline is not None and now >= deadline:
+                    # The attempt is hung (or just too slow): abandon
+                    # the future -- its eventual result is ignored --
+                    # and account a timeout.
+                    fut.cancel()
+                    del inflight[fut]
+                    settle(
+                        state,
+                        ErrorCode.TASK_TIMEOUT,
+                        f"attempt exceeded the {policy.task_timeout:.3f}s "
+                        "deadline",
+                    )
+    finally:
+        # Don't block on abandoned (hung) workers; queued futures are
+        # cancelled, running ones are left to finish in the background.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results
+
+
 def sweep_dataset(
     dataset: str,
     targets: Sequence[float],
@@ -156,6 +452,8 @@ def sweep_dataset(
     n_workers: int = 0,
     collect_trace: bool = False,
     profile_mem: bool = False,
+    retry=None,
+    fault=None,
 ) -> List[FieldResult]:
     """Run every (field, target) combination of a data set.
 
@@ -167,10 +465,25 @@ def sweep_dataset(
     ``field:<name>`` prefix.  ``profile_mem=True`` adds per-span peak
     memory to every task's records (see
     :mod:`repro.telemetry.memory`).
+
+    ``retry`` is an optional
+    :class:`repro.resilience.retry.RetryPolicy`.  Without one, any
+    task exception propagates (fail-fast, the historical behaviour).
+    With one, failing attempts are retried with backoff and a task
+    that exhausts its budget yields a ``status="failed"`` result --
+    the sweep always returns one :class:`FieldResult` per task.
+    ``fault`` optionally injects a deterministic
+    :class:`repro.resilience.inject.WorkerFault` into every task (the
+    CI fault matrix's hook); it requires ``retry``.
     """
     from repro.datasets.registry import get_dataset
     from repro.telemetry.registry import metrics as _metrics
 
+    if fault is not None and retry is None:
+        raise ParameterError(
+            "fault injection requires a RetryPolicy (fail-fast sweeps "
+            "would simply crash)"
+        )
     ds = get_dataset(dataset, scale=scale)
     names = list(fields) if fields is not None else ds.field_names
     unknown = set(names) - set(ds.field_names)
@@ -183,11 +496,22 @@ def sweep_dataset(
         for fname in names
     ]
     _metrics().counter("parallel.field_tasks_total").inc(len(tasks))
-    if n_workers <= 0:
-        results = [run_field_task(*t) for t in tasks]
+    if retry is None:
+        if n_workers <= 0:
+            results = [run_field_task(*t) for t in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                results = list(
+                    pool.map(run_field_task, *zip(*tasks), chunksize=1)
+                )
     else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(run_field_task, *zip(*tasks), chunksize=1))
+        counters = _resilience_counters()
+        if n_workers <= 0:
+            results = _sweep_inline_with_retry(tasks, retry, fault, counters)
+        else:
+            results = _sweep_pool_with_retry(
+                tasks, retry, fault, counters, n_workers
+            )
     trace = observe.current_trace()
     if trace.enabled:
         for r in results:

@@ -32,6 +32,8 @@ __all__ = [
     "render_prometheus",
     "render_metrics_json",
     "render_ledger_markdown",
+    "render_salvage",
+    "render_sweep_failures",
 ]
 
 
@@ -55,8 +57,14 @@ class TargetSummary:
 
 def summarize_by_target(results: Iterable[FieldResult]) -> List[TargetSummary]:
     """Aggregate per-field results into per-(dataset, target) rows,
-    ordered by dataset then target."""
-    results = list(results)
+    ordered by dataset then target.
+
+    Failed results (``status != "ok"`` from a resilient sweep) are
+    excluded -- their NaN measurements would poison every mean -- so a
+    partial sweep summarizes what actually completed.  Render the
+    failures separately with :func:`render_sweep_failures`.
+    """
+    results = [r for r in results if getattr(r, "status", "ok") == "ok"]
     if not results:
         raise ParameterError("no results to summarize")
     groups: Dict = {}
@@ -281,5 +289,46 @@ def render_stage_breakdown(results: Iterable[FieldResult]) -> str:
         lines.append(
             f"{name:<24} {1e3 * b['duration_s']:>7.1f} ms "
             f"{100 * b['duration_s'] / total:>6.1f}% {b['calls']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def render_salvage(report) -> str:
+    """Fixed-width text rendering of a
+    :class:`repro.resilience.salvage.SalvageReport` (what
+    ``fpzc verify --salvage`` prints)."""
+    head = "clean" if report.ok else "DEGRADED"
+    expected = "?" if report.expected is None else str(report.expected)
+    lines = [
+        f"salvage [{report.kind}] {head}: "
+        f"{len(report.recovered)}/{expected} recovered, "
+        f"{len(report.lost)} lost, {report.resyncs} resync(s), "
+        f"{report.total_bytes} bytes",
+    ]
+    for o in report.recovered:
+        lines.append(
+            f"  + {o.name:<18} [{o.offset:>8}, {o.offset + o.length:>8}) "
+            f"{o.length} bytes"
+        )
+    for o in report.lost:
+        detail = f" -- {o.detail}" if o.detail else ""
+        lines.append(
+            f"  - {o.name:<18} [{o.offset:>8}, {o.offset + o.length:>8}) "
+            f"{o.code}{detail}"
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_failures(results: Iterable[FieldResult]) -> str:
+    """One line per failed task of a resilient sweep; empty string
+    when everything succeeded."""
+    failed = [r for r in results if getattr(r, "status", "ok") != "ok"]
+    if not failed:
+        return ""
+    lines = [f"{len(failed)} task(s) failed after retries:"]
+    for r in failed:
+        lines.append(
+            f"  {r.field} @ {r.target_psnr:g} dB: [{r.error_code}] "
+            f"{r.error} ({r.attempts} attempt(s))"
         )
     return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Resilience: fault injection, salvage decode, and retry policies.
+
+Production HPC pipelines lose bytes and workers routinely -- partial
+writes truncate containers, flaky storage flips bits, and a compression
+worker can crash or hang mid-sweep.  This subsystem makes those
+failures *survivable* and *testable*:
+
+* :mod:`repro.resilience.inject` -- a deterministic (seeded) harness
+  that corrupts container/archive blobs (bit-flips, truncations, chunk
+  drops, header damage) and simulates worker faults (exception, hang,
+  poisoned result) inside :mod:`repro.parallel.executor`.  CI's fault
+  matrix is built on it.
+* :mod:`repro.resilience.salvage` -- best-effort decoding: skip
+  CRC-failing streams, resynchronize on stream boundaries, and report
+  exactly what was recovered and what was lost
+  (:class:`~repro.resilience.salvage.SalvageReport`).
+* :mod:`repro.resilience.retry` -- retry/timeout/backoff policy for
+  parallel sweeps: bounded attempts, exponential backoff with seeded
+  jitter, per-task deadlines, partial-result returns.
+
+See ``docs/ROBUSTNESS.md`` for the fault model and semantics.
+"""
+
+from repro.resilience.inject import (
+    FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    WorkerFault,
+    InjectedWorkerError,
+    inject,
+    inject_bit_flip,
+    inject_truncate,
+    inject_drop_chunk,
+    inject_bad_header,
+    container_stream_spans,
+    archive_field_spans,
+    corrupt_container_stream,
+    corrupt_archive_field,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.salvage import (
+    SalvageReport,
+    StreamOutcome,
+    salvage_archive,
+    salvage_container,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "WorkerFault",
+    "InjectedWorkerError",
+    "inject",
+    "inject_bit_flip",
+    "inject_truncate",
+    "inject_drop_chunk",
+    "inject_bad_header",
+    "container_stream_spans",
+    "archive_field_spans",
+    "corrupt_container_stream",
+    "corrupt_archive_field",
+    "RetryPolicy",
+    "SalvageReport",
+    "StreamOutcome",
+    "salvage_archive",
+    "salvage_container",
+]

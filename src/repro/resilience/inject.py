@@ -1,0 +1,296 @@
+"""Deterministic fault injection for containers, archives and workers.
+
+Every injector takes an explicit integer ``seed`` and derives all of
+its randomness from ``random.Random(seed)``, so a fault is a pure
+function of ``(blob, kind, seed)`` -- the same corruption reproduces
+bit-exactly on every machine.  That is what lets the CI fault matrix
+assert *exact* salvage outcomes rather than "something survived".
+
+Two families:
+
+Byte-level faults (:data:`FAULT_KINDS`)
+    ``bit_flip``, ``truncate``, ``drop_chunk``, ``bad_header`` --
+    applied to serialized FPZC containers or FPZA archives via
+    :func:`inject`, or aimed at one named stream/field via
+    :func:`corrupt_container_stream` / :func:`corrupt_archive_field`
+    (the targeted form the fault matrix uses to prove every
+    *untouched* stream survives).
+
+Worker faults (:data:`WORKER_FAULT_KINDS`)
+    :class:`WorkerFault` is a picklable spec evaluated inside
+    :func:`repro.parallel.executor.run_field_task`: raise an
+    exception, hang past the executor's deadline, or return a
+    poisoned (non-``FieldResult``) object.  ``fail_attempts`` bounds
+    how many attempts fail before the task recovers, which is how
+    retry tests distinguish "recovers after backoff" from
+    "exhausts and degrades to a partial result".
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "WorkerFault",
+    "InjectedWorkerError",
+    "POISON",
+    "inject",
+    "inject_bit_flip",
+    "inject_truncate",
+    "inject_drop_chunk",
+    "inject_bad_header",
+    "container_stream_spans",
+    "archive_field_spans",
+    "corrupt_container_stream",
+    "corrupt_archive_field",
+    "apply_worker_fault",
+]
+
+#: Byte-level fault kinds the harness can apply to a blob.
+FAULT_KINDS = ("bit_flip", "truncate", "drop_chunk", "bad_header")
+
+#: Worker fault kinds simulated inside ``run_field_task``.
+WORKER_FAULT_KINDS = ("exception", "hang", "poison")
+
+
+# ---------------------------------------------------------------------------
+# byte-level faults
+# ---------------------------------------------------------------------------
+
+
+def _check_span(blob: bytes, start: int, end: int) -> Tuple[int, int]:
+    if not blob:
+        raise ParameterError("cannot inject a fault into an empty blob")
+    start = max(0, int(start))
+    end = min(len(blob), int(end))
+    if start >= end:
+        raise ParameterError(f"empty injection span [{start}, {end})")
+    return start, end
+
+
+def inject_bit_flip(
+    blob: bytes,
+    seed: int = 0,
+    n_flips: int = 1,
+    span: Optional[Tuple[int, int]] = None,
+) -> bytes:
+    """Flip ``n_flips`` seeded-random bits inside ``span``
+    (default: the whole blob)."""
+    start, end = _check_span(blob, *(span or (0, len(blob))))
+    rng = random.Random(seed)
+    out = bytearray(blob)
+    for _ in range(max(1, int(n_flips))):
+        pos = rng.randrange(start, end)
+        out[pos] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def inject_truncate(
+    blob: bytes,
+    seed: int = 0,
+    at: Optional[int] = None,
+    span: Optional[Tuple[int, int]] = None,
+) -> bytes:
+    """Cut the blob at byte ``at``; when ``at`` is None, pick a seeded
+    offset inside ``span`` (default: anywhere after the first byte)."""
+    if at is None:
+        start, end = _check_span(blob, *(span or (1, len(blob))))
+        at = random.Random(seed).randrange(start, end)
+    at = int(at)
+    if not 0 <= at <= len(blob):
+        raise ParameterError(f"truncation offset {at} outside the blob")
+    return blob[:at]
+
+
+def inject_drop_chunk(
+    blob: bytes,
+    seed: int = 0,
+    chunk: int = 64,
+    span: Optional[Tuple[int, int]] = None,
+) -> bytes:
+    """Delete ``chunk`` contiguous bytes starting at a seeded offset
+    inside ``span`` -- the 'lost block of a partial write' fault.  The
+    bytes are *removed* (not zeroed), so every later offset shifts."""
+    start, end = _check_span(blob, *(span or (0, len(blob))))
+    chunk = max(1, int(chunk))
+    lo = start
+    hi = max(lo, end - chunk)
+    pos = random.Random(seed).randrange(lo, hi + 1)
+    return blob[:pos] + blob[pos + chunk:]
+
+
+def inject_bad_header(blob: bytes, seed: int = 0) -> bytes:
+    """Corrupt the header's length/CRC region (bytes 8..20): the
+    meta/index length and checksum both formats keep there.  The
+    identity bytes (magic, version, codec) are left alone -- damage
+    there is unrecoverable *by design* (nothing anchors a parse) and
+    is exercised separately with a ``bit_flip`` aimed at ``(0, 8)``."""
+    _check_span(blob, 8, min(20, len(blob)))
+    return inject_bit_flip(blob, seed=seed, span=(8, min(20, len(blob))))
+
+
+_INJECTORS = {
+    "bit_flip": inject_bit_flip,
+    "truncate": inject_truncate,
+    "drop_chunk": inject_drop_chunk,
+    "bad_header": inject_bad_header,
+}
+
+
+def inject(blob: bytes, kind: str, seed: int = 0, **kwargs) -> bytes:
+    """Apply the named fault kind (see :data:`FAULT_KINDS`) with the
+    given seed; extra keyword arguments go to the specific injector."""
+    try:
+        fn = _INJECTORS[kind]
+    except KeyError:
+        raise ParameterError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        ) from None
+    return fn(blob, seed=seed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# targeted faults: locate stream/field payload spans
+# ---------------------------------------------------------------------------
+
+
+def container_stream_spans(blob: bytes) -> Dict[str, Tuple[int, int]]:
+    """Byte span ``[start, end)`` of every stream *payload* in a valid
+    FPZC container.  Parses strictly (the blob must be intact); use
+    the spans to aim a fault at exactly one stream."""
+    from repro.io.container import Container  # noqa: F401  (validation)
+
+    Container.from_bytes(blob)  # raise FormatError early on bad input
+    meta_len, _ = struct.unpack_from("<QI", blob, 8)
+    pos = 20 + meta_len
+    (n_streams,) = struct.unpack_from("<I", blob, pos)
+    pos += 4
+    spans: Dict[str, Tuple[int, int]] = {}
+    for _ in range(n_streams):
+        (name_len,) = struct.unpack_from("<H", blob, pos)
+        pos += 2
+        name = blob[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        payload_len, _crc = struct.unpack_from("<QI", blob, pos)
+        pos += 12
+        spans[name] = (pos, pos + payload_len)
+        pos += payload_len
+    return spans
+
+
+def archive_field_spans(blob: bytes) -> Dict[str, Tuple[int, int]]:
+    """Byte span ``[start, end)`` of every field payload (a complete
+    FPZC container) in a valid FPZA archive."""
+    from repro.io.archive import _parse_header
+
+    entries, base = _parse_header(blob)
+    return {
+        e["name"]: (base + int(e["offset"]), base + int(e["offset"]) + int(e["length"]))
+        for e in entries
+    }
+
+
+def corrupt_container_stream(
+    blob: bytes, name: str, kind: str = "bit_flip", seed: int = 0, **kwargs
+) -> bytes:
+    """Apply ``kind`` confined to the named stream's payload bytes.
+    ``truncate`` cuts inside the stream (losing it and everything
+    after); the other kinds touch only that stream."""
+    spans = container_stream_spans(blob)
+    if name not in spans:
+        raise ParameterError(f"container has no stream named {name!r}")
+    return inject(blob, kind, seed=seed, span=spans[name], **kwargs)
+
+
+def corrupt_archive_field(
+    blob: bytes, name: str, kind: str = "bit_flip", seed: int = 0, **kwargs
+) -> bytes:
+    """Apply ``kind`` confined to the named archive field's payload."""
+    spans = archive_field_spans(blob)
+    if name not in spans:
+        raise ParameterError(f"archive has no field named {name!r}")
+    return inject(blob, kind, seed=seed, span=spans[name], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# worker faults
+# ---------------------------------------------------------------------------
+
+
+class InjectedWorkerError(RuntimeError):
+    """The exception an injected ``exception`` worker fault raises.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: injected
+    crashes stand in for arbitrary worker failures (segfault-adjacent
+    bugs, OOM kills surfacing as BrokenProcessPool, library errors),
+    so the retry path must treat it as an unknown exception.
+    """
+
+
+#: Sentinel a ``poison`` fault returns in place of a ``FieldResult``.
+POISON = "<poisoned-result>"
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """Picklable description of a simulated worker fault.
+
+    ``kind``
+        One of :data:`WORKER_FAULT_KINDS`.
+    ``fields``
+        Field names to afflict; empty tuple means every field.
+    ``fail_attempts``
+        Number of leading attempts (attempt indices ``0 ..
+        fail_attempts-1``) that fail; later retries succeed.  Use a
+        large value to make the task fail every attempt.
+    ``hang_seconds``
+        Sleep length for ``kind="hang"`` -- pick it longer than the
+        executor's ``task_timeout`` to trip the deadline.
+    """
+
+    kind: str
+    fields: Tuple[str, ...] = ()
+    fail_attempts: int = 1
+    hang_seconds: float = 5.0
+
+    def __post_init__(self):
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ParameterError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
+
+    def applies(self, field: str, attempt: int) -> bool:
+        """True when this fault should fire for ``field`` on the given
+        zero-based attempt index."""
+        if self.fields and field not in self.fields:
+            return False
+        return attempt < self.fail_attempts
+
+
+def apply_worker_fault(fault: Optional[WorkerFault], field: str, attempt: int):
+    """Evaluate ``fault`` inside a worker task.
+
+    Returns :data:`POISON` when the task must return a poisoned
+    result, raises :class:`InjectedWorkerError` for a crash, sleeps
+    through the deadline for a hang, and returns ``None`` when the
+    task should proceed normally.
+    """
+    if fault is None or not fault.applies(field, attempt):
+        return None
+    if fault.kind == "exception":
+        raise InjectedWorkerError(
+            f"injected crash for field {field!r} (attempt {attempt})"
+        )
+    if fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+        return None
+    return POISON

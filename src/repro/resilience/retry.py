@@ -1,0 +1,97 @@
+"""Retry/timeout/backoff policy for parallel task execution.
+
+A :class:`RetryPolicy` is a frozen, picklable description of how the
+executor should treat a failing task: how many extra attempts to give
+it, how long to back off between attempts (exponential with jitter
+drawn from a *seeded* RNG, so schedules are reproducible), and how
+long a single attempt may run before the executor declares it hung.
+
+The policy is deliberately mechanism-free -- it computes delays and
+classifies nothing.  :func:`repro.parallel.executor.sweep_dataset`
+owns the retry loop; this module owns the arithmetic, so the backoff
+law is unit-testable without spawning a single process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor retries failing tasks.
+
+    ``max_retries``
+        Extra attempts after the first (0 = fail on first error).
+    ``backoff_base``
+        Delay before the first retry, in seconds.
+    ``backoff_factor``
+        Multiplier applied per subsequent retry (exponential).
+    ``backoff_max``
+        Ceiling on any single delay.
+    ``jitter``
+        Fraction of each delay that is randomized: the actual delay is
+        ``d * (1 - jitter + jitter * u)`` with ``u ~ U[0, 1)`` from the
+        policy's seeded RNG.  0 disables jitter entirely.
+    ``task_timeout``
+        Per-attempt deadline in seconds; ``None`` disables it.  An
+        attempt that exceeds the deadline counts as a failure
+        (code ``task_timeout``) and is retried like any other.
+    ``seed``
+        Seed for the jitter RNG (one RNG per sweep, shared by all
+        tasks).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    task_timeout: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ParameterError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ParameterError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ParameterError("backoff_factor must be >= 1")
+        if self.backoff_max < self.backoff_base:
+            raise ParameterError("backoff_max must be >= backoff_base")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ParameterError("jitter must be in [0, 1]")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ParameterError("task_timeout must be positive")
+
+    def rng(self) -> random.Random:
+        """A fresh jitter RNG seeded with the policy's seed."""
+        return random.Random(self.seed)
+
+    def delay(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``retry_index`` (1-based).
+
+        Deterministic except for the jitter draw; pass the sweep's RNG
+        to make the whole schedule a function of the policy seed and
+        the draw order.
+        """
+        if retry_index < 1:
+            raise ParameterError("retry_index is 1-based")
+        d = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (retry_index - 1),
+        )
+        if self.jitter > 0.0:
+            u = (rng or self.rng()).random()
+            d *= (1.0 - self.jitter) + self.jitter * u
+        return d
+
+    def total_attempts(self) -> int:
+        """First attempt plus retries."""
+        return self.max_retries + 1

@@ -1,0 +1,607 @@
+"""Best-effort ("salvage") decoding of damaged containers and archives.
+
+The strict parsers in :mod:`repro.io` abort on the first bad byte --
+correct for a library, fatal for a batch pipeline where one flipped
+bit in one stream would discard a whole snapshot.  Salvage mode
+recovers everything whose integrity can still be *proven* (CRC32 per
+stream / per field) and returns a structured
+:class:`SalvageReport` naming what was lost, at which byte offsets,
+and why (codes from :class:`repro.errors.ErrorCode`).
+
+Recovery strategy
+-----------------
+Containers
+    The header's identity bytes (magic, version, codec) must be
+    intact -- with those gone there is nothing to anchor a parse, and
+    a typed :class:`~repro.errors.FormatError` is raised.  Everything
+    else degrades gracefully: a corrupt metadata block becomes ``{}``
+    (reported), and the stream table is re-parsed record by record.
+    When a record is structurally implausible or its payload fails
+    CRC, the parser *resynchronizes*: it scans forward for the next
+    offset at which a complete, CRC-valid stream record parses, and
+    attributes the skipped bytes to the lost stream.  A CRC-validated
+    record is an extremely strong sync marker, so bit flips, dropped
+    chunks (which shift every later byte) and truncations all cost
+    only the streams they actually touch.
+
+Archives
+    Fields are whole FPZC containers, CRC'd by the index.  Fields
+    whose indexed span checks out are returned bit-exactly.  For the
+    rest -- or when the index itself is unreadable -- the payload
+    region is scanned for container prefixes (magic + full internal
+    CRC validation); re-found spans are matched back to index entries
+    by recorded CRC32 and length, which *guarantees* a matched field
+    is bit-exact.  Unmatched entries are reported lost, with a nested
+    container-salvage attempt noted in the detail.
+
+Telemetry: every call feeds ``resilience.salvage.*`` counters in the
+process metrics registry (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ErrorCode, FormatError
+
+__all__ = [
+    "StreamOutcome",
+    "SalvageReport",
+    "salvage_container",
+    "salvage_archive",
+]
+
+_C_MAGIC = b"FPZC"
+_A_MAGIC = b"FPZA"
+
+
+# ---------------------------------------------------------------------------
+# report structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """One stream's (or field's, or header part's) salvage outcome."""
+
+    name: str
+    offset: int
+    length: int
+    recovered: bool
+    code: Optional[str] = None
+    detail: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "offset": self.offset,
+            "length": self.length,
+            "recovered": self.recovered,
+            "code": self.code,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SalvageReport:
+    """What a salvage decode recovered, what it lost, and why.
+
+    ``expected`` is the stream/field count the (intact part of the)
+    header promised, or ``None`` when the header itself was lost and
+    recovery ran purely by scanning.  ``resyncs`` counts how many
+    times the parser had to abandon sequential parsing and scan for
+    the next provable boundary.
+    """
+
+    kind: str
+    total_bytes: int
+    expected: Optional[int] = None
+    recovered: List[StreamOutcome] = dc_field(default_factory=list)
+    lost: List[StreamOutcome] = dc_field(default_factory=list)
+    resyncs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing was lost and nothing promised is missing."""
+        return not self.lost and (
+            self.expected is None or len(self.recovered) == self.expected
+        )
+
+    @property
+    def lost_names(self) -> List[str]:
+        return [o.name for o in self.lost]
+
+    @property
+    def recovered_names(self) -> List[str]:
+        return [o.name for o in self.recovered]
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly representation (schema-stable for tooling)."""
+        return {
+            "schema": 1,
+            "kind": self.kind,
+            "total_bytes": self.total_bytes,
+            "expected": self.expected,
+            "ok": self.ok,
+            "resyncs": self.resyncs,
+            "recovered": [o.as_dict() for o in self.recovered],
+            "lost": [o.as_dict() for o in self.lost],
+        }
+
+
+def _record_metrics(report: SalvageReport) -> None:
+    from repro.telemetry.registry import metrics
+
+    reg = metrics()
+    reg.counter("resilience.salvage.calls_total").inc()
+    reg.counter("resilience.salvage.streams_recovered_total").inc(
+        len(report.recovered)
+    )
+    reg.counter("resilience.salvage.streams_lost_total").inc(len(report.lost))
+    reg.counter("resilience.salvage.resyncs_total").inc(report.resyncs)
+
+
+# ---------------------------------------------------------------------------
+# container salvage
+# ---------------------------------------------------------------------------
+
+
+def _try_stream_record(
+    blob: bytes, pos: int
+) -> Optional[Tuple[str, bytes, int, bool]]:
+    """Attempt to parse one stream record at ``pos``.
+
+    Returns ``(name, payload, end, crc_ok)`` when the record is
+    structurally complete (name decodes, payload fits in the blob),
+    else ``None``.  ``crc_ok`` reports the payload checksum.
+    """
+    n = len(blob)
+    if pos + 2 > n:
+        return None
+    (name_len,) = struct.unpack_from("<H", blob, pos)
+    p = pos + 2
+    if p + name_len + 12 > n:
+        return None
+    try:
+        name = blob[p : p + name_len].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    p += name_len
+    payload_len, crc = struct.unpack_from("<QI", blob, p)
+    p += 12
+    if payload_len > n - p:
+        return None
+    payload = blob[p : p + payload_len]
+    return name, payload, p + payload_len, zlib.crc32(payload) == crc
+
+
+def _partial_record_name(blob: bytes, pos: int) -> Optional[str]:
+    """Best-effort stream name of a record whose payload no longer
+    fits (truncation / dropped tail): the name itself often survives."""
+    n = len(blob)
+    if pos + 2 > n:
+        return None
+    (name_len,) = struct.unpack_from("<H", blob, pos)
+    if pos + 2 + name_len > n:
+        return None
+    try:
+        return blob[pos + 2 : pos + 2 + name_len].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def _find_valid_record(blob: bytes, start: int) -> Optional[int]:
+    """Smallest offset ``>= start`` at which a complete, CRC-valid
+    stream record parses; None if there is none.  The CRC requirement
+    makes false positives vanishingly unlikely, so this is the
+    resynchronization primitive."""
+    for pos in range(start, len(blob) - 13):
+        rec = _try_stream_record(blob, pos)
+        if rec is not None and rec[3]:
+            return pos
+    return None
+
+
+def salvage_container(blob: bytes):
+    """Best-effort parse of FPZC container bytes.
+
+    Returns ``(container, report)``; the container carries every
+    CRC-proven stream (and the metadata block when it survived), the
+    :class:`SalvageReport` records the rest.  Raises a typed
+    :class:`~repro.errors.FormatError` only when the identity header
+    (magic / version / codec) is itself unusable -- there is nothing
+    to salvage without it.
+    """
+    from repro.io.container import _KNOWN_CODECS, MAGIC, VERSION, Container
+
+    n = len(blob)
+    report = SalvageReport(kind="container", total_bytes=n)
+    if n < 8:
+        raise FormatError(
+            "container too short for its header", code=ErrorCode.TRUNCATED
+        )
+    if blob[:4] != MAGIC:
+        raise FormatError(
+            "bad magic: not a FPZC container", code=ErrorCode.BAD_MAGIC
+        )
+    version, codec, _reserved = struct.unpack_from("<BBH", blob, 4)
+    if version != VERSION:
+        raise FormatError(
+            f"unsupported container version {version}",
+            code=ErrorCode.BAD_VERSION,
+        )
+    if codec not in _KNOWN_CODECS:
+        raise FormatError(
+            f"unknown codec id {codec}", code=ErrorCode.BAD_CODEC
+        )
+
+    # -- metadata block (tolerate loss: meta -> {}) ---------------------
+    meta: Dict = {}
+    pos: Optional[int] = None  # position of the n_streams field
+    meta_ok = False
+    if n >= 20:
+        meta_len, meta_crc = struct.unpack_from("<QI", blob, 8)
+        if meta_len <= n - 20:
+            meta_blob = blob[20 : 20 + meta_len]
+            if zlib.crc32(meta_blob) == meta_crc:
+                try:
+                    doc = json.loads(meta_blob.decode("utf-8"))
+                    if isinstance(doc, dict):
+                        meta = doc
+                        meta_ok = True
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    pass
+            if meta_ok:
+                pos = 20 + meta_len
+    if not meta_ok:
+        report.lost.append(
+            StreamOutcome(
+                name="<meta>",
+                offset=8,
+                length=0,
+                recovered=False,
+                code=ErrorCode.BAD_META,
+                detail="metadata block unreadable; using {}",
+            )
+        )
+
+    # -- stream-count field ---------------------------------------------
+    expected: Optional[int] = None
+    scan_from = 8
+    if pos is not None:
+        if pos + 4 <= n:
+            (expected,) = struct.unpack_from("<I", blob, pos)
+            report.expected = expected
+            scan_from = pos + 4
+        else:
+            report.lost.append(
+                StreamOutcome(
+                    name="<stream-table>",
+                    offset=pos,
+                    length=n - pos,
+                    recovered=False,
+                    code=ErrorCode.TRUNCATED,
+                    detail="truncated before the stream count",
+                )
+            )
+            scan_from = n  # nothing after
+
+    # -- stream records, resynchronizing on failure ---------------------
+    streams: List[Tuple[str, bytes]] = []
+    pos = scan_from
+    if not meta_ok and pos < n:
+        # Header lost: the stream-table position is unknown, so scan
+        # for the first provable record.  The skipped bytes are the
+        # meta region already reported above.
+        resync = _find_valid_record(blob, pos)
+        pos = resync if resync is not None else n
+    while pos < n:
+        rec = _try_stream_record(blob, pos)
+        if rec is not None and rec[3]:
+            name, payload, end, _ = rec
+            report.recovered.append(
+                StreamOutcome(
+                    name=name, offset=pos, length=len(payload), recovered=True
+                )
+            )
+            streams.append((name, payload))
+            pos = end
+            continue
+        # Damage at ``pos``: classify it, then resynchronize.
+        if rec is not None:
+            name = rec[0]
+            code, detail = ErrorCode.CRC_MISMATCH, "payload failed its CRC"
+        else:
+            name = _partial_record_name(blob, pos) or "<unknown>"
+            code = ErrorCode.TRUNCATED
+            detail = "unparseable or truncated stream record"
+        resync = _find_valid_record(blob, pos + 1)
+        lost_end = resync if resync is not None else n
+        report.lost.append(
+            StreamOutcome(
+                name=name,
+                offset=pos,
+                length=lost_end - pos,
+                recovered=False,
+                code=code,
+                detail=detail,
+            )
+        )
+        if resync is None:
+            break
+        report.resyncs += 1
+        pos = resync
+
+    if expected is not None:
+        # Streams the header promised but no bytes account for
+        # (e.g. a truncation exactly at a record boundary).
+        accounted = len(streams) + len(
+            [o for o in report.lost if o.name not in ("<meta>", "<stream-table>")]
+        )
+        if accounted < expected:
+            report.lost.append(
+                StreamOutcome(
+                    name="<missing-streams>",
+                    offset=n,
+                    length=0,
+                    recovered=False,
+                    code=ErrorCode.MISSING_STREAM,
+                    detail=f"{expected - accounted} stream(s) promised by "
+                    "the header have no surviving bytes",
+                )
+            )
+
+    container = Container(codec, meta, streams)
+    container.salvage = report
+    _record_metrics(report)
+    return container, report
+
+
+# ---------------------------------------------------------------------------
+# archive salvage
+# ---------------------------------------------------------------------------
+
+
+def _container_prefix_end(blob: bytes, start: int) -> Optional[int]:
+    """End offset of a fully CRC-valid FPZC container starting at
+    ``start``, or None.  Used to re-find field boundaries when the
+    archive index (or the offsets it holds) can no longer be
+    trusted."""
+    from repro.io.container import _KNOWN_CODECS, MAGIC, VERSION
+
+    n = len(blob)
+    if start + 20 > n or blob[start : start + 4] != MAGIC:
+        return None
+    version, codec, _ = struct.unpack_from("<BBH", blob, start + 4)
+    if version != VERSION or codec not in _KNOWN_CODECS:
+        return None
+    meta_len, meta_crc = struct.unpack_from("<QI", blob, start + 8)
+    pos = start + 20
+    if meta_len > n - pos:
+        return None
+    if zlib.crc32(blob[pos : pos + meta_len]) != meta_crc:
+        return None
+    pos += meta_len
+    if pos + 4 > n:
+        return None
+    (n_streams,) = struct.unpack_from("<I", blob, pos)
+    pos += 4
+    for _ in range(n_streams):
+        rec = _try_stream_record(blob, pos)
+        if rec is None or not rec[3]:
+            return None
+        pos = rec[2]
+    return pos
+
+
+def _scan_container_spans(blob: bytes, start: int) -> List[Tuple[int, int]]:
+    """Every non-overlapping, fully-valid container span in
+    ``blob[start:]``, found by scanning for the FPZC magic."""
+    spans: List[Tuple[int, int]] = []
+    pos = start
+    while True:
+        hit = blob.find(_C_MAGIC, pos)
+        if hit < 0:
+            return spans
+        end = _container_prefix_end(blob, hit)
+        if end is None:
+            pos = hit + 1
+        else:
+            spans.append((hit, end))
+            pos = end
+
+
+def _redecode_index(blob: bytes) -> Optional[Tuple[List[Dict], int]]:
+    """Re-parse the archive index straight from its fixed offset (20)
+    when the header's length/CRC words are damaged.
+
+    The index is compact ASCII JSON, so a latin-1 view keeps byte
+    offsets equal to character offsets and ``raw_decode`` stops
+    exactly at the end of the object -- recovering both the entries
+    and the payload base offset without trusting the corrupt header.
+    Returns ``(entries, base)`` or None when the JSON itself is
+    unreadable.  The decode window is capped at 1 MiB of index text
+    (~15k fields); larger indexes fall back to the pure scan.
+    """
+    if len(blob) <= 20:
+        return None
+    window = blob[20 : 20 + (1 << 20)].decode("latin-1")
+    try:
+        doc, consumed = json.JSONDecoder().raw_decode(window)
+    except (json.JSONDecodeError, ValueError):
+        return None
+    try:
+        entries = doc["fields"]
+        for e in entries:
+            str(e["name"]), int(e["offset"])
+            int(e["length"]), int(e["crc32"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return entries, 20 + consumed
+
+
+def salvage_archive(blob: bytes):
+    """Best-effort parse of FPZA archive bytes.
+
+    Returns ``(fields, report)`` where ``fields`` is an ordered
+    ``{name: container_bytes}`` of every bit-exactly recovered field.
+    Raises a typed :class:`~repro.errors.FormatError` only when the
+    archive's identity header (magic / version) is unusable.
+    """
+    n = len(blob)
+    report = SalvageReport(kind="archive", total_bytes=n)
+    if n < 8:
+        raise FormatError(
+            "archive too short for its header", code=ErrorCode.TRUNCATED
+        )
+    if blob[:4] != _A_MAGIC:
+        raise FormatError(
+            "not an FPZA archive", code=ErrorCode.BAD_MAGIC
+        )
+    (version,) = struct.unpack_from("<B", blob, 4)
+    if version != 1:
+        raise FormatError(
+            f"unsupported archive version {version}",
+            code=ErrorCode.BAD_VERSION,
+        )
+
+    # -- index ----------------------------------------------------------
+    entries: Optional[List[Dict]] = None
+    base = 20
+    if n >= 20:
+        index_len, index_crc = struct.unpack_from("<QI", blob, 8)
+        if index_len <= n - 20 and (
+            zlib.crc32(blob[20 : 20 + index_len]) == index_crc
+        ):
+            try:
+                doc = json.loads(blob[20 : 20 + index_len].decode("utf-8"))
+                parsed = doc["fields"]
+                for e in parsed:
+                    str(e["name"]), int(e["offset"])
+                    int(e["length"]), int(e["crc32"])
+                entries = parsed
+                base = 20 + index_len
+            except (
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+            ):
+                entries = None
+    if entries is None:
+        # The length/CRC words may be the only damage; the JSON text
+        # itself sits at a fixed offset and can anchor a re-parse.
+        redecoded = _redecode_index(blob)
+        if redecoded is not None:
+            entries, base = redecoded
+            report.resyncs += 1
+    if entries is None:
+        report.lost.append(
+            StreamOutcome(
+                name="<index>",
+                offset=8,
+                length=0,
+                recovered=False,
+                code=ErrorCode.BAD_INDEX,
+                detail="archive index unreadable; recovering by scan",
+            )
+        )
+        # Pure scan recovery: names are positional.
+        fields: Dict[str, bytes] = {}
+        for i, (s, e) in enumerate(_scan_container_spans(blob, 8)):
+            name = f"field[{i}]"
+            fields[name] = blob[s:e]
+            report.recovered.append(
+                StreamOutcome(name=name, offset=s, length=e - s, recovered=True)
+            )
+            report.resyncs += 1
+        _record_metrics(report)
+        return fields, report
+
+    report.expected = len(entries)
+
+    # -- direct pass: trust the index where CRCs prove it ---------------
+    fields = {}
+    unresolved: List[Dict] = []
+    for e in entries:
+        start = base + int(e["offset"])
+        end = start + int(e["length"])
+        if end <= n and zlib.crc32(blob[start:end]) == int(e["crc32"]):
+            fields[str(e["name"])] = blob[start:end]
+            report.recovered.append(
+                StreamOutcome(
+                    name=str(e["name"]),
+                    offset=start,
+                    length=int(e["length"]),
+                    recovered=True,
+                )
+            )
+        else:
+            unresolved.append(e)
+
+    # -- scan pass: re-find shifted fields by recorded CRC --------------
+    if unresolved:
+        by_key = {
+            (int(e["crc32"]), int(e["length"])): e for e in unresolved
+        }
+        for s, e_off in _scan_container_spans(blob, base):
+            key = (zlib.crc32(blob[s:e_off]), e_off - s)
+            entry = by_key.pop(key, None)
+            if entry is None:
+                continue
+            unresolved.remove(entry)
+            fields[str(entry["name"])] = blob[s:e_off]
+            report.resyncs += 1
+            report.recovered.append(
+                StreamOutcome(
+                    name=str(entry["name"]),
+                    offset=s,
+                    length=e_off - s,
+                    recovered=True,
+                )
+            )
+
+    # -- the rest are lost; note what nested salvage could still see ----
+    for e in unresolved:
+        start = base + int(e["offset"])
+        end = start + int(e["length"])
+        code = ErrorCode.TRUNCATED if end > n else ErrorCode.CRC_MISMATCH
+        detail = "field bytes failed their CRC"
+        if end > n:
+            detail = (
+                f"field needs bytes [{start}, {end}) but the archive "
+                f"ends at {n}"
+            )
+        else:
+            try:
+                _, nested = salvage_container(blob[start:end])
+                detail += (
+                    f"; nested salvage found {len(nested.recovered)} "
+                    f"stream(s)"
+                )
+            except FormatError:
+                pass
+        report.lost.append(
+            StreamOutcome(
+                name=str(e["name"]),
+                offset=start,
+                length=int(e["length"]),
+                recovered=False,
+                code=code,
+                detail=detail,
+            )
+        )
+
+    # Preserve archive order in the returned mapping.
+    ordered = {
+        str(e["name"]): fields[str(e["name"])]
+        for e in entries
+        if str(e["name"]) in fields
+    }
+    _record_metrics(report)
+    return ordered, report

@@ -33,6 +33,12 @@ records whose ``extra`` holds the converged ``eb_rel``, trial counts
 and the search trajectory -- the warm-start source for later searches
 (:func:`repro.autotune.cache.warm_start`).
 
+Resilient sweeps (``fpzc sweep --max-retries/--task-timeout``) add a
+``resilience`` object to ``extra``: the policy knobs, a
+``failed_fields`` list (field, target, error code, attempts) and the
+``retries``/``timeouts`` totals for the run -- so the ledger records
+not just how fast a sweep was but how much of it survived.
+
 Determinism contract: ``counters`` (and the byte/ratio fields) are
 exact and reproducible; ``created``, ``stage_seconds`` and
 ``mem_peak_bytes`` are not.  Consumers comparing runs must restrict

@@ -93,6 +93,10 @@ class TestTopLevelExports:
         "repro.autotune.objective",
         "repro.autotune.cache",
         "repro.autotune.driver",
+        "repro.resilience",
+        "repro.resilience.inject",
+        "repro.resilience.salvage",
+        "repro.resilience.retry",
     ],
 )
 class TestModuleHygiene:

@@ -1,0 +1,76 @@
+"""CLI-level tests for the resilience surface: ``fpzc verify
+--salvage`` and the resilient-sweep flags."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+from repro.io.archive import write_archive
+from repro.io.container import Container
+from repro.resilience import corrupt_archive_field, corrupt_container_stream, inject
+
+pytestmark = pytest.mark.fault
+
+
+@pytest.fixture()
+def container_file(tmp_path):
+    blob = Container(
+        1, {"k": 1}, [("a", b"\x11" * 400), ("b", b"\x22" * 300)]
+    ).to_bytes()
+    path = tmp_path / "x.fpzc"
+    path.write_bytes(blob)
+    return path, blob
+
+
+@pytest.fixture()
+def archive_file(tmp_path):
+    fields = [
+        (name, Container(1, {"f": name}, [("d", name.encode() * 90)]).to_bytes())
+        for name in ("u", "v")
+    ]
+    blob = write_archive(fields)
+    path = tmp_path / "x.fpza"
+    path.write_bytes(blob)
+    return path, blob
+
+
+class TestVerifySalvage:
+    def test_clean_container_exits_zero(self, container_file, capsys):
+        path, _ = container_file
+        assert main(["verify", "--salvage", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "2/2 recovered" in out
+
+    def test_degraded_container_exits_one(self, container_file, capsys):
+        path, blob = container_file
+        path.write_bytes(corrupt_container_stream(blob, "a", "bit_flip", seed=1))
+        assert main(["verify", "--salvage", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out and "crc_mismatch" in out
+
+    def test_degraded_archive_exits_one(self, archive_file, capsys):
+        path, blob = archive_file
+        path.write_bytes(corrupt_archive_field(blob, "v", "drop_chunk", seed=2))
+        assert main(["verify", "--salvage", str(path)]) == 1
+        assert "archive" in capsys.readouterr().out
+
+    def test_unrecoverable_exits_two(self, container_file, capsys):
+        path, blob = container_file
+        path.write_bytes(inject(blob, "bit_flip", seed=0, span=(0, 4)))
+        assert main(["verify", "--salvage", str(path)]) == 2
+        assert "unrecoverable" in capsys.readouterr().err
+
+
+class TestResilientSweepCLI:
+    ARGS = ["sweep", "NYX", "--targets", "60", "--fields", "temperature"]
+
+    def test_retry_flags_accepted(self, capsys):
+        assert main(self.ARGS + ["--max-retries", "2"]) == 0
+        assert "temperature" in capsys.readouterr().out
+
+    def test_json_output_carries_status(self, capsys):
+        assert main(self.ARGS + ["--max-retries", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["results"] if isinstance(doc, dict) else doc
+        assert all(r.get("status", "ok") == "ok" for r in results)

@@ -1,0 +1,143 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.io.archive import write_archive
+from repro.io.container import Container
+from repro.resilience import (
+    FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    WorkerFault,
+    InjectedWorkerError,
+    archive_field_spans,
+    container_stream_spans,
+    corrupt_archive_field,
+    corrupt_container_stream,
+    inject,
+)
+from repro.resilience.inject import POISON, apply_worker_fault
+
+pytestmark = pytest.mark.fault
+
+
+def _container() -> bytes:
+    return Container(
+        1,
+        {"k": "v"},
+        [("alpha", bytes(range(200)) * 2), ("beta", b"\x5a" * 300)],
+    ).to_bytes()
+
+
+def _archive() -> bytes:
+    fields = [
+        (name, Container(1, {"f": name}, [("data", name.encode() * 60)]).to_bytes())
+        for name in ("u", "v", "w")
+    ]
+    return write_archive(fields)
+
+
+class TestByteFaults:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_deterministic_per_seed(self, kind):
+        blob = _container()
+        assert inject(blob, kind, seed=7) == inject(blob, kind, seed=7)
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_actually_damages(self, kind):
+        blob = _container()
+        assert inject(blob, kind, seed=3) != blob
+
+    def test_seeds_differ(self):
+        blob = _container()
+        outs = {inject(blob, "bit_flip", seed=s) for s in range(16)}
+        assert len(outs) > 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            inject(_container(), "gamma_ray")
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(ParameterError):
+            inject(b"", "bit_flip")
+
+    def test_truncate_shortens(self):
+        blob = _container()
+        assert len(inject(blob, "truncate", seed=1)) < len(blob)
+
+    def test_drop_chunk_removes_bytes(self):
+        blob = _container()
+        assert len(inject(blob, "drop_chunk", seed=1)) == len(blob) - 64
+
+    def test_bad_header_leaves_identity_bytes(self):
+        blob = _container()
+        bad = inject(blob, "bad_header", seed=5)
+        assert bad[:8] == blob[:8]
+        assert len(bad) == len(blob)
+
+
+class TestTargetedFaults:
+    def test_container_spans_cover_payloads(self):
+        blob = _container()
+        spans = container_stream_spans(blob)
+        assert set(spans) == {"alpha", "beta"}
+        for start, end in spans.values():
+            assert 0 < start < end <= len(blob)
+
+    def test_corrupt_one_stream_leaves_others(self):
+        blob = _container()
+        spans = container_stream_spans(blob)
+        bad = corrupt_container_stream(blob, "alpha", "bit_flip", seed=2)
+        start, end = spans["beta"]
+        assert bad[start:end] == blob[start:end]
+
+    def test_archive_spans_are_container_blobs(self):
+        blob = _archive()
+        spans = archive_field_spans(blob)
+        assert set(spans) == {"u", "v", "w"}
+        for start, end in spans.values():
+            assert blob[start : start + 4] == b"FPZC"
+            assert Container.from_bytes(blob[start:end]).meta
+
+    def test_corrupt_unknown_field_rejected(self):
+        with pytest.raises(ParameterError):
+            corrupt_archive_field(_archive(), "nope", "bit_flip")
+
+    def test_corrupt_unknown_stream_rejected(self):
+        with pytest.raises(ParameterError):
+            corrupt_container_stream(_container(), "nope", "bit_flip")
+
+
+class TestWorkerFaults:
+    def test_kind_validated(self):
+        with pytest.raises(ParameterError):
+            WorkerFault("meteor")
+        assert set(WORKER_FAULT_KINDS) == {"exception", "hang", "poison"}
+
+    def test_applies_respects_fields_and_attempts(self):
+        fault = WorkerFault("exception", fields=("a",), fail_attempts=2)
+        assert fault.applies("a", 0) and fault.applies("a", 1)
+        assert not fault.applies("a", 2)
+        assert not fault.applies("b", 0)
+
+    def test_empty_fields_means_everyone(self):
+        fault = WorkerFault("poison")
+        assert fault.applies("anything", 0)
+
+    def test_apply_exception(self):
+        fault = WorkerFault("exception", fail_attempts=1)
+        with pytest.raises(InjectedWorkerError):
+            apply_worker_fault(fault, "f", 0)
+        assert apply_worker_fault(fault, "f", 1) is None
+
+    def test_apply_poison(self):
+        assert apply_worker_fault(WorkerFault("poison"), "f", 0) == POISON
+
+    def test_apply_none_fault(self):
+        assert apply_worker_fault(None, "f", 0) is None
+
+    def test_picklable(self):
+        import pickle
+
+        fault = WorkerFault("hang", fields=("x",), hang_seconds=0.1)
+        assert pickle.loads(pickle.dumps(fault)) == fault

@@ -1,0 +1,161 @@
+"""Tests for the retry policy and the executor's resilient sweep path."""
+
+import math
+
+import pytest
+
+from repro.errors import ErrorCode, ParameterError
+from repro.parallel.executor import sweep_dataset
+from repro.report import render_sweep_failures, summarize_by_target
+from repro.resilience import RetryPolicy, WorkerFault
+
+pytestmark = pytest.mark.fault
+
+FAST = dict(backoff_base=0.001, backoff_max=0.01, seed=0)
+SWEEP = dict(
+    targets=[60.0], fields=["temperature", "baryon_density"], scale=0.04
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.total_attempts() == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(backoff_base=-0.1),
+            dict(backoff_factor=0.5),
+            dict(backoff_base=1.0, backoff_max=0.5),
+            dict(jitter=1.5),
+            dict(task_timeout=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)
+        assert policy.delay(9) == pytest.approx(0.3)
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_max=1.0, jitter=0.5)
+        delays = [policy.delay(1, policy.rng()) for _ in range(5)]
+        assert len(set(delays)) == 1  # same seed, same draw
+        assert 0.5 <= delays[0] <= 1.0
+
+    def test_delay_requires_one_based_index(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy().delay(0)
+
+
+class TestResilientSweep:
+    def test_fault_requires_retry(self):
+        with pytest.raises(ParameterError):
+            sweep_dataset("NYX", fault=WorkerFault("poison"), **SWEEP)
+
+    def test_clean_retry_sweep_matches_legacy(self):
+        legacy = sweep_dataset("NYX", **SWEEP)
+        retried = sweep_dataset(
+            "NYX", retry=RetryPolicy(max_retries=2, **FAST), **SWEEP
+        )
+        assert [r.as_dict() for r in legacy] == [r.as_dict() for r in retried]
+        assert all(r.ok and r.attempts == 1 for r in retried)
+
+    def test_bounded_crash_recovers(self):
+        fault = WorkerFault(
+            "exception", fields=("temperature",), fail_attempts=1
+        )
+        results = sweep_dataset(
+            "NYX",
+            retry=RetryPolicy(max_retries=2, **FAST),
+            fault=fault,
+            **SWEEP,
+        )
+        by_field = {r.field: r for r in results}
+        assert all(r.ok for r in results)
+        assert by_field["temperature"].attempts == 2
+        assert by_field["baryon_density"].attempts == 1
+
+    def test_exhaustion_degrades_to_partial(self):
+        fault = WorkerFault(
+            "exception", fields=("temperature",), fail_attempts=99
+        )
+        results = sweep_dataset(
+            "NYX",
+            retry=RetryPolicy(max_retries=1, **FAST),
+            fault=fault,
+            **SWEEP,
+        )
+        by_field = {r.field: r for r in results}
+        failed = by_field["temperature"]
+        assert failed.status == "failed" and not failed.ok
+        assert failed.error_code == ErrorCode.TASK_FAILED
+        assert failed.attempts == 2
+        assert "injected crash" in failed.error
+        assert math.isnan(failed.actual_psnr)
+        assert by_field["baryon_density"].ok
+
+    def test_poison_is_classified(self):
+        fault = WorkerFault("poison", fields=("temperature",), fail_attempts=99)
+        results = sweep_dataset(
+            "NYX",
+            retry=RetryPolicy(max_retries=0, **FAST),
+            fault=fault,
+            **SWEEP,
+        )
+        failed = [r for r in results if not r.ok]
+        assert len(failed) == 1
+        assert failed[0].error_code == ErrorCode.POISONED_RESULT
+
+    def test_parallel_matches_inline_under_faults(self):
+        fault = WorkerFault(
+            "exception", fields=("temperature",), fail_attempts=99
+        )
+        kwargs = dict(
+            retry=RetryPolicy(max_retries=1, **FAST), fault=fault, **SWEEP
+        )
+        inline = sweep_dataset("NYX", **kwargs)
+        pooled = sweep_dataset("NYX", n_workers=2, **kwargs)
+        assert [(r.field, r.status, r.error_code, r.attempts) for r in inline] == [
+            (r.field, r.status, r.error_code, r.attempts) for r in pooled
+        ]
+
+
+class TestPartialReporting:
+    def _partial_results(self):
+        fault = WorkerFault(
+            "exception", fields=("temperature",), fail_attempts=99
+        )
+        return sweep_dataset(
+            "NYX",
+            retry=RetryPolicy(max_retries=0, **FAST),
+            fault=fault,
+            **SWEEP,
+        )
+
+    def test_summaries_exclude_failures(self):
+        results = self._partial_results()
+        rows = summarize_by_target(results)
+        assert rows[0].n_fields == 1
+        assert math.isfinite(rows[0].avg_psnr)
+
+    def test_all_failed_raises_parameter_error(self):
+        results = [r for r in self._partial_results() if not r.ok]
+        with pytest.raises(ParameterError):
+            summarize_by_target(results)
+
+    def test_render_sweep_failures(self):
+        results = self._partial_results()
+        text = render_sweep_failures(results)
+        assert "1 task(s) failed" in text
+        assert "temperature" in text and ErrorCode.TASK_FAILED in text
+        assert render_sweep_failures([r for r in results if r.ok]) == ""

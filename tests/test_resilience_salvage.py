@@ -1,0 +1,213 @@
+"""Tests for salvage decoding of damaged containers and archives.
+
+The truncation sweep at the bottom is the key robustness property:
+cutting a valid container at *every* byte offset must either salvage
+cleanly or raise a typed :mod:`repro.errors` exception -- never a
+bare ``struct.error`` / ``KeyError`` / ``UnicodeDecodeError`` from
+the parser's internals.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ErrorCode, FormatError, ReproError
+from repro.io import read_archive_field, salvage_fields, write_archive
+from repro.io.container import Container
+from repro.resilience import (
+    corrupt_archive_field,
+    corrupt_container_stream,
+    inject,
+    salvage_archive,
+    salvage_container,
+)
+from repro.telemetry.registry import metrics
+
+pytestmark = pytest.mark.fault
+
+
+def _container(n_streams: int = 3) -> bytes:
+    streams = [
+        (f"s{i}", bytes([i]) * (150 + 40 * i)) for i in range(n_streams)
+    ]
+    return Container(1, {"origin": "test"}, streams).to_bytes()
+
+
+def _archive():
+    fields = [
+        (name, Container(1, {"f": name}, [("data", name.encode() * 80)]).to_bytes())
+        for name in ("u", "v", "w")
+    ]
+    return write_archive(fields), dict(fields)
+
+
+class TestContainerSalvage:
+    def test_intact_container_is_clean(self):
+        blob = _container()
+        container, report = salvage_container(blob)
+        assert report.ok and not report.lost and report.resyncs == 0
+        assert container.salvage is report
+        assert dict(container.streams) == dict(Container.from_bytes(blob).streams)
+
+    def test_bit_flip_loses_only_that_stream(self):
+        blob = _container()
+        bad = corrupt_container_stream(blob, "s1", "bit_flip", seed=4)
+        container, report = salvage_container(bad)
+        got = dict(container.streams)
+        orig = dict(Container.from_bytes(blob).streams)
+        assert got["s0"] == orig["s0"] and got["s2"] == orig["s2"]
+        assert report.lost_names == ["s1"]
+        assert report.lost[0].code == ErrorCode.CRC_MISMATCH
+
+    def test_drop_chunk_resynchronizes(self):
+        blob = _container()
+        bad = corrupt_container_stream(blob, "s0", "drop_chunk", seed=9)
+        container, report = salvage_container(bad)
+        assert report.resyncs >= 1
+        got = dict(container.streams)
+        orig = dict(Container.from_bytes(blob).streams)
+        assert got["s1"] == orig["s1"] and got["s2"] == orig["s2"]
+
+    def test_bad_header_recovers_streams_without_meta(self):
+        blob = _container()
+        bad = inject(blob, "bad_header", seed=2)
+        container, report = salvage_container(bad)
+        orig = dict(Container.from_bytes(blob).streams)
+        assert dict(container.streams) == orig
+
+    def test_identity_damage_raises_typed(self):
+        blob = _container()
+        bad = inject(blob, "bit_flip", seed=0, span=(0, 4))
+        with pytest.raises(FormatError) as exc_info:
+            salvage_container(bad)
+        assert exc_info.value.code == ErrorCode.BAD_MAGIC
+
+    def test_from_bytes_salvage_flag(self):
+        blob = _container()
+        bad = corrupt_container_stream(blob, "s2", "bit_flip", seed=1)
+        with pytest.raises(FormatError):
+            Container.from_bytes(bad)
+        container = Container.from_bytes(bad, salvage=True)
+        assert container.salvage is not None
+        assert container.salvage.lost_names == ["s2"]
+
+    def test_report_as_dict_schema(self):
+        _, report = salvage_container(_container())
+        doc = report.as_dict()
+        assert doc["schema"] == 1 and doc["kind"] == "container"
+        assert doc["ok"] and doc["expected"] == 3
+
+    def test_counters_feed_registry(self):
+        before = metrics().get("resilience.salvage.calls_total")
+        before = before.value if before else 0
+        salvage_container(_container())
+        after = metrics().get("resilience.salvage.calls_total").value
+        assert after == before + 1
+
+
+class TestArchiveSalvage:
+    def test_intact_archive_is_clean(self):
+        blob, fields = _archive()
+        recovered, report = salvage_archive(blob)
+        assert report.ok and recovered == fields
+
+    def test_one_bad_field_recovers_the_rest_bit_exactly(self):
+        blob, fields = _archive()
+        bad = corrupt_archive_field(blob, "v", "bit_flip", seed=3)
+        recovered, report = salvage_archive(bad)
+        assert recovered["u"] == fields["u"]
+        assert recovered["w"] == fields["w"]
+        assert report.lost_names == ["v"]
+        # the survivors still decode strictly
+        assert Container.from_bytes(recovered["w"]).meta == {"f": "w"}
+
+    def test_drop_chunk_shifts_are_re_found_by_crc(self):
+        blob, fields = _archive()
+        bad = corrupt_archive_field(blob, "u", "drop_chunk", seed=6, chunk=32)
+        recovered, report = salvage_archive(bad)
+        assert recovered["v"] == fields["v"]
+        assert recovered["w"] == fields["w"]
+        assert report.resyncs >= 1
+
+    def test_corrupt_index_header_redecodes_index(self):
+        blob, fields = _archive()
+        bad = inject(blob, "bad_header", seed=1)
+        recovered, report = salvage_archive(bad)
+        # names survive because the index JSON itself is intact
+        assert recovered == fields
+        assert report.resyncs >= 1
+
+    def test_destroyed_index_falls_back_to_scan(self):
+        blob, fields = _archive()
+        # wipe the JSON itself, not just the header words
+        start = blob.find(b'{"fields"')
+        assert start > 0
+        bad = blob[:start] + b"\x00" * 8 + blob[start + 8 :]
+        recovered, report = salvage_archive(bad)
+        assert any(o.code == ErrorCode.BAD_INDEX for o in report.lost)
+        # positional recovery: every field's bytes are still there
+        assert sorted(recovered.values(), key=len) == sorted(
+            fields.values(), key=len
+        )
+
+    def test_identity_damage_raises_typed(self):
+        blob, _ = _archive()
+        bad = inject(blob, "bit_flip", seed=0, span=(0, 4))
+        with pytest.raises(FormatError) as exc_info:
+            salvage_archive(bad)
+        assert exc_info.value.code == ErrorCode.BAD_MAGIC
+
+    def test_io_reexport(self):
+        blob, fields = _archive()
+        recovered, report = salvage_fields(blob)
+        assert recovered == fields and report.ok
+
+    def test_strict_reader_still_works(self):
+        blob, fields = _archive()
+        assert read_archive_field(blob, "v") == fields["v"]
+
+
+class TestTruncationTotality:
+    """Cutting anywhere must salvage or raise typed -- never leak a
+    parser internal."""
+
+    def _check(self, blob: bytes, at: int) -> None:
+        cut = blob[:at]
+        try:
+            _, report = salvage_container(cut)
+        except ReproError as exc:
+            assert getattr(exc, "code", None) in ErrorCode.ALL
+        except Exception as exc:  # pragma: no cover - the bug we hunt
+            raise AssertionError(
+                f"untyped {type(exc).__name__} at offset {at}: {exc}"
+            ) from exc
+        else:
+            assert report.total_bytes == at
+
+    def test_every_byte_offset(self):
+        blob = _container(n_streams=2)
+        for at in range(len(blob) + 1):
+            self._check(blob, at)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 2**31 - 1))
+    def test_hypothesis_truncate_after_corruption(self, data, seed):
+        """Same totality property on *already corrupted* blobs."""
+        blob = _container()
+        kind = data.draw(st.sampled_from(["bit_flip", "drop_chunk"]))
+        bad = inject(blob, kind, seed=seed)
+        at = data.draw(st.integers(0, len(bad)))
+        self._check(bad, at)
+
+    def test_archive_every_byte_offset(self):
+        blob, _ = _archive()
+        for at in range(len(blob) + 1):
+            cut = blob[:at]
+            try:
+                salvage_archive(cut)
+            except ReproError as exc:
+                assert getattr(exc, "code", None) in ErrorCode.ALL
+            except Exception as exc:  # pragma: no cover
+                raise AssertionError(
+                    f"untyped {type(exc).__name__} at offset {at}: {exc}"
+                ) from exc
