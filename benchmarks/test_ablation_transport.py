@@ -1,0 +1,72 @@
+"""Experiment X13 -- shared-memory vs pickle transport for sweeps.
+
+The executor fans one field out to many (field, target) tasks; with
+the pickle channel each task re-serializes the array, with the
+shared-memory data plane (:mod:`repro.parallel.shm`) the field crosses
+the process boundary once and every worker maps the same pages.  This
+benchmark measures the wall-time ratio at several worker counts and
+re-asserts the differential contract the ratio is only meaningful
+under: both transports produce identical results.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, render_table
+from repro.parallel.executor import sweep_dataset
+from repro.parallel.shm import shm_available, shm_dir_entries
+
+TARGETS = (30.0, 40.0, 50.0, 60.0)
+FIELDS = ("temperature",)
+
+
+def _timed_sweep(n_workers, transport):
+    t0 = time.perf_counter()
+    results = sweep_dataset(
+        "NYX",
+        targets=list(TARGETS),
+        fields=list(FIELDS),
+        scale=bench_scale(),
+        n_workers=n_workers,
+        transport=transport,
+    )
+    return time.perf_counter() - t0, [r.as_dict() for r in results]
+
+
+def test_transport_sweep_ratio(save_result):
+    before = set(shm_dir_entries("fpz"))
+    _, serial = _timed_sweep(0, "auto")
+
+    rows = []
+    payload = {"shm_available": shm_available(), "workers": {}}
+    for n_workers in (2, 4):
+        t_pickle, r_pickle = _timed_sweep(n_workers, "pickle")
+        t_shm, r_shm = _timed_sweep(n_workers, "shm")
+        # The differential contract first -- a fast wrong answer is
+        # not a data point.
+        assert r_pickle == serial
+        assert r_shm == serial
+        ratio = t_shm / t_pickle
+        payload["workers"][n_workers] = {
+            "pickle_wall_s": round(t_pickle, 4),
+            "shm_wall_s": round(t_shm, 4),
+            "shm_over_pickle": round(ratio, 4),
+        }
+        rows.append(
+            (n_workers, f"{t_pickle:.3f}", f"{t_shm:.3f}", f"{ratio:.2f}")
+        )
+
+    text = render_table(
+        ["workers", "pickle s", "shm s", "shm/pickle"],
+        rows,
+        title=(
+            "X13 -- transport wall time, NYX/temperature x "
+            f"{len(TARGETS)} targets"
+        ),
+    )
+    print("\n" + text)
+    save_result("ablation_transport", payload, text)
+
+    # No segment may outlive its sweep, regardless of transport.
+    assert set(shm_dir_entries("fpz")) == before

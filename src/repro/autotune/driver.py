@@ -135,14 +135,19 @@ def _strided_subsample(data: np.ndarray, target_elements: int) -> np.ndarray:
     return np.ascontiguousarray(view)
 
 
-def _probe_task(spec: Dict, data: np.ndarray, eb_rel: float):
+def _probe_task(spec: Dict, payload, eb_rel: float):
     """Module-level trial evaluation for worker processes: rebuild the
-    objective from its picklable spec and run one trial."""
+    objective from its picklable spec and run one trial.  ``payload``
+    is any :mod:`repro.parallel.shm` array payload -- a plain ndarray
+    on the pickle path, a zero-copy ref on the shm path."""
+    from repro.parallel.shm import open_payload
+
     obj = get_objective(
         spec["name"], spec["target"], codec=spec["codec"],
         **spec["codec_options"],
     )
-    return obj.evaluate(data, eb_rel)
+    with open_payload(payload) as data:
+        return obj.evaluate(data, eb_rel)
 
 
 def _prefill_probes(
@@ -154,10 +159,17 @@ def _prefill_probes(
     n_workers: int,
     lo: float,
     hi: float,
+    transport: str = "auto",
 ) -> None:
     """Evaluate a geometric fan of bounds around ``center`` in
-    parallel and feed the cache (speculative FRaZ-style fan-out)."""
+    parallel and feed the cache (speculative FRaZ-style fan-out).
+
+    Every probe evaluates the *same* array, so with shm transport the
+    field is shared once and each worker attaches to it -- the probe
+    fan's payload cost no longer scales with the number of bounds.
+    """
     from repro.parallel.executor import map_tasks
+    from repro.parallel.shm import ShmArena, resolve_transport
 
     bounds = sorted(
         {
@@ -177,9 +189,21 @@ def _prefill_probes(
     # cache; correct the double count.
     cache.misses -= len(todo)
     spec = objective.spec()
-    trials = map_tasks(
-        _probe_task, [(spec, data, b) for b in todo], n_workers=n_workers
-    )
+    arena: Optional[ShmArena] = None
+    try:
+        if todo and resolve_transport(transport, n_workers):
+            arena = ShmArena()
+            payload = arena.share(data)
+        else:
+            payload = data
+        trials = map_tasks(
+            _probe_task,
+            [(spec, payload, b) for b in todo],
+            n_workers=n_workers,
+        )
+    finally:
+        if arena is not None:
+            arena.close()
     for t in trials:
         cache.put(fp, objective.codec, objective.name, t)
 
@@ -199,6 +223,7 @@ def autotune(
     subsample_threshold: int = SUBSAMPLE_THRESHOLD,
     subsample_target: int = SUBSAMPLE_TARGET,
     n_workers: int = 0,
+    transport: str = "auto",
     cache: Optional[TrialCache] = None,
     ledger_entries: Optional[Sequence] = None,
     keep_blob: bool = True,
@@ -229,6 +254,10 @@ def autotune(
     n_workers:
         Parallel pre-probe fan-out through
         :func:`repro.parallel.executor.map_tasks` (0 = inline, no fan).
+    transport:
+        How probe payloads reach the workers: ``"auto"``/``"shm"``
+        share the field once through :mod:`repro.parallel.shm`,
+        ``"pickle"`` ships a copy per probe.  Results are identical.
     cache:
         A :class:`TrialCache` to reuse across calls (sibling fields,
         repeated targets); a private one is created per call otherwise.
@@ -307,7 +336,7 @@ def autotune(
                 if n_workers > 0:
                     _prefill_probes(
                         obj, sub, sub_fp, cache, guess, n_workers,
-                        eb_lo, eb_hi,
+                        eb_lo, eb_hi, transport=transport,
                     )
                 sub_eval = tracked(
                     cache.wrap(
@@ -334,7 +363,8 @@ def autotune(
             guess = sub_result.eb_rel
         elif n_workers > 0:
             _prefill_probes(
-                obj, data, fp, cache, guess, n_workers, eb_lo, eb_hi
+                obj, data, fp, cache, guess, n_workers, eb_lo, eb_hi,
+                transport=transport,
             )
         # -- full-data search -------------------------------------------
         full_eval = tracked(

@@ -40,6 +40,37 @@ from repro.errors import ReproError
 __all__ = ["main", "build_parser"]
 
 
+def _add_shm_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the transport selector pair (``--shm`` / ``--no-shm``).
+
+    The tri-state maps to :data:`repro.parallel.shm.TRANSPORTS`:
+    unset -> ``"auto"`` (shm when available and worth it), ``--shm``
+    -> force the shared-memory plane (still degrades gracefully when
+    the platform has none), ``--no-shm`` -> pickle transport only.
+    """
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--shm",
+        dest="shm",
+        action="store_true",
+        default=None,
+        help="move array payloads to workers over shared memory "
+        "(default: auto)",
+    )
+    group.add_argument(
+        "--no-shm",
+        dest="shm",
+        action="store_false",
+        help="force pickle transport for worker payloads",
+    )
+
+
+def _transport(args) -> str:
+    if getattr(args, "shm", None) is None:
+        return "auto"
+    return "shm" if args.shm else "pickle"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     from repro.version import __version__
@@ -111,6 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="histogram-refined bound derivation (fixed-PSNR mode only)",
     )
+    p_c.add_argument(
+        "--chunks",
+        type=int,
+        default=0,
+        help="compress as N independent slabs (sz codec, --abs/--rel/"
+        "--psnr modes); 0 = single container (default)",
+    )
+    p_c.add_argument(
+        "--chunk-workers",
+        type=int,
+        default=0,
+        dest="chunk_workers",
+        help="worker processes for --chunks slabs (default 0 = sequential)",
+    )
+    _add_shm_flags(p_c)
     p_c.add_argument(
         "--entropy",
         choices=("huffman", "rans"),
@@ -214,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore prior ledger runs when choosing the initial bound",
     )
+    _add_shm_flags(p_at)
     p_at.add_argument("--json", action="store_true", help="emit a JSON report")
     p_at.add_argument(
         "--trace",
@@ -251,6 +298,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_d = sub.add_parser("decompress", help="decompress a container")
     p_d.add_argument("input", help="compressed container file")
     p_d.add_argument("-o", "--output", required=True, help="output .npy file")
+    p_d.add_argument(
+        "--chunk-workers",
+        type=int,
+        default=0,
+        dest="chunk_workers",
+        help="worker processes for chunked containers "
+        "(default 0 = sequential)",
+    )
+    _add_shm_flags(p_d)
 
     p_i = sub.add_parser("info", help="print container metadata")
     p_i.add_argument("input", help="compressed container file")
@@ -320,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_s.add_argument("--fields", nargs="*", default=None, help="subset of fields")
     p_s.add_argument("--workers", type=int, default=0, help="worker processes")
+    _add_shm_flags(p_s)
     p_s.add_argument(
         "--refine", action="store_true", help="histogram-refined derivation"
     )
@@ -424,6 +481,8 @@ def _compress_blob(args, data):
     from repro.transform.compressor import TransformCompressor
     from repro.transform.embedded import EmbeddedTransformCompressor
 
+    if args.chunks >= 1:
+        return _compress_chunked_blob(args, data)
     mode, target = "bound", None
     if args.nrmse is not None:
         from repro.core.modes import compress_fixed_nrmse
@@ -519,6 +578,50 @@ def _compress_blob(args, data):
                 "the embedded codec takes --bit-rate or --psnr, not error bounds"
             )
     return blob, mode, target
+
+
+def _compress_chunked_blob(args, data):
+    """``compress --chunks N``: slab-parallel compression through
+    :func:`repro.parallel.chunking.compress_chunked` (sz codec;
+    ``--abs``/``--rel``/``--psnr`` control modes).  Payloads move over
+    the transport selected by ``--shm``/``--no-shm``."""
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.errors import ParameterError
+    from repro.parallel.chunking import compress_chunked
+
+    if args.codec != "sz":
+        raise ParameterError("--chunks requires --codec sz")
+    kwargs = dict(
+        n_chunks=args.chunks,
+        n_workers=args.chunk_workers,
+        transport=_transport(args),
+        entropy=args.entropy,
+    )
+    if args.psnr is not None:
+        comp = FixedPSNRCompressor(
+            args.psnr, refine="histogram" if args.refine else None
+        )
+        eb_rel = comp.derive_bound(data)
+        return (
+            compress_chunked(data, float(eb_rel), mode="rel", **kwargs),
+            "psnr",
+            args.psnr,
+        )
+    if args.abs_bound is not None:
+        return (
+            compress_chunked(data, args.abs_bound, mode="abs", **kwargs),
+            "bound",
+            None,
+        )
+    if args.rel_bound is not None:
+        return (
+            compress_chunked(data, args.rel_bound, mode="rel", **kwargs),
+            "bound",
+            None,
+        )
+    raise ParameterError(
+        "--chunks supports --abs, --rel or --psnr control modes only"
+    )
 
 
 def _write_metrics(path: str) -> None:
@@ -678,6 +781,7 @@ def _cmd_autotune(args) -> int:
             max_trials=args.max_trials,
             max_seconds=args.max_seconds,
             n_workers=args.workers,
+            transport=_transport(args),
             ledger_entries=ledger_entries,
             keep_blob=args.output is not None,
         )
@@ -749,7 +853,9 @@ def _cmd_decompress(args) -> int:
 
     with open(args.input, "rb") as fh:
         blob = fh.read()
-    recon = decompress(blob)
+    recon = decompress(
+        blob, n_workers=args.chunk_workers, transport=_transport(args)
+    )
     np.save(args.output, recon)
     print(f"{args.output}: shape {recon.shape}, dtype {recon.dtype}")
     return 0
@@ -823,6 +929,7 @@ def _cmd_sweep(args) -> int:
                 collect_trace=True,
                 profile_mem=args.profile_mem,
                 retry=retry,
+                transport=_transport(args),
             )
     else:
         results = sweep_dataset(
@@ -832,6 +939,7 @@ def _cmd_sweep(args) -> int:
             refine="histogram" if args.refine else None,
             n_workers=args.workers,
             retry=retry,
+            transport=_transport(args),
         )
     ok_results = [r for r in results if r.status == "ok"]
     failed = [r for r in results if r.status != "ok"]

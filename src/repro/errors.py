@@ -47,6 +47,9 @@ class ErrorCode:
     TASK_TIMEOUT = "task_timeout"
     POISONED_RESULT = "poisoned_result"
 
+    SHM_RELEASED = "shm_released"
+    SHM_UNAVAILABLE = "shm_unavailable"
+
     #: Every defined code, for validation.
     ALL = (
         BAD_MAGIC,
@@ -62,6 +65,8 @@ class ErrorCode:
         TASK_FAILED,
         TASK_TIMEOUT,
         POISONED_RESULT,
+        SHM_RELEASED,
+        SHM_UNAVAILABLE,
     )
 
 
@@ -108,3 +113,12 @@ class TaskError(ReproError):
     (worker exception, deadline exceeded, poisoned result).  Raised
     only when the caller asked for fail-fast semantics; the default
     resilient sweep records the failure in the result instead."""
+
+
+class TransportError(ReproError):
+    """The shared-memory data plane was misused (double release, use
+    after close, attaching an unlinked segment).  Carries
+    :data:`ErrorCode.SHM_RELEASED` or :data:`ErrorCode.SHM_UNAVAILABLE`
+    in ``code``.  Transport *fallbacks* (shm missing, payload too
+    small/large) never raise -- they silently degrade to pickle and
+    count a metric; this error is reserved for genuine caller bugs."""

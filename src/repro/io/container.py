@@ -135,6 +135,21 @@ class Container:
             "streams": sizes,
         }
 
+    def stream_crcs(self) -> Dict[str, int]:
+        """CRC32 of every stream payload, keyed by stream name -- the
+        exact checksums :meth:`to_bytes` frames each stream with.
+
+        This is the integrity fingerprint the differential tests pin
+        parallel transports against: two containers with equal codec,
+        metadata and stream CRCs serialize to identical bytes.
+        Repeated stream names keep the *last* occurrence (matching
+        duplicate-key behaviour elsewhere would be ambiguous; chunked
+        containers never repeat names).
+        """
+        return {
+            name: zlib.crc32(payload) for name, payload in self.streams
+        }
+
     def to_bytes(self) -> bytes:
         """Serialize the container."""
         meta_blob = json.dumps(self.meta, sort_keys=True).encode("utf-8")

@@ -11,12 +11,22 @@ decompositions that workload needs:
   a single huge array compresses in parallel and streams;
 * :mod:`repro.parallel.comm` -- small scatter/gather/allreduce helpers
   in the style of mpi4py collectives, implemented over
-  ``concurrent.futures`` (mpi4py itself is not a dependency).
+  ``concurrent.futures`` (mpi4py itself is not a dependency);
+* :mod:`repro.parallel.shm` -- the zero-copy shared-memory data plane
+  the other three move array payloads over (with graceful fallback to
+  the pickle channel).
 """
 
 from repro.parallel.executor import FieldResult, sweep_dataset, run_field_task
 from repro.parallel.chunking import compress_chunked, decompress_chunked
 from repro.parallel.comm import scatter_gather, allreduce
+from repro.parallel.shm import (
+    ShmArena,
+    ShmArrayRef,
+    open_payload,
+    resolve_transport,
+    shm_available,
+)
 
 __all__ = [
     "FieldResult",
@@ -26,4 +36,9 @@ __all__ = [
     "decompress_chunked",
     "scatter_gather",
     "allreduce",
+    "ShmArena",
+    "ShmArrayRef",
+    "open_payload",
+    "resolve_transport",
+    "shm_available",
 ]

@@ -36,25 +36,50 @@ __all__ = ["compress_chunked", "decompress_chunked"]
 
 
 def _compress_slab(args):
-    """Compress one slab; returns ``(blob, span_records_or_None)``.
+    """Compress one slab; returns ``(blob_payload, records_or_None)``.
+
+    The slab arrives as any :mod:`repro.parallel.shm` array payload --
+    a plain ndarray on the pickle path, a zero-copy
+    :class:`~repro.parallel.shm.ShmSliceRef` on the shm path -- and
+    the compressed stream goes back the same way: published into a
+    segment under the caller's arena prefix when large enough,
+    returned as plain bytes otherwise.
 
     When tracing is requested the slab runs under its own local
     :class:`repro.observe.Trace` (a worker process cannot write to the
     parent's trace), and the picklable span records travel back with
     the blob for the parent to merge.
     """
-    data, eb_abs, options, traced = args
+    from repro.parallel.shm import open_payload, publish_bytes
+
+    payload, eb_abs, options, traced, prefix = args
     comp = SZCompressor(error_bound=eb_abs, mode="abs", **options)
-    if not traced:
-        return comp.compress(data), None
-    local = observe.Trace()
-    with observe.use_trace(local):
-        blob = comp.compress(data)
-    return blob, [r.as_dict() for r in local.records]
+    with open_payload(payload) as data:
+        if not traced:
+            return publish_bytes(prefix, comp.compress(data)), None
+        local = observe.Trace()
+        with observe.use_trace(local):
+            blob = comp.compress(data)
+    records = [r.as_dict() for r in local.records]
+    return publish_bytes(prefix, blob), records
 
 
-def _decompress_slab(blob: bytes) -> np.ndarray:
-    return SZCompressor.decompress(blob)
+def _decompress_slab(args):
+    """Decompress one chunk blob (bytes or a shared uint8 payload) and
+    send the reconstructed slab back as an array payload: published to
+    a segment under the arena prefix when the plane is on, a plain
+    (pickled) ndarray otherwise."""
+    from repro.parallel.shm import open_payload, publish_array
+
+    payload, prefix = args
+    if isinstance(payload, (bytes, bytearray)):
+        part = SZCompressor.decompress(bytes(payload))
+    else:
+        with open_payload(payload) as buf:
+            # The codec's parser wants a bytes object; this one copy
+            # replaces the two the pickle channel used to make.
+            part = SZCompressor.decompress(buf.tobytes())
+    return publish_array(prefix, part)
 
 
 def compress_chunked(
@@ -63,13 +88,21 @@ def compress_chunked(
     mode: str = "abs",
     n_chunks: int = 4,
     n_workers: int = 0,
+    transport: str = "auto",
     **compressor_options,
 ) -> bytes:
     """Compress ``data`` as ``n_chunks`` independent slabs along axis 0.
 
     ``n_workers=0`` compresses slabs sequentially (deterministic and
-    dependency-free); positive values use a process pool.
+    dependency-free); positive values use a process pool.  With
+    ``transport="auto"``/``"shm"`` and a pool, the whole array is
+    placed in **one** shared segment and each worker reads its slab
+    through a zero-copy :class:`~repro.parallel.shm.ShmSliceRef`;
+    compressed streams travel back through segments too.  The output
+    container is bit-identical across transports and worker counts.
     """
+    from repro.parallel.shm import ShmArena, resolve_transport, take_bytes
+
     trace = observe.current_trace()
     with trace.span("chunked.compress") as root:
         arr = np.asarray(data)
@@ -88,37 +121,53 @@ def compress_chunked(
         )
         eb_abs = probe.resolve_error_bound(arr)
         slabs = np.array_split(arr, n_chunks, axis=0)
-        tasks = [
-            (slab, eb_abs, compressor_options, trace.enabled) for slab in slabs
-        ]
-        t0 = time.perf_counter()
-        if n_workers <= 0:
-            results = [_compress_slab(t) for t in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                results = list(pool.map(_compress_slab, tasks))
-        elapsed = time.perf_counter() - t0
-        if elapsed > 0:
-            # Wall-clock-derived, hence excluded from deterministic
-            # snapshots.
-            _metrics().histogram(
-                "parallel.chunk_throughput_mbps",
-                THROUGHPUT_BUCKETS,
-                deterministic=False,
-            ).observe(arr.nbytes / 1e6 / elapsed)
-        blobs: List[bytes] = []
-        for blob, records in results:
-            blobs.append(blob)
-            if records:
-                # Same "slab" prefix for every worker: repeated paths
-                # aggregate, and the tree stays stable across worker
-                # counts and scheduling.
-                trace.merge(records, prefix=("slab",))
+        chunk_rows = [int(s.shape[0]) for s in slabs]
+        use_shm = resolve_transport(transport, n_workers)
+        arena: Optional[ShmArena] = None
+        prefix = None
+        try:
+            if use_shm:
+                arena = ShmArena()
+                base = arena.share(np.ascontiguousarray(arr))
+                payloads = arena.slice_refs(base, chunk_rows)
+                prefix = arena.prefix
+            else:
+                payloads = slabs
+            tasks = [
+                (payload, eb_abs, compressor_options, trace.enabled, prefix)
+                for payload in payloads
+            ]
+            t0 = time.perf_counter()
+            if n_workers <= 0:
+                results = [_compress_slab(t) for t in tasks]
+            else:
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    results = list(pool.map(_compress_slab, tasks))
+            elapsed = time.perf_counter() - t0
+            if elapsed > 0:
+                # Wall-clock-derived, hence excluded from deterministic
+                # snapshots.
+                _metrics().histogram(
+                    "parallel.chunk_throughput_mbps",
+                    THROUGHPUT_BUCKETS,
+                    deterministic=False,
+                ).observe(arr.nbytes / 1e6 / elapsed)
+            blobs: List[bytes] = []
+            for blob_payload, records in results:
+                blobs.append(take_bytes(blob_payload))
+                if records:
+                    # Same "slab" prefix for every worker: repeated paths
+                    # aggregate, and the tree stays stable across worker
+                    # counts and scheduling.
+                    trace.merge(records, prefix=("slab",))
+        finally:
+            if arena is not None:
+                arena.close()
         meta = {
             "dtype": str(arr.dtype),
             "shape": list(arr.shape),
             "n_chunks": n_chunks,
-            "chunk_rows": [int(s.shape[0]) for s in slabs],
+            "chunk_rows": chunk_rows,
         }
         streams = [(f"chunk{i}", blob) for i, blob in enumerate(blobs)]
         with trace.span("pack") as sp:
@@ -128,8 +177,17 @@ def compress_chunked(
         return out
 
 
-def decompress_chunked(blob: bytes, n_workers: int = 0) -> np.ndarray:
-    """Decompress a CHUNKED container back into one array."""
+def decompress_chunked(
+    blob: bytes, n_workers: int = 0, transport: str = "auto"
+) -> np.ndarray:
+    """Decompress a CHUNKED container back into one array.
+
+    With a pool and ``transport="auto"``/``"shm"``, chunk streams go
+    out and reconstructed slabs come back through shared segments (the
+    parent adopts each slab and concatenates the read-only views).
+    """
+    from repro.parallel.shm import ShmArena, resolve_transport
+
     container = Container.from_bytes(blob)
     if container.codec != CODEC_CHUNKED:
         raise FormatError("container is not chunked")
@@ -143,12 +201,33 @@ def decompress_chunked(blob: bytes, n_workers: int = 0) -> np.ndarray:
     if len(chunk_rows) != n_chunks or sum(chunk_rows) != shape[0]:
         raise FormatError("chunk geometry inconsistent with array shape")
     blobs = [container.stream(f"chunk{i}") for i in range(n_chunks)]
-    if n_workers <= 0:
-        parts = [_decompress_slab(b) for b in blobs]
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            parts = list(pool.map(_decompress_slab, blobs))
-    for part, rows in zip(parts, chunk_rows):
-        if part.shape[0] != rows:
-            raise FormatError("slab shape mismatch")
-    return np.concatenate(parts, axis=0)
+    use_shm = resolve_transport(transport, n_workers)
+    arena: Optional[ShmArena] = None
+    prefix = None
+    try:
+        if use_shm:
+            arena = ShmArena()
+            prefix = arena.prefix
+            payloads = [
+                arena.share(np.frombuffer(b, dtype=np.uint8)) for b in blobs
+            ]
+        else:
+            payloads = blobs
+        tasks = [(payload, prefix) for payload in payloads]
+        if n_workers <= 0:
+            raw = [_decompress_slab(t) for t in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                raw = list(pool.map(_decompress_slab, tasks))
+        parts = (
+            [arena.adopt_array(p) for p in raw] if arena is not None else raw
+        )
+        for part, rows in zip(parts, chunk_rows):
+            if part.shape[0] != rows:
+                raise FormatError("slab shape mismatch")
+        # np.concatenate copies, so the result owns its memory and the
+        # adopted segments can be unlinked in the finally below.
+        return np.concatenate(parts, axis=0)
+    finally:
+        if arena is not None:
+            arena.close()

@@ -6,6 +6,12 @@ like the value range across ranks).  True MPI is unavailable in this
 environment, so these helpers reproduce the collective *semantics* on
 one node with processes; code written against them maps 1:1 onto
 mpi4py collectives on a real cluster.
+
+``scatter_gather`` can move ndarray items through the zero-copy
+shared-memory plane (:mod:`repro.parallel.shm`) instead of the pickle
+channel -- the analogue of MPI's buffer-based ``Scatterv`` next to the
+pickling ``scatter``.  ``func`` still receives a plain ndarray either
+way; transport is invisible to the callee.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from functools import reduce
 from typing import Callable, Iterable, List, Sequence, TypeVar
+
+import numpy as np
 
 from repro.errors import ParameterError
 
@@ -22,23 +30,63 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _call_with_payload(args):
+    """Worker-side trampoline: open a shared array payload (zero-copy)
+    before applying ``func``; pass anything else through untouched."""
+    from repro.parallel.shm import (
+        InlineArrayRef,
+        ShmArrayRef,
+        ShmSliceRef,
+        open_payload,
+    )
+
+    func, payload = args
+    if isinstance(payload, (ShmArrayRef, ShmSliceRef, InlineArrayRef)):
+        with open_payload(payload) as arr:
+            return func(arr)
+    return func(payload)
+
+
 def scatter_gather(
     func: Callable[[T], R],
     items: Sequence[T],
     n_workers: int = 0,
     chunksize: int = 1,
+    transport: str = "auto",
 ) -> List[R]:
     """Scatter ``items`` over workers, apply ``func``, gather results
     in input order (``comm.scatter`` + local compute + ``comm.gather``).
 
     ``func`` must be picklable (module-level) when ``n_workers > 0``.
-    ``n_workers=0`` computes inline.
+    ``n_workers=0`` computes inline.  With ``transport="auto"`` /
+    ``"shm"`` and a pool, ndarray items are scattered through shared
+    memory (``Scatterv`` semantics); other item types and the gathered
+    results use the pickle channel as before.
     """
+    from repro.parallel.shm import ShmArena, resolve_transport
+
     items = list(items)
     if n_workers <= 0:
         return [func(it) for it in items]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(func, items, chunksize=max(1, chunksize)))
+    use_shm = resolve_transport(transport, n_workers) and any(
+        isinstance(it, np.ndarray) for it in items
+    )
+    if not use_shm:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(func, items, chunksize=max(1, chunksize)))
+    with ShmArena() as arena:
+        payloads = [
+            arena.share(it) if isinstance(it, np.ndarray) else it
+            for it in items
+        ]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(
+                pool.map(
+                    _call_with_payload,
+                    [(func, p) for p in payloads],
+                    chunksize=max(1, chunksize),
+                )
+            )
 
 
 def allreduce(values: Iterable[T], op: Callable[[T, T], T]) -> T:

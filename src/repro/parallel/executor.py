@@ -141,6 +141,7 @@ def run_field_task(
     codec: str = "sz",
     collect_trace: bool = False,
     profile_mem: bool = False,
+    data_ref=None,
     fault=None,
     attempt: int = 0,
 ) -> FieldResult:
@@ -157,6 +158,13 @@ def run_field_task(
     record also carries its peak traced bytes -- the readings cross the
     process boundary inside the records like every other measurement.
 
+    ``data_ref`` is an optional shared-memory payload reference (see
+    :mod:`repro.parallel.shm`): when present the field data is read
+    from the parent's segment instead of being regenerated, so large
+    fields cross the process boundary exactly once.  The bytes are
+    identical either way (the registry is deterministic), which is what
+    the differential suite asserts.
+
     ``fault`` is an optional
     :class:`repro.resilience.inject.WorkerFault` evaluated before any
     real work -- the deterministic stand-in for worker crashes, hangs
@@ -169,13 +177,37 @@ def run_field_task(
 
         if apply_worker_fault(fault, field, attempt) is not None:
             return POISON  # type: ignore[return-value]  (poisoned on purpose)
+    if data_ref is not None:
+        from repro.parallel.shm import open_payload
+
+        with open_payload(data_ref) as data:
+            return _execute_field_task(
+                dataset, field, target_psnr, data, refine, codec,
+                collect_trace, profile_mem,
+            )
     # Imports inside the function keep worker start-up lean.
-    from repro.core.fixed_psnr import FixedPSNRCompressor
     from repro.datasets.registry import get_dataset
-    from repro.metrics.distortion import psnr as measure_psnr
 
     ds = get_dataset(dataset, scale=scale)
-    data = ds.field(field)
+    return _execute_field_task(
+        dataset, field, target_psnr, ds.field(field), refine, codec,
+        collect_trace, profile_mem,
+    )
+
+
+def _execute_field_task(
+    dataset: str,
+    field: str,
+    target_psnr: float,
+    data,
+    refine: Optional[str],
+    codec: str,
+    collect_trace: bool,
+    profile_mem: bool,
+) -> FieldResult:
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.metrics.distortion import psnr as measure_psnr
+
     comp = FixedPSNRCompressor(target_psnr, refine=refine, codec=codec)
     eb_rel = comp.derive_bound(data)
     metrics = None
@@ -368,7 +400,6 @@ def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers):
     rng = policy.rng()
     results: List[Optional[FieldResult]] = [None] * len(tasks)
     states = [_TaskState(i, t) for i, t in enumerate(tasks)]
-    pool = ProcessPoolExecutor(max_workers=n_workers)
     inflight: Dict = {}  # future -> (state, deadline or None)
     waiting: List[Tuple[float, _TaskState]] = []  # (ready_at, state)
 
@@ -390,6 +421,11 @@ def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers):
         else:
             waiting.append((time.monotonic() + delay, state))
 
+    # Nothing may sit between pool creation and the try: an exception
+    # in that gap would leak the pool's worker processes (the finally
+    # below is the only shutdown path for this non-context-managed
+    # executor -- it must cover *every* exit).
+    pool = ProcessPoolExecutor(max_workers=n_workers)
     try:
         for state in states:
             submit(state)
@@ -454,6 +490,7 @@ def sweep_dataset(
     profile_mem: bool = False,
     retry=None,
     fault=None,
+    transport: str = "auto",
 ) -> List[FieldResult]:
     """Run every (field, target) combination of a data set.
 
@@ -475,8 +512,17 @@ def sweep_dataset(
     ``fault`` optionally injects a deterministic
     :class:`repro.resilience.inject.WorkerFault` into every task (the
     CI fault matrix's hook); it requires ``retry``.
+
+    ``transport`` selects how field payloads reach the workers:
+    ``"pickle"`` ships only names (each worker regenerates its field),
+    ``"shm"``/``"auto"`` materialize each field once in the parent and
+    share it through the zero-copy :mod:`repro.parallel.shm` plane --
+    profitable whenever a field serves more tasks than there are
+    workers.  The outputs are bit-identical in every mode; shm
+    silently degrades to pickle when unavailable.
     """
     from repro.datasets.registry import get_dataset
+    from repro.parallel.shm import ShmArena, ShmArrayRef, resolve_transport
     from repro.telemetry.registry import metrics as _metrics
 
     if fault is not None and retry is None:
@@ -489,29 +535,45 @@ def sweep_dataset(
     unknown = set(names) - set(ds.field_names)
     if unknown:
         raise ParameterError(f"unknown fields for {dataset}: {sorted(unknown)}")
+    use_shm = resolve_transport(transport, n_workers)
+    arena: Optional[ShmArena] = None
+    refs: Dict[str, Optional[ShmArrayRef]] = {}
+    if use_shm:
+        arena = ShmArena()
+        for fname in names:
+            ref = arena.share(ds.field(fname))
+            # A guard fallback means the worker is better off
+            # regenerating the field than receiving it by pickle.
+            refs[fname] = ref if isinstance(ref, ShmArrayRef) else None
     tasks: List[Tuple] = [
         (dataset, fname, float(t), scale, refine, codec, collect_trace,
-         profile_mem)
+         profile_mem, refs.get(fname))
         for t in targets
         for fname in names
     ]
     _metrics().counter("parallel.field_tasks_total").inc(len(tasks))
-    if retry is None:
-        if n_workers <= 0:
-            results = [run_field_task(*t) for t in tasks]
+    try:
+        if retry is None:
+            if n_workers <= 0:
+                results = [run_field_task(*t) for t in tasks]
+            else:
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    results = list(
+                        pool.map(run_field_task, *zip(*tasks), chunksize=1)
+                    )
         else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                results = list(
-                    pool.map(run_field_task, *zip(*tasks), chunksize=1)
+            counters = _resilience_counters()
+            if n_workers <= 0:
+                results = _sweep_inline_with_retry(
+                    tasks, retry, fault, counters
                 )
-    else:
-        counters = _resilience_counters()
-        if n_workers <= 0:
-            results = _sweep_inline_with_retry(tasks, retry, fault, counters)
-        else:
-            results = _sweep_pool_with_retry(
-                tasks, retry, fault, counters, n_workers
-            )
+            else:
+                results = _sweep_pool_with_retry(
+                    tasks, retry, fault, counters, n_workers
+                )
+    finally:
+        if arena is not None:
+            arena.close()
     trace = observe.current_trace()
     if trace.enabled:
         for r in results:

@@ -547,14 +547,45 @@ class SZCompressor:
         return q
 
 
-def compress(data, error_bound: float, mode: str = "abs", **kwargs) -> bytes:
-    """Functional one-shot front end to :class:`SZCompressor`."""
+def compress(
+    data,
+    error_bound: float,
+    mode: str = "abs",
+    n_chunks: int = 0,
+    n_workers: int = 0,
+    transport: str = "auto",
+    **kwargs,
+) -> bytes:
+    """Functional one-shot front end to :class:`SZCompressor`.
+
+    ``n_chunks >= 1`` routes through the slab-parallel
+    :func:`repro.parallel.chunking.compress_chunked` path instead
+    (``n_workers`` processes, array payloads moved over ``transport``
+    -- see :mod:`repro.parallel.shm`); the default stays the plain
+    single-container compressor.
+    """
+    if n_chunks >= 1:
+        from repro.parallel.chunking import compress_chunked
+
+        return compress_chunked(
+            data,
+            error_bound,
+            mode=mode,
+            n_chunks=n_chunks,
+            n_workers=n_workers,
+            transport=transport,
+            **kwargs,
+        )
     return SZCompressor(error_bound=error_bound, mode=mode, **kwargs).compress(data)
 
 
-def decompress(blob: bytes) -> np.ndarray:
+def decompress(
+    blob: bytes, n_workers: int = 0, transport: str = "auto"
+) -> np.ndarray:
     """Decompress any container produced by this package (SZ,
-    transform, regression, embedded, or chunked)."""
+    transform, regression, embedded, or chunked).  ``n_workers`` and
+    ``transport`` apply only to chunked containers, whose slabs can be
+    decoded in parallel."""
     container = Container.from_bytes(blob)
     if container.codec == CODEC_SZ:
         return SZCompressor.decompress(blob)
@@ -562,7 +593,7 @@ def decompress(blob: bytes) -> np.ndarray:
     if container.codec == CODEC_CHUNKED:
         from repro.parallel.chunking import decompress_chunked
 
-        return decompress_chunked(blob)
+        return decompress_chunked(blob, n_workers=n_workers, transport=transport)
     if container.codec == CODEC_REGRESSION:
         from repro.sz.regression import RegressionCompressor
 

@@ -437,3 +437,74 @@ class TestAutotuneCommand:
         )
         assert code == 0
         assert "max_error" in capsys.readouterr().out
+
+
+class TestTransportFlags:
+    def test_shm_flags_mutually_exclusive(self, demo_npy):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "compress", str(demo_npy), "-o", "x", "--abs", "0.01",
+                    "--shm", "--no-shm",
+                ]
+            )
+
+    def test_chunked_compress_identical_across_transports(
+        self, demo_npy, tmp_path
+    ):
+        outs = {}
+        for label, extra in {
+            "default": [],
+            "shm": ["--shm"],
+            "pickle": ["--no-shm"],
+        }.items():
+            out = tmp_path / f"{label}.fpzc"
+            code = main(
+                [
+                    "compress", str(demo_npy), "-o", str(out),
+                    "--abs", "0.01", "--chunks", "3",
+                    "--chunk-workers", "2", *extra,
+                ]
+            )
+            assert code == 0
+            outs[label] = out.read_bytes()
+        assert outs["default"] == outs["shm"] == outs["pickle"]
+
+    def test_chunked_decompress_with_workers(self, demo_npy, tmp_path):
+        out = tmp_path / "c.fpzc"
+        rec = tmp_path / "r.npy"
+        main(
+            [
+                "compress", str(demo_npy), "-o", str(out),
+                "--psnr", "70", "--chunks", "2",
+            ]
+        )
+        code = main(
+            [
+                "decompress", str(out), "-o", str(rec),
+                "--chunk-workers", "2", "--shm",
+            ]
+        )
+        assert code == 0
+        recon = np.load(rec)
+        assert psnr(np.load(demo_npy), recon) >= 69.0
+
+    def test_chunks_reject_unsupported_mode(self, demo_npy, tmp_path, capsys):
+        code = main(
+            [
+                "compress", str(demo_npy), "-o", str(tmp_path / "x.fpzc"),
+                "--nrmse", "0.01", "--chunks", "2",
+            ]
+        )
+        assert code == 2
+        assert "chunks" in capsys.readouterr().err
+
+    def test_sweep_accepts_shm_flag(self, capsys):
+        code = main(
+            [
+                "sweep", "NYX", "--targets", "60", "--fields",
+                "temperature", "--workers", "2", "--shm",
+            ]
+        )
+        assert code == 0
+        assert "temperature" in capsys.readouterr().out

@@ -68,3 +68,39 @@ class TestSweep:
         dev_lo = np.mean([abs(r.deviation) for r in results if r.target_psnr == 30.0])
         dev_hi = np.mean([abs(r.deviation) for r in results if r.target_psnr == 100.0])
         assert dev_hi <= dev_lo + 0.5
+
+
+class TestPoolLifecycle:
+    def test_pool_shut_down_when_first_submit_raises(self, monkeypatch):
+        """Regression: an exception between pool creation and the
+        try-block used to leak the pool's worker processes.  Any
+        failure after construction must reach ``shutdown`` exactly
+        once, with ``cancel_futures`` so queued work dies too."""
+        import repro.parallel.executor as ex
+        from repro.resilience.retry import RetryPolicy
+
+        shutdown_calls = []
+
+        class ExplodingPool:
+            def __init__(self, max_workers=None):
+                pass
+
+            def submit(self, *a, **kw):
+                raise RuntimeError("submit exploded")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                shutdown_calls.append((wait, cancel_futures))
+
+        monkeypatch.setattr(ex, "ProcessPoolExecutor", ExplodingPool)
+        task = (
+            "NYX", "temperature", 60.0, None, None, "sz", False, False, None,
+        )
+        with pytest.raises(RuntimeError, match="submit exploded"):
+            ex._sweep_pool_with_retry(
+                [task],
+                RetryPolicy(max_retries=0),
+                None,
+                ex._resilience_counters(),
+                n_workers=2,
+            )
+        assert shutdown_calls == [(False, True)]

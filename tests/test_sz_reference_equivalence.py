@@ -92,3 +92,44 @@ def test_equivalence_property(seed, shape, eb):
         # both reconstructions stay within the bound.
         assert np.abs(q_ref - q_vec)[mismatches].max() <= 1
         assert mismatches.mean() < 0.02
+
+
+class TestTransportEquivalence:
+    """The reference-equivalence contract extended to the data plane:
+    chunk-parallel compression over either transport must serialize to
+    the *same container bytes* (and therefore the same stream CRCs) as
+    the serial path, on every field character the suite models."""
+
+    @pytest.mark.parametrize("field_name", ["smooth2d", "rough2d", "intermittent2d"])
+    def test_chunked_bytes_match_across_transports(self, field_name, request):
+        from repro.io.container import Container
+        from repro.parallel.chunking import compress_chunked
+
+        data = request.getfixturevalue(field_name)
+        serial = compress_chunked(data, 1e-3, mode="rel", n_chunks=3)
+        pickled = compress_chunked(
+            data, 1e-3, mode="rel", n_chunks=3, n_workers=2,
+            transport="pickle",
+        )
+        shared = compress_chunked(
+            data, 1e-3, mode="rel", n_chunks=3, n_workers=2,
+            transport="shm",
+        )
+        assert serial == pickled == shared
+        assert (
+            Container.from_bytes(serial).stream_crcs()
+            == Container.from_bytes(shared).stream_crcs()
+        )
+
+    def test_float32_view_matches(self, smooth2d):
+        from repro.parallel.chunking import compress_chunked, decompress_chunked
+
+        data = smooth2d.astype(np.float32)
+        serial = compress_chunked(data, 5e-3, mode="rel", n_chunks=4)
+        shared = compress_chunked(
+            data, 5e-3, mode="rel", n_chunks=4, n_workers=2, transport="shm"
+        )
+        assert serial == shared
+        out = decompress_chunked(shared, n_workers=2, transport="shm")
+        assert out.dtype == np.float32
+        assert np.array_equal(out, decompress_chunked(serial))
