@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Observatory smoke driver: drift gate, trace export, dashboard.
+
+Intended for CI (the ``observatory-smoke`` job) and local sanity::
+
+    PYTHONPATH=src python scripts/drift_smoke.py [workdir]
+
+Deterministic end-to-end exercise of the accuracy-conformance
+observatory against a throwaway ledger:
+
+1. ``fpzc drift --check`` on the empty ledger must exit 2
+   (insufficient history).
+2. Two identical pool-mode sweeps (``--workers 2 --trace-perfetto``)
+   append conformance records; ``fpzc drift --check`` must now exit 0
+   (two identical runs per series are in-control by construction --
+   the sigma floor keeps zero-variance limits finite).
+3. The exported Chrome trace must validate (every event carries
+   ``ph``/``ts``/``dur``/``pid``) and span >= 2 distinct pids (the
+   coordinator track plus at least one pool worker).
+4. ``fpzc report --html`` must produce one self-contained file: no
+   external ``src=``/``href=`` fetch anywhere.
+
+Exit code 0 when every stage holds; the first violated stage prints
+and fails the script.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli.main import main  # noqa: E402
+from repro.telemetry.export import validate_chrome_trace  # noqa: E402
+
+SWEEP = [
+    "sweep", "ATM", "--fields", "CLDHGH", "FLDS",
+    "--targets", "40", "80", "--workers", "2",
+]
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"{'ok' if ok else 'FAIL'}: {label}")
+    if not ok:
+        sys.exit(1)
+
+
+def run(workdir: str = ".") -> int:
+    work = Path(workdir)
+    work.mkdir(parents=True, exist_ok=True)
+    ledger = str(work / "ledger.jsonl")
+    trace = work / "sweep_trace.json"
+    html = work / "dashboard.html"
+
+    code = main(["drift", "--check", "--ledger", ledger])
+    check("empty ledger -> drift --check exits 2 (insufficient)", code == 2)
+
+    for i in range(2):
+        code = main(
+            SWEEP + ["--ledger", ledger, "--trace-perfetto", str(trace)]
+        )
+        check(f"sweep {i + 1} succeeded", code == 0)
+
+    code = main(["drift", "--check", "--ledger", ledger])
+    check("two identical sweeps -> drift --check exits 0 (in-control)",
+          code == 0)
+
+    doc = json.loads(trace.read_text())
+    problems = validate_chrome_trace(doc)
+    check(f"perfetto trace validates ({problems or 'clean'})", not problems)
+    pids = {e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    check(f"trace spans {len(pids)} distinct pids (>= 2)", len(pids) >= 2)
+    check("coordinator pid present in trace", os.getpid() in pids)
+
+    code = main([
+        "report", "--html", str(html), "--ledger", ledger,
+        "--bench-dir", str(REPO), "--trace", str(trace),
+        "--title", "observatory smoke",
+    ])
+    check("fpzc report --html succeeded", code == 0)
+    text = html.read_text()
+    check("dashboard is a single document",
+          text.count("<!DOCTYPE html") == 1)
+    check("dashboard has no external src=/href= fetches",
+          not re.search(r"(src|href)\s*=", text))
+    for anchor in ("ledger", "drift", "timeline", "bench", "metrics"):
+        check(f"dashboard renders section {anchor!r}",
+              f'id="{anchor}"' in text)
+    print(f"observatory smoke passed; artifacts in {work.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1] if len(sys.argv) > 1 else "smoke-out"))

@@ -12,6 +12,10 @@ Subcommands
 ``sweep``       run a fixed-PSNR sweep over a data set (Table II rows)
 ``bench``       run the benchmark matrix; write or ``--check`` baselines
 ``ledger``      print recent entries of the run ledger
+``drift``       chart PSNR conformance over ledger history
+                (``--check`` exits 0 in-control / 1 drifting /
+                2 insufficient history)
+``report``      write the self-contained HTML run dashboard
 
 Examples
 --------
@@ -24,6 +28,8 @@ Examples
     fpzc autotune field.npy --ratio 10 --tol 0.05 -o field.fpz
     fpzc decompress field.fpz -o recon.npy
     fpzc sweep ATM --targets 40 80 120 --workers 4
+    fpzc sweep ATM --workers 2 --trace --trace-perfetto trace.json
+    fpzc drift --check && fpzc report --html run.html
 """
 
 from __future__ import annotations
@@ -174,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full trace (schema v1 JSON) to PATH; implies --trace",
     )
     p_c.add_argument(
+        "--trace-perfetto",
+        metavar="PATH",
+        dest="trace_perfetto",
+        help="export the trace as Chrome trace-event JSON (Perfetto/"
+        "chrome://tracing); implies --trace",
+    )
+    p_c.add_argument(
         "--profile-mem",
         action="store_true",
         help="per-span peak-memory profiling via tracemalloc "
@@ -271,6 +284,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json",
         metavar="PATH",
         help="write the full trace (schema v1 JSON) to PATH; implies --trace",
+    )
+    p_at.add_argument(
+        "--trace-perfetto",
+        metavar="PATH",
+        dest="trace_perfetto",
+        help="export the search trace as Chrome trace-event JSON "
+        "(Perfetto/chrome://tracing)",
     )
     p_at.add_argument(
         "--profile-mem",
@@ -414,6 +434,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-stage traces and print an aggregate stage breakdown",
     )
     p_s.add_argument(
+        "--trace-perfetto",
+        metavar="PATH",
+        dest="trace_perfetto",
+        help="export the sweep trace (parent plus per-worker tracks) as "
+        "Chrome trace-event JSON; implies --trace",
+    )
+    p_s.add_argument(
         "--profile-mem",
         action="store_true",
         help="per-span peak-memory profiling via tracemalloc "
@@ -463,6 +490,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="show at most N entries"
     )
     p_l.add_argument("--json", action="store_true", help="emit raw JSON lines")
+
+    p_dr = sub.add_parser(
+        "drift",
+        help="chart PSNR conformance (achieved vs Eq. 7/8 prediction) "
+        "over ledger history",
+    )
+    p_dr.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="ledger file (default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_dr.add_argument(
+        "--check",
+        action="store_true",
+        help="gate mode: exit 0 in-control, 1 drifting, 2 insufficient "
+        "history (without --check the exit code is always 0)",
+    )
+    p_dr.add_argument("--json", action="store_true", help="emit a JSON report")
+    p_dr.add_argument(
+        "--min-history",
+        type=int,
+        default=2,
+        dest="min_history",
+        help="minimum runs per (dataset, codec, target) series before "
+        "judging it (default 2)",
+    )
+    p_dr.add_argument(
+        "--ewma-lambda",
+        type=float,
+        default=0.3,
+        dest="ewma_lambda",
+        help="EWMA smoothing weight in (0, 1] (default 0.3)",
+    )
+    p_dr.add_argument(
+        "--sigma-limit",
+        type=float,
+        default=3.0,
+        dest="sigma_limit",
+        help="EWMA control limit in sigmas (default 3.0)",
+    )
+
+    p_r = sub.add_parser(
+        "report",
+        help="write the self-contained HTML run dashboard "
+        "(ledger, drift, bench, metrics, timeline)",
+    )
+    p_r.add_argument(
+        "--html", metavar="PATH", required=True, help="output HTML file"
+    )
+    p_r.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="ledger file (default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_r.add_argument(
+        "--limit", type=int, default=20, help="ledger rows in the table"
+    )
+    p_r.add_argument(
+        "--bench-dir",
+        default=".",
+        dest="bench_dir",
+        help="directory holding BENCH_*.json baselines (default: .)",
+    )
+    p_r.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="metrics snapshot JSON (from --metrics) to embed",
+    )
+    p_r.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="Chrome trace JSON (from --trace-perfetto) to embed as the "
+        "span timeline",
+    )
+    p_r.add_argument(
+        "--title", default="fpzc run dashboard", help="dashboard title"
+    )
     return parser
 
 
@@ -652,13 +756,37 @@ def _append_ledger(args, entry) -> None:
     print(f"ledger entry appended to {path}", file=sys.stderr)
 
 
+def _write_perfetto(tr, path: str) -> None:
+    """Export ``tr`` as Chrome trace-event JSON plus the current
+    metric counters (open in Perfetto or chrome://tracing)."""
+    from repro.telemetry.export import write_chrome_trace
+    from repro.telemetry.registry import metrics
+
+    write_chrome_trace(tr, path, snapshot=metrics().snapshot())
+    print(f"perfetto trace written to {path}", file=sys.stderr)
+
+
+def _trace_eb_rel(tr) -> Optional[float]:
+    """The relative bound the run's ``derive_bound`` span recorded,
+    or ``None`` when the trace has no fixed-PSNR derivation."""
+    for rec in tr.records:
+        if rec.path and rec.path[-1] == "derive_bound":
+            v = rec.gauges.get("eb_rel")
+            if v is not None:
+                return float(v)
+    return None
+
+
 def _cmd_compress(args) -> int:
     from contextlib import ExitStack
 
     from repro.observe import Trace, use_trace
 
     data = np.load(args.input)
-    traced = args.trace or args.trace_json or args.profile_mem
+    traced = (
+        args.trace or args.trace_json or args.trace_perfetto
+        or args.profile_mem
+    )
     if traced:
         tr = Trace()
         with ExitStack() as stack:
@@ -712,6 +840,24 @@ def _cmd_compress(args) -> int:
             with open(args.trace_json, "w") as fh:
                 fh.write(tr.to_json())
             print(f"trace written to {args.trace_json}")
+        if args.trace_perfetto:
+            _write_perfetto(tr, args.trace_perfetto)
+        # Fixed-PSNR conformance: the Eq. 7/8 prediction at the derived
+        # bound next to what the run actually measured (ledger schema 3).
+        extra = {}
+        if mode == "psnr" and achieved_psnr is not None:
+            eb_rel = _trace_eb_rel(tr)
+            if eb_rel is not None:
+                from repro.core.fixed_psnr import estimate_psnr_from_bound
+                from repro.telemetry.drift import record_conformance
+
+                extra["conformance"] = record_conformance(
+                    args.input,
+                    args.codec,
+                    float(target),
+                    float(estimate_psnr_from_bound(eb_rel=eb_rel)),
+                    achieved_psnr,
+                )
         if not args.no_ledger:
             from repro.telemetry.ledger import entry_from_trace
 
@@ -730,6 +876,7 @@ def _cmd_compress(args) -> int:
                     ratio=ratio,
                     raw_bytes=int(data.nbytes),
                     compressed_bytes=len(blob),
+                    extra=extra,
                 ),
             )
     if args.metrics:
@@ -808,6 +955,8 @@ def _cmd_autotune(args) -> int:
             with open(args.trace_json, "w") as fh:
                 fh.write(tr.to_json())
             print(f"trace written to {args.trace_json}", file=sys.stderr)
+    if args.trace_perfetto:
+        _write_perfetto(tr, args.trace_perfetto)
     if not args.no_ledger:
         from repro.telemetry.ledger import entry_from_trace
 
@@ -915,11 +1064,18 @@ def _cmd_sweep(args) -> int:
             seed=args.retry_seed,
         )
     tr = None
-    if args.trace or args.profile_mem:
+    if args.trace or args.trace_perfetto or args.profile_mem:
+        from contextlib import ExitStack
+
         from repro.observe import Trace, use_trace
 
         tr = Trace()
-        with use_trace(tr):
+        with ExitStack() as stack:
+            stack.enter_context(use_trace(tr))
+            if args.trace_perfetto:
+                # A parent-process span so the exported timeline always
+                # shows the coordinator track next to the worker tracks.
+                stack.enter_context(tr.span("sweep"))
             results = sweep_dataset(
                 args.dataset,
                 targets=args.targets,
@@ -947,10 +1103,36 @@ def _cmd_sweep(args) -> int:
         from repro.telemetry.registry import record_trace
 
         record_trace(tr)
+        if args.trace_perfetto:
+            _write_perfetto(tr, args.trace_perfetto)
         if not args.no_ledger:
             from repro.telemetry.ledger import entry_from_trace
 
             extra = {"targets": [float(t) for t in args.targets]}
+            if ok_results:
+                # One conformance record per target: the mean Eq. 7/8
+                # prediction at each field's derived bound vs the mean
+                # achieved PSNR across the target's fields.
+                from repro.core.fixed_psnr import estimate_psnr_from_bound
+                from repro.telemetry.drift import record_conformance
+
+                by_target = {}
+                for r in ok_results:
+                    by_target.setdefault(float(r.target_psnr), []).append(r)
+                extra["conformance"] = [
+                    record_conformance(
+                        args.dataset,
+                        "sz",
+                        tgt,
+                        float(np.mean([
+                            estimate_psnr_from_bound(eb_rel=r.eb_rel)
+                            for r in grp
+                        ])),
+                        float(np.mean([r.actual_psnr for r in grp])),
+                        n_fields=len(grp),
+                    )
+                    for tgt, grp in sorted(by_target.items())
+                ]
             if retry is not None:
                 from repro.telemetry.registry import metrics as _metrics
 
@@ -1198,6 +1380,64 @@ def _cmd_ledger(args) -> int:
     return 0
 
 
+def _cmd_drift(args) -> int:
+    from repro.telemetry.drift import drift_report
+    from repro.telemetry.ledger import read_entries
+
+    entries, skipped = read_entries(args.ledger)
+    report = drift_report(
+        entries,
+        ewma_lambda=args.ewma_lambda,
+        sigma_limit=args.sigma_limit,
+        min_history=args.min_history,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if skipped:
+        print(f"warning: skipped {skipped} unparseable lines", file=sys.stderr)
+    return report.exit_code if args.check else 0
+
+
+def _cmd_report(args) -> int:
+    import datetime as _dt
+
+    from repro.report import render_dashboard
+    from repro.report.dashboard import load_bench_dir
+    from repro.telemetry.ledger import read_entries
+
+    entries, skipped = read_entries(args.ledger)
+    def _load_json(path: str):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except json.JSONDecodeError as exc:
+            from repro.errors import ParameterError
+
+            raise ParameterError(f"{path} is not valid JSON: {exc}")
+
+    snapshot = _load_json(args.metrics) if args.metrics else None
+    trace_doc = _load_json(args.trace) if args.trace else None
+    text = render_dashboard(
+        entries=entries,
+        snapshot=snapshot,
+        bench=load_bench_dir(args.bench_dir),
+        trace=trace_doc,
+        title=args.title,
+        limit=args.limit,
+        generated=_dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    )
+    with open(args.html, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"dashboard written to {args.html}")
+    if skipped:
+        print(f"warning: skipped {skipped} unparseable lines", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "autotune": _cmd_autotune,
@@ -1212,6 +1452,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "bench": _cmd_bench,
     "ledger": _cmd_ledger,
+    "drift": _cmd_drift,
+    "report": _cmd_report,
 }
 
 

@@ -47,6 +47,8 @@ guarded with ``if t.enabled:``.
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -85,6 +87,15 @@ class SpanRecord:
     sum when spans aggregate; ``gauges`` are per-call readings (bin
     size, hit ratio) that average instead.  ``duration_s`` is
     wall-clock and **non-deterministic**; everything else is exact.
+
+    ``t_start``/``pid``/``tid`` place the span on a timeline: the
+    ``time.perf_counter`` reading when the span opened and the OS
+    process/thread that ran it.  They exist so exported traces (Chrome
+    trace-event JSON, see :mod:`repro.telemetry.export`) render pool-
+    and shm-mode sweeps as parallel per-process tracks; like
+    ``duration_s`` they are wall-clock data and **never** enter the
+    deterministic views.  Records deserialized from an older producer
+    default all three to 0.
     """
 
     path: Tuple[str, ...]
@@ -92,6 +103,9 @@ class SpanRecord:
     duration_s: float
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    t_start: float = 0.0
+    pid: int = 0
+    tid: int = 0
 
     def as_dict(self) -> Dict:
         """JSON/pickle-friendly representation."""
@@ -101,17 +115,25 @@ class SpanRecord:
             "duration_s": self.duration_s,
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "t_start": self.t_start,
+            "pid": self.pid,
+            "tid": self.tid,
         }
 
     @classmethod
     def from_dict(cls, d: Dict) -> "SpanRecord":
-        """Inverse of :meth:`as_dict` (used when merging worker traces)."""
+        """Inverse of :meth:`as_dict` (used when merging worker traces).
+        Tolerates dicts from producers that predate the timeline
+        fields."""
         return cls(
             path=tuple(str(p) for p in d["path"]),
             seq=int(d["seq"]),
             duration_s=float(d["duration_s"]),
             counters={str(k): v for k, v in dict(d["counters"]).items()},
             gauges={str(k): v for k, v in dict(d.get("gauges", {})).items()},
+            t_start=float(d.get("t_start", 0.0)),
+            pid=int(d.get("pid", 0)),
+            tid=int(d.get("tid", 0)),
         )
 
 
@@ -260,6 +282,13 @@ class Trace:
                 duration_s=duration,
                 counters=dict(span.counters),
                 gauges=dict(span.gauges),
+                # Timeline placement: read at record time so a record
+                # created inside a worker carries the *worker's* pid,
+                # which is what lets exported traces draw one track per
+                # process (see repro.telemetry.export).
+                t_start=span._t0,
+                pid=os.getpid(),
+                tid=threading.get_native_id(),
             )
         )
         self._seq += 1
@@ -284,6 +313,12 @@ class Trace:
                     duration_s=rec.duration_s,
                     counters=dict(rec.counters),
                     gauges=dict(rec.gauges),
+                    # Keep the producer's timeline placement: a worker
+                    # record merged into the parent still happened in
+                    # the worker's process at the worker's clock.
+                    t_start=rec.t_start,
+                    pid=rec.pid,
+                    tid=rec.tid,
                 )
             )
             self._seq += 1

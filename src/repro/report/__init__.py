@@ -2,16 +2,20 @@
 
 The evaluation artefacts of the paper are all aggregations of one
 record type -- a :class:`repro.parallel.executor.FieldResult` per
-(data set, field, target).  This module turns lists of those records
+(data set, field, target).  This package turns lists of those records
 into Table-II-style summaries and renders them as plain text, Markdown
 or CSV, so the CLI, the benchmarks and downstream users share one
-implementation.
+implementation.  ``repro.report`` was a single module through PR 5;
+it is now a package (the whole historical API lives here unchanged)
+with one submodule: :mod:`repro.report.dashboard`, the self-contained
+HTML run dashboard behind ``fpzc report --html``, re-exported below.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import math
 from dataclasses import dataclass, asdict
 from typing import Dict, Iterable, List, Sequence
 
@@ -34,6 +38,7 @@ __all__ = [
     "render_ledger_markdown",
     "render_salvage",
     "render_sweep_failures",
+    "render_dashboard",
 ]
 
 
@@ -194,9 +199,24 @@ def _prom_name(name: str) -> str:
 
 
 def _prom_value(v) -> str:
-    if isinstance(v, float) and float(v).is_integer():
-        return str(int(v))
-    return repr(v) if isinstance(v, float) else str(v)
+    """Render a sample value per the Prometheus text exposition
+    grammar: non-finite floats must spell ``NaN``/``+Inf``/``-Inf``
+    (``repr`` would produce the invalid ``nan``/``inf``)."""
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "NaN"
+        if math.isinf(v):
+            return "+Inf" if v > 0 else "-Inf"
+        if v.is_integer():
+            return str(int(v))
+        return repr(v)
+    return str(v)
+
+
+def _prom_help(text: str) -> str:
+    """Escape a metric description for a ``# HELP`` line: backslash
+    and newline are the only characters the format escapes there."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def render_prometheus(snapshot: Dict) -> str:
@@ -205,13 +225,17 @@ def render_prometheus(snapshot: Dict) -> str:
 
     Histogram buckets are emitted cumulatively with ``le`` labels plus
     the standard ``_sum``/``_count`` series, so the output scrapes
-    cleanly into any Prometheus-compatible stack.  An empty snapshot
-    renders as an empty string.
+    cleanly into any Prometheus-compatible stack.  Metrics registered
+    with a description get a ``# HELP`` line (escaped), making scrapes
+    self-documenting.  An empty snapshot renders as an empty string.
     """
     lines = []
     for name, entry in sorted(snapshot.get("metrics", {}).items()):
         pname = _prom_name(name)
         kind = entry.get("kind", "untyped")
+        doc = entry.get("help", "")
+        if doc:
+            lines.append(f"# HELP {pname} {_prom_help(doc)}")
         lines.append(f"# TYPE {pname} {kind}")
         if kind == "histogram":
             cumulative = 0
@@ -332,3 +356,9 @@ def render_sweep_failures(results: Iterable[FieldResult]) -> str:
             f"{r.error} ({r.attempts} attempt(s))"
         )
     return "\n".join(lines)
+
+
+# The HTML dashboard lives in its own module (it has no numpy/
+# FieldResult dependency); re-exported here so `from repro.report
+# import render_dashboard` works like every other renderer.
+from repro.report.dashboard import render_dashboard  # noqa: E402

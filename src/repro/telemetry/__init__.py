@@ -23,6 +23,15 @@ perf trajectory are built on:
   writes ``BENCH_compress.json``/``BENCH_sweep.json`` baselines,
   ``fpzc bench --check`` re-runs the corpus and compares (hard-fail on
   deterministic counter drift, soft-warn on wall-time drift).
+* :mod:`repro.telemetry.export` -- trace interchange: span trees as
+  Chrome trace-event JSON (``--trace-perfetto``; pool sweeps render as
+  parallel per-worker tracks in Perfetto) and collapsed-stack text for
+  flamegraph tooling.
+* :mod:`repro.telemetry.drift` -- the accuracy gate: every fixed-PSNR
+  run records the Eq. 7/8 *predicted* PSNR next to the achieved one
+  (ledger schema 3), and ``fpzc drift --check`` runs EWMA/CUSUM
+  control charts over that history (exit 0 in-control, 1 drifting,
+  2 insufficient history).
 
 Separation of concerns (see docs/OBSERVABILITY.md for the full
 decision table): a **trace** is one run's stage tree, a **metric** is a

@@ -39,6 +39,16 @@ Resilient sweeps (``fpzc sweep --max-retries/--task-timeout``) add a
 ``retries``/``timeouts`` totals for the run -- so the ledger records
 not just how fast a sweep was but how much of it survived.
 
+Schema 3 adds the **conformance payload**: fixed-PSNR runs store
+``extra["conformance"]`` -- a single object for ``compress`` runs, a
+list of per-target objects for ``sweep`` runs -- holding the Eq. 7/8
+*predicted* PSNR next to the achieved one plus their signed
+``deviation_db`` (see :mod:`repro.telemetry.drift`, which charts these
+across history).  No top-level key changed, so the skew story is
+unchanged in both directions: a schema-2 reader keeps the payload as
+opaque ``extra`` content, and the schema-3 reader treats its absence
+as "no conformance recorded".
+
 Determinism contract: ``counters`` (and the byte/ratio fields) are
 exact and reproducible; ``created``, ``stage_seconds`` and
 ``mem_peak_bytes`` are not.  Consumers comparing runs must restrict
@@ -75,9 +85,9 @@ __all__ = [
     "git_rev",
 ]
 
-#: Version of the ledger record schema (bumped to 2 for the generic
-#: mode/target/achieved triple; readers tolerate either direction).
-LEDGER_SCHEMA_VERSION = 2
+#: Version of the ledger record schema (bumped to 3 for the
+#: ``extra.conformance`` payload; readers tolerate either direction).
+LEDGER_SCHEMA_VERSION = 3
 
 #: Default ledger location, relative to the working directory.
 DEFAULT_LEDGER_PATH = Path(".fpzc") / "ledger.jsonl"

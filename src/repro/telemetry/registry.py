@@ -48,6 +48,7 @@ __all__ = [
     "BYTE_BUCKETS",
     "BITS_BUCKETS",
     "THROUGHPUT_BUCKETS",
+    "DB_DEVIATION_BUCKETS",
 ]
 
 #: Generic magnitude buckets (decades with a 1-2-5 ladder would be
@@ -72,6 +73,14 @@ BITS_BUCKETS: Tuple[float, ...] = (
 
 #: MB/s throughput buckets (wall-clock-derived -> non-deterministic).
 THROUGHPUT_BUCKETS: Tuple[float, ...] = tuple(float(2**k) for k in range(17))
+
+#: Signed dB-deviation buckets for PSNR conformance (achieved minus
+#: predicted): symmetric about zero, resolved to 0.1 dB near it because
+#: the paper's Eq. 8 claim is a 0.1-5.0 dB corridor.
+DB_DEVIATION_BUCKETS: Tuple[float, ...] = (
+    -20.0, -10.0, -5.0, -2.0, -1.0, -0.5, -0.1, 0.0,
+    0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
+)
 
 
 class Counter:
@@ -98,6 +107,7 @@ class Counter:
             "kind": "counter",
             "value": self.value,
             "deterministic": self.deterministic,
+            "help": self.help,
         }
 
 
@@ -123,6 +133,7 @@ class Gauge:
             "kind": "gauge",
             "value": self.value,
             "deterministic": self.deterministic,
+            "help": self.help,
         }
 
 
@@ -178,6 +189,7 @@ class Histogram:
             "count": self.count,
             "sum": self.sum,
             "deterministic": self.deterministic,
+            "help": self.help,
         }
 
 
@@ -283,13 +295,17 @@ class MetricsRegistry:
         for name, entry in snap.get("metrics", {}).items():
             kind = entry.get("kind")
             det = bool(entry.get("deterministic", True))
+            # The description travels with the snapshot so a registry
+            # built purely from merges still renders # HELP lines.
+            doc = str(entry.get("help", ""))
             if kind == "counter":
-                m = self.counter(name, deterministic=det)
+                m = self.counter(name, help=doc, deterministic=det)
             elif kind == "gauge":
-                m = self.gauge(name, deterministic=det)
+                m = self.gauge(name, help=doc, deterministic=det)
             elif kind == "histogram":
                 m = self.histogram(
-                    name, buckets=entry["buckets"], deterministic=det
+                    name, buckets=entry["buckets"], help=doc,
+                    deterministic=det,
                 )
             else:
                 raise ParameterError(f"unknown metric kind {kind!r}")

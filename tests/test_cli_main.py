@@ -508,3 +508,50 @@ class TestTransportFlags:
         )
         assert code == 0
         assert "temperature" in capsys.readouterr().out
+
+
+class TestLedgerJson:
+    """``fpzc ledger --json``: stable machine-readable JSONL output."""
+
+    def _seed(self, tmp_path, n=3):
+        from repro.telemetry.ledger import LedgerEntry, append_entry
+
+        path = tmp_path / "ledger.jsonl"
+        for i in range(n):
+            append_entry(
+                LedgerEntry(kind="compress", dataset=f"D{i}", ratio=float(i)),
+                path=str(path),
+            )
+        return path
+
+    def test_json_lines_sorted_and_parseable(self, tmp_path, capsys):
+        path = self._seed(tmp_path)
+        assert main(["ledger", "--json", "--ledger", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        docs = [json.loads(ln) for ln in lines]
+        assert [d["dataset"] for d in docs] == ["D0", "D1", "D2"]
+        for ln, doc in zip(lines, docs):
+            assert ln == json.dumps(doc, sort_keys=True)  # stable key order
+
+    def test_json_respects_limit(self, tmp_path, capsys):
+        path = self._seed(tmp_path, n=5)
+        assert main(
+            ["ledger", "--json", "--limit", "2", "--ledger", str(path)]
+        ) == 0
+        docs = [json.loads(ln) for ln in
+                capsys.readouterr().out.strip().splitlines()]
+        assert [d["dataset"] for d in docs] == ["D3", "D4"]
+
+    def test_limit_zero_means_everything(self, tmp_path, capsys):
+        # entries[-0:] is the whole list -- document that as behavior.
+        path = self._seed(tmp_path, n=4)
+        assert main(
+            ["ledger", "--json", "--limit", "0", "--ledger", str(path)]
+        ) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 4
+
+    def test_json_empty_ledger(self, tmp_path, capsys):
+        path = tmp_path / "none.jsonl"
+        assert main(["ledger", "--json", "--ledger", str(path)]) == 0
+        assert capsys.readouterr().out.strip() == ""

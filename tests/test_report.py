@@ -176,6 +176,43 @@ class TestMetricsRenderers:
 
         assert render_prometheus({"schema": 1, "metrics": {}}) == ""
 
+    def test_prometheus_non_finite_values(self):
+        # The exposition grammar spells these NaN/+Inf/-Inf; repr's
+        # nan/inf forms are invalid and broke scrapes (regression).
+        from repro.telemetry import MetricsRegistry
+
+        from repro.report import render_prometheus
+
+        reg = MetricsRegistry()
+        reg.gauge("bad.nan").set(float("nan"))
+        reg.gauge("bad.pos").set(float("inf"))
+        reg.gauge("bad.neg").set(float("-inf"))
+        text = render_prometheus(reg.snapshot())
+        assert "fpzc_bad_nan NaN" in text
+        assert "fpzc_bad_pos +Inf" in text
+        assert "fpzc_bad_neg -Inf" in text
+        assert "nan\n" not in text and " inf" not in text
+
+    def test_prometheus_help_lines(self):
+        from repro.telemetry import MetricsRegistry
+
+        from repro.report import render_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("runs.total", help="line one\nback\\slash").inc()
+        reg.counter("undocumented.total").inc()
+        text = render_prometheus(reg.snapshot())
+        # Escaped per the format: newline -> \n, backslash -> \\.
+        assert (
+            "# HELP fpzc_runs_total line one\\nback\\\\slash" in text
+        )
+        lines = text.splitlines()
+        assert lines.index(
+            "# HELP fpzc_runs_total line one\\nback\\\\slash"
+        ) + 1 == lines.index("# TYPE fpzc_runs_total counter")
+        # No description -> no HELP line at all.
+        assert "# HELP fpzc_undocumented_total" not in text
+
     def test_metrics_json_roundtrips(self):
         import json
 

@@ -1,0 +1,222 @@
+"""The self-contained HTML dashboard and ``fpzc report --html``."""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.cli.main import main
+from repro.report.dashboard import (
+    load_bench_dir,
+    render_bench_section,
+    render_dashboard,
+    render_drift_section,
+    render_ledger_section,
+    render_metrics_section,
+    render_timeline_section,
+    sparkline,
+)
+from repro.telemetry.drift import drift_report
+from repro.telemetry.ledger import LedgerEntry, append_entry, read_entries
+
+
+def _conf_entry(dev, created="2026-08-08T00:00:00+00:00"):
+    return LedgerEntry(
+        kind="compress", created=created, dataset="ATM", field="CLDHGH",
+        codec="sz", mode="psnr", target=80.0, achieved=80.0 + dev,
+        target_psnr=80.0, achieved_psnr=80.0 + dev, ratio=11.5,
+        raw_bytes=1000, compressed_bytes=87,
+        extra={"conformance": {
+            "dataset": "ATM", "codec": "sz", "target_psnr": 80.0,
+            "predicted_psnr": 80.0, "achieved_psnr": 80.0 + dev,
+            "deviation_db": dev, "n_fields": 1,
+        }},
+    )
+
+
+class TestSparkline:
+    def test_empty_and_single_point_render(self):
+        for values in ([], [1.0]):
+            svg = sparkline(values)
+            assert svg.startswith("<svg") and svg.endswith("</svg>")
+            assert "<polyline" not in svg
+
+    def test_series_renders_polyline_and_dot(self):
+        svg = sparkline([1, 2, 3, 2.5], label="x")
+        assert 'stroke-width="2"' in svg
+        assert "<polyline" in svg and "<circle" in svg
+        assert "<title>x</title>" in svg
+
+    def test_non_finite_values_dropped(self):
+        svg = sparkline([1.0, float("nan"), float("inf"), 2.0])
+        assert "nan" not in svg.lower().replace("</", "")
+        for pair in re.search(r'points="([^"]+)"', svg).group(1).split():
+            x, y = pair.split(",")
+            float(x), float(y)
+
+    def test_constant_series_stays_in_bounds(self):
+        svg = sparkline([5.0] * 4, height=32)
+        ys = [float(p.split(",")[1]) for p in
+              re.search(r'points="([^"]+)"', svg).group(1).split()]
+        assert all(0 <= y <= 32 for y in ys)
+
+
+class TestSectionsEmpty:
+    def test_every_section_tolerates_empty_input(self):
+        fragments = [
+            render_ledger_section([]),
+            render_drift_section(None),
+            render_drift_section(drift_report([])),
+            render_metrics_section(None),
+            render_metrics_section({}),
+            render_bench_section(None),
+            render_bench_section({}),
+            render_timeline_section(None),
+            render_timeline_section({"traceEvents": []}),
+        ]
+        for frag in fragments:
+            assert frag.startswith("<section")
+            assert 'class="empty"' in frag or "insufficient" in frag
+
+
+class TestSectionsPopulated:
+    def test_ledger_section(self):
+        entries = [_conf_entry(0.1) for _ in range(3)]
+        frag = render_ledger_section(entries, limit=2)
+        assert "ATM/CLDHGH" in frag
+        assert frag.count("<tr>") == 2 + 1  # limit rows (+0 header rows in tbody counting)
+        assert "<svg" in frag  # trajectories present
+
+    def test_ledger_section_escapes_hostile_names(self):
+        e = _conf_entry(0.1)
+        e.dataset = "<script>alert(1)</script>"
+        frag = render_ledger_section([e])
+        assert "<script>" not in frag
+        assert "&lt;script&gt;" in frag
+
+    def test_drift_section(self):
+        entries = [_conf_entry(0.1) for _ in range(4)]
+        frag = render_drift_section(drift_report(entries))
+        assert "b-ok" in frag and "badge" in frag
+        assert "<svg" in frag  # deviation sparkline
+
+    def test_metrics_section_histogram_and_help(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("runs.total", help="how many runs").inc(3)
+        reg.histogram("dev.db", buckets=(0.0, 1.0)).observe(0.5)
+        frag = render_metrics_section(reg.snapshot())
+        assert "runs.total" in frag and "how many runs" in frag
+        assert "n=1" in frag
+
+    def test_bench_section_real_baselines(self):
+        bench = load_bench_dir(".")
+        assert bench  # the repo commits its baselines
+        frag = render_bench_section(bench)
+        assert "BENCH_compress.json" in frag
+        assert "ratio=" in frag and "ms" in frag
+
+    def test_bench_section_tolerates_foreign_doc(self):
+        frag = render_bench_section({"weird.json": {"cases": ["not-a-dict"]}})
+        assert "no cases" in frag
+
+    def test_timeline_section(self):
+        doc = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "ts": 0.0, "dur": 0.0,
+             "pid": 1, "tid": 1, "args": {"name": "fpzc pid 1"}},
+            {"name": "compress", "cat": "c", "ph": "X", "ts": 0.0,
+             "dur": 100.0, "pid": 1, "tid": 1, "args": {}},
+            {"name": "quantize", "cat": "c", "ph": "X", "ts": 10.0,
+             "dur": 50.0, "pid": 1, "tid": 1, "args": {}},
+            {"name": "encode", "cat": "c", "ph": "X", "ts": 5.0,
+             "dur": 60.0, "pid": 2, "tid": 2, "args": {}},
+        ]}
+        frag = render_timeline_section(doc)
+        assert frag.count("<rect") == 3
+        assert "fpzc pid 1" in frag and "pid 2" in frag
+        assert "quantize" in frag  # top-spans table
+
+
+class TestFullDashboard:
+    @pytest.fixture()
+    def fixture_ledger(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        for dev in (0.1, 0.12, 0.09, 0.11):
+            append_entry(_conf_entry(dev), path=path)
+        entries, _ = read_entries(path)
+        return path, entries
+
+    def test_single_file_no_external_fetches(self, fixture_ledger):
+        _, entries = fixture_ledger
+        html = render_dashboard(
+            entries=entries, bench=load_bench_dir("."),
+            title="t", generated="2026-08-08",
+        )
+        assert html.count("<!DOCTYPE html") == 1
+        assert not re.search(r"(src|href)\s*=", html)
+        assert "http://" not in html and "https://" not in html
+        for anchor in ("ledger", "drift", "timeline", "bench", "metrics"):
+            assert f'id="{anchor}"' in html
+
+    def test_drift_computed_from_entries_when_omitted(self, fixture_ledger):
+        _, entries = fixture_ledger
+        html = render_dashboard(entries=entries)
+        assert "b-ok" in html  # verdict rendered without explicit report
+
+    def test_cli_report_html(self, fixture_ledger, tmp_path, capsys):
+        ledger, _ = fixture_ledger
+        out = tmp_path / "run.html"
+        assert main([
+            "report", "--html", str(out), "--ledger", ledger,
+            "--bench-dir", ".", "--title", "ci run",
+        ]) == 0
+        html = out.read_text()
+        assert "ci run" in html
+        assert not re.search(r"(src|href)\s*=", html)
+        assert "dashboard written" in capsys.readouterr().out
+
+    def test_cli_report_embeds_trace_and_metrics(self, tmp_path, smooth2d):
+        npy = tmp_path / "f.npy"
+        np.save(npy, smooth2d.astype(np.float32))
+        trace = tmp_path / "t.json"
+        metrics_json = tmp_path / "m.json"
+        ledger = str(tmp_path / "l.jsonl")
+        assert main([
+            "compress", str(npy), "-o", str(tmp_path / "f.fpz"),
+            "--psnr", "60", "--trace-perfetto", str(trace),
+            "--metrics", str(metrics_json), "--ledger", ledger,
+        ]) == 0
+        out = tmp_path / "run.html"
+        assert main([
+            "report", "--html", str(out), "--ledger", ledger,
+            "--bench-dir", str(tmp_path),  # empty: bench section empty-state
+            "--trace", str(trace), "--metrics", str(metrics_json),
+        ]) == 0
+        html = out.read_text()
+        assert "<rect" in html           # timeline bars
+        assert "psnr.deviation_db" in html  # embedded snapshot
+        assert "no BENCH_" in html       # empty bench state
+
+    def test_cli_report_rejects_bad_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        code = main([
+            "report", "--html", str(tmp_path / "o.html"),
+            "--ledger", str(tmp_path / "l.jsonl"), "--trace", str(bad),
+        ])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestLoadBenchDir:
+    def test_skips_unreadable_files(self, tmp_path):
+        (tmp_path / "BENCH_ok.json").write_text('{"schema": 1}')
+        (tmp_path / "BENCH_bad.json").write_text("{nope")
+        (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+        out = load_bench_dir(tmp_path)
+        assert list(out) == ["BENCH_ok.json"]
+
+    def test_empty_dir(self, tmp_path):
+        assert load_bench_dir(tmp_path) == {}

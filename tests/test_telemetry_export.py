@@ -1,0 +1,212 @@
+"""Chrome trace-event export, collapsed stacks, and ``--trace-perfetto``."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli.main import main
+from repro.observe import SpanRecord, Trace, use_trace
+from repro.telemetry.export import (
+    REQUIRED_EVENT_KEYS,
+    chrome_trace_events,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced_compress(field):
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+
+    tr = Trace()
+    with use_trace(tr):
+        FixedPSNRCompressor(60.0).compress(field.astype(np.float32))
+    return tr
+
+
+class TestSpanRecordTimeline:
+    def test_records_carry_timeline_fields(self, smooth2d):
+        tr = _traced_compress(smooth2d)
+        assert tr.records
+        for rec in tr.records:
+            assert rec.pid == os.getpid()
+            assert rec.tid > 0
+            assert rec.t_start > 0.0
+
+    def test_roundtrip_preserves_timeline(self, smooth2d):
+        rec = _traced_compress(smooth2d).records[0]
+        assert SpanRecord.from_dict(rec.as_dict()) == rec
+
+    def test_legacy_dict_without_timeline_loads(self):
+        # Producers that predate pid/tid/t_start (old worker pickles).
+        d = {"path": ["a", "b"], "seq": 0, "duration_s": 0.5,
+             "counters": {"n": 3}, "gauges": {}}
+        rec = SpanRecord.from_dict(d)
+        assert (rec.pid, rec.tid, rec.t_start) == (0, 0, 0.0)
+
+    def test_merge_preserves_producer_pid(self):
+        worker = SpanRecord.from_dict({
+            "path": ["quantize"], "seq": 0, "duration_s": 0.25,
+            "counters": {}, "gauges": {}, "t_start": 123.0,
+            "pid": 4242, "tid": 4243,
+        })
+        parent = Trace()
+        parent.merge([worker], prefix=("field:X",))
+        merged = parent.records[0]
+        assert merged.path == ("field:X", "quantize")
+        assert (merged.pid, merged.tid, merged.t_start) == (4242, 4243, 123.0)
+
+
+class TestChromeTraceEvents:
+    def test_one_x_event_per_record(self, smooth2d):
+        tr = _traced_compress(smooth2d)
+        events = chrome_trace_events(tr)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(tr.records)
+        names = {e["name"] for e in xs}
+        assert "derive_bound" in names
+        for e in events:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in e
+
+    def test_timeline_normalized_to_zero(self, smooth2d):
+        xs = [e for e in chrome_trace_events(_traced_compress(smooth2d))
+              if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        assert all(e["ts"] >= 0.0 and e["dur"] >= 0.0 for e in xs)
+
+    def test_one_process_metadata_event_per_track(self, smooth2d):
+        events = chrome_trace_events(_traced_compress(smooth2d))
+        ms = [e for e in events if e["ph"] == "M"]
+        assert len(ms) == 1  # single process, single thread
+        assert ms[0]["name"] == "process_name"
+        assert ms[0]["args"]["name"] == f"fpzc pid {os.getpid()}"
+
+    def test_counter_events_are_cumulative_per_pid(self):
+        tr = Trace()
+        for n in (1, 2):
+            with tr.span("stage") as sp:
+                sp.count("bytes.payload", n)
+        cs = [e for e in chrome_trace_events(tr) if e["ph"] == "C"]
+        assert [e["args"]["payload"] for e in cs] == [1, 3]
+
+    def test_legacy_records_land_at_origin(self):
+        tr = Trace()
+        tr.merge([{"path": ["old"], "seq": 0, "duration_s": 1.0,
+                   "counters": {}, "gauges": {}}])
+        (ev,) = [e for e in chrome_trace_events(tr) if e["ph"] == "X"]
+        assert ev["ts"] == 0.0
+        assert ev["dur"] == pytest.approx(1e6)
+
+    def test_snapshot_counters_appended(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("runs.total", help="runs").inc(7)
+        tr = Trace()
+        with tr.span("s"):
+            pass
+        events = chrome_trace_events(tr, snapshot=reg.snapshot())
+        tail = [e for e in events if e["name"] == "metric:runs.total"]
+        assert len(tail) == 1 and tail[0]["ph"] == "C"
+        assert tail[0]["args"]["total"] == 7
+
+    def test_empty_trace_exports_empty_document(self):
+        doc = to_chrome_trace(Trace())
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+    def test_document_form_and_writer(self, smooth2d, tmp_path):
+        tr = _traced_compress(smooth2d)
+        path = write_chrome_trace(tr, tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["spans"] == len(tr.records)
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def test_rejects_non_document(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_flags_missing_keys_and_bad_values(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "ts": 0, "dur": 0, "pid": 1, "tid": 1, "name": "a"},
+            {"ph": "X", "ts": -1, "dur": 0, "pid": 1, "tid": 1, "name": "b"},
+            {"ts": 0, "dur": 0, "pid": "x", "tid": 1, "name": "c"},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("ts must be" in p for p in problems)
+        assert any("missing 'ph'" in p for p in problems)
+        assert any("pid must be an int" in p for p in problems)
+
+
+class TestCollapsedStacks:
+    def test_self_time_excludes_children(self):
+        tr = Trace()
+        tr.merge([
+            {"path": ["root"], "seq": 0, "duration_s": 1.0,
+             "counters": {}, "gauges": {}},
+            {"path": ["root", "child"], "seq": 1, "duration_s": 0.75,
+             "counters": {}, "gauges": {}},
+        ])
+        lines = to_collapsed_stacks(tr).splitlines()
+        assert "root;child 750000" in lines
+        assert "root 250000" in lines
+
+    def test_negative_self_time_clamped(self):
+        # A child longer than its parent (clock skew) must not emit a
+        # negative weight.
+        tr = Trace()
+        tr.merge([
+            {"path": ["p"], "seq": 0, "duration_s": 0.1,
+             "counters": {}, "gauges": {}},
+            {"path": ["p", "c"], "seq": 1, "duration_s": 0.2,
+             "counters": {}, "gauges": {}},
+        ])
+        assert "p 0" in to_collapsed_stacks(tr).splitlines()
+
+    def test_empty_trace(self):
+        assert to_collapsed_stacks(Trace()) == ""
+
+
+class TestCliPerfetto:
+    @pytest.fixture()
+    def demo_npy(self, tmp_path, smooth2d):
+        path = tmp_path / "field.npy"
+        np.save(path, smooth2d.astype(np.float32))
+        return path
+
+    def test_compress_trace_perfetto(self, demo_npy, tmp_path, capsys):
+        out = tmp_path / "f.fpz"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "compress", str(demo_npy), "-o", str(out), "--psnr", "60",
+            "--trace-perfetto", str(trace), "--no-ledger",
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs and all(e["pid"] == os.getpid() for e in xs)
+        assert "perfetto trace written" in capsys.readouterr().err
+
+    def test_pool_sweep_exports_multiple_pids(self, tmp_path, capsys):
+        trace = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "ATM", "--fields", "CLDHGH", "FLDS",
+            "--targets", "40", "--workers", "2",
+            "--trace-perfetto", str(trace),
+            "--ledger", str(tmp_path / "ledger.jsonl"),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in xs}
+        # The coordinator's "sweep" span plus at least one pool worker.
+        assert len(pids) >= 2
+        assert any(e["name"] == "sweep" and e["pid"] == os.getpid()
+                   for e in xs)
