@@ -6,8 +6,8 @@ Intended for CI and pre-commit use::
     PYTHONPATH=src python scripts/bench_gate.py             # check
     PYTHONPATH=src python scripts/bench_gate.py --update    # rewrite
 
-``--update`` reruns the corpus and rewrites ``BENCH_compress.json`` /
-``BENCH_sweep.json`` at the repo top level -- do this (and commit the
+``--update`` reruns the corpus and rewrites the ``BENCH_*.json``
+baselines (compress, sweep, autotune, service) at the repo top level -- do this (and commit the
 result) whenever a PR intentionally changes compression output; the
 gate exists so that such changes are always explicit in the diff.
 

@@ -160,6 +160,7 @@ def _prefill_probes(
     lo: float,
     hi: float,
     transport: str = "auto",
+    executor=None,
 ) -> None:
     """Evaluate a geometric fan of bounds around ``center`` in
     parallel and feed the cache (speculative FRaZ-style fan-out).
@@ -167,6 +168,9 @@ def _prefill_probes(
     Every probe evaluates the *same* array, so with shm transport the
     field is shared once and each worker attaches to it -- the probe
     fan's payload cost no longer scales with the number of bounds.
+    With ``executor`` the fan runs on a long-lived
+    :class:`repro.parallel.executor.Executor` (its arena shares the
+    payload; nothing is torn down here).
     """
     from repro.parallel.executor import map_tasks
     from repro.parallel.shm import ShmArena, resolve_transport
@@ -191,16 +195,35 @@ def _prefill_probes(
     spec = objective.spec()
     arena: Optional[ShmArena] = None
     try:
-        if todo and resolve_transport(transport, n_workers):
-            arena = ShmArena()
-            payload = arena.share(data)
+        if executor is not None:
+            from repro.parallel.shm import ShmArrayRef
+
+            shared = None
+            if todo and executor.arena is not None:
+                shared = executor.arena.share(data)
+            payload = shared if shared is not None else data
+            try:
+                trials = map_tasks(
+                    _probe_task,
+                    [(spec, payload, b) for b in todo],
+                    executor=executor,
+                )
+            finally:
+                # Probe payloads are one-shot; don't pin the segment
+                # for the executor's whole lifetime.
+                if isinstance(shared, ShmArrayRef):
+                    executor.arena.release(shared)
         else:
-            payload = data
-        trials = map_tasks(
-            _probe_task,
-            [(spec, payload, b) for b in todo],
-            n_workers=n_workers,
-        )
+            if todo and resolve_transport(transport, n_workers):
+                arena = ShmArena()
+                payload = arena.share(data)
+            else:
+                payload = data
+            trials = map_tasks(
+                _probe_task,
+                [(spec, payload, b) for b in todo],
+                n_workers=n_workers,
+            )
     finally:
         if arena is not None:
             arena.close()
@@ -224,6 +247,7 @@ def autotune(
     subsample_target: int = SUBSAMPLE_TARGET,
     n_workers: int = 0,
     transport: str = "auto",
+    executor=None,
     cache: Optional[TrialCache] = None,
     ledger_entries: Optional[Sequence] = None,
     keep_blob: bool = True,
@@ -258,6 +282,11 @@ def autotune(
         How probe payloads reach the workers: ``"auto"``/``"shm"``
         share the field once through :mod:`repro.parallel.shm`,
         ``"pickle"`` ships a copy per probe.  Results are identical.
+    executor:
+        An optional long-lived
+        :class:`repro.parallel.executor.Executor`; the probe fan then
+        runs on its warm pool (``n_workers``/``transport`` are taken
+        from it) instead of spawning one per call.
     cache:
         A :class:`TrialCache` to reuse across calls (sibling fields,
         repeated targets); a private one is created per call otherwise.
@@ -296,6 +325,9 @@ def autotune(
 
     reg = metrics()
     cache = cache if cache is not None else TrialCache()
+    fan_out = (
+        executor is not None and not executor.inline
+    ) or n_workers > 0
     fp = fingerprint(data)
     trace = observe.current_trace()
     with trace.span("autotune") as root:
@@ -333,10 +365,11 @@ def autotune(
             with trace.span("autotune.subsample") as sp:
                 if trace.enabled:
                     sp.set("elements", int(sub.size))
-                if n_workers > 0:
+                if fan_out:
                     _prefill_probes(
                         obj, sub, sub_fp, cache, guess, n_workers,
                         eb_lo, eb_hi, transport=transport,
+                        executor=executor,
                     )
                 sub_eval = tracked(
                     cache.wrap(
@@ -361,10 +394,10 @@ def autotune(
             sub_trials = sub_result.n_trials
             budget_left -= sub_trials
             guess = sub_result.eb_rel
-        elif n_workers > 0:
+        elif fan_out:
             _prefill_probes(
                 obj, data, fp, cache, guess, n_workers, eb_lo, eb_hi,
-                transport=transport,
+                transport=transport, executor=executor,
             )
         # -- full-data search -------------------------------------------
         full_eval = tracked(

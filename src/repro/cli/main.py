@@ -567,6 +567,123 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument(
         "--title", default="fpzc run dashboard", help="dashboard title"
     )
+
+    # -- the compression service (repro.service) ------------------------
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the long-lived compression service (HTTP job API, "
+        "warm worker pool, admission control; see docs/SERVICE.md)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_sv.add_argument(
+        "--port", type=int, default=8077, help="bind port (0 = any free)"
+    )
+    p_sv.add_argument(
+        "--workers", type=int, default=2, dest="workers",
+        help="worker pool size (0 = inline execution)",
+    )
+    p_sv.add_argument(
+        "--pool",
+        choices=("process", "thread", "inline"),
+        default="process",
+        help="worker pool kind (process pools use the shm data plane)",
+    )
+    _add_shm_flags(p_sv)
+    p_sv.add_argument(
+        "--queue-limit", type=int, default=64, dest="queue_limit",
+        help="admission bound: jobs beyond this depth get 429",
+    )
+    p_sv.add_argument(
+        "--batch-window", type=float, default=0.005, dest="batch_window",
+        metavar="SECONDS",
+        help="micro-batch collection window for compatible compress jobs",
+    )
+    p_sv.add_argument(
+        "--batch-max", type=int, default=8, dest="batch_max",
+        help="max jobs per micro-batched pool fan-out",
+    )
+    p_sv.add_argument(
+        "--grace", type=float, default=10.0, metavar="SECONDS",
+        help="drain window after SIGTERM/SIGINT before forcing exit",
+    )
+    p_sv.add_argument(
+        "--max-retries", type=int, default=1, dest="max_retries",
+        help="per-job retry budget for failed attempts",
+    )
+    p_sv.add_argument(
+        "--ledger", metavar="PATH",
+        help="ledger file (default .fpzc/ledger.jsonl or $FPZC_LEDGER)",
+    )
+    p_sv.add_argument(
+        "--no-ledger", action="store_true", dest="no_ledger",
+        help="do not append job records to the run ledger",
+    )
+    p_sv.add_argument(
+        "--trace-perfetto", metavar="PATH", dest="trace_perfetto",
+        help="write a Chrome/Perfetto trace of requests and jobs at drain",
+    )
+    p_sv.add_argument(
+        "--allow-faults", action="store_true", dest="allow_faults",
+        help="accept deterministic fault specs in job payloads "
+        "(testing only)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a compression job to a running service"
+    )
+    p_sub.add_argument("dataset", help="data-set name (e.g. ATM, NYX)")
+    p_sub.add_argument("field", help="field name within the data set")
+    grp = p_sub.add_mutually_exclusive_group(required=True)
+    grp.add_argument(
+        "--psnr", type=float, help="target PSNR in dB (fixed-PSNR mode)"
+    )
+    grp.add_argument("--ratio", type=float, help="target compression ratio")
+    grp.add_argument("--nrmse", type=float, help="target NRMSE")
+    p_sub.add_argument("--codec", default="sz", help="codec (default sz)")
+    p_sub.add_argument(
+        "--refine", choices=("histogram",), help="bound refinement"
+    )
+    p_sub.add_argument("--scale", type=float, help="data-set scale factor")
+    p_sub.add_argument(
+        "--priority", type=int, default=5,
+        help="queue priority (lower runs first; default 5)",
+    )
+    p_sub.add_argument(
+        "--deadline", type=float, dest="deadline", metavar="SECONDS",
+        help="per-job deadline; expired jobs finish as status=timeout",
+    )
+    p_sub.add_argument(
+        "--no-wait", action="store_true", dest="no_wait",
+        help="print the job id and return instead of polling",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="client-side wait budget with polling (default 300s)",
+    )
+    p_sub.add_argument(
+        "--out", metavar="PATH", help="write the compressed blob here"
+    )
+    p_sub.add_argument(
+        "--url", help="service URL (default $FPZC_SERVICE_URL or "
+        "http://127.0.0.1:8077)",
+    )
+
+    p_st = sub.add_parser("status", help="print a service job's status")
+    p_st.add_argument("job", help="job id (from submit)")
+    p_st.add_argument("--url", help="service URL")
+
+    p_f = sub.add_parser(
+        "fetch", help="download a finished service job's blob"
+    )
+    p_f.add_argument("job", help="job id (from submit)")
+    p_f.add_argument(
+        "--out", metavar="PATH", required=True, help="output file"
+    )
+    p_f.add_argument("--url", help="service URL")
+
+    p_cx = sub.add_parser("cancel", help="cancel a queued or running job")
+    p_cx.add_argument("job", help="job id (from submit)")
+    p_cx.add_argument("--url", help="service URL")
     return parser
 
 
@@ -1438,6 +1555,121 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        kind=args.pool,
+        transport=_transport(args),
+        queue_limit=args.queue_limit,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
+        grace_s=args.grace,
+        max_retries=args.max_retries,
+        ledger=args.ledger,
+        no_ledger=args.no_ledger,
+        allow_faults=args.allow_faults,
+        trace_perfetto=args.trace_perfetto,
+    )
+    print(
+        f"fpzc service on http://{config.host}:{config.port} "
+        f"({config.n_workers} {config.kind} workers, "
+        f"queue limit {config.queue_limit})",
+        flush=True,
+    )
+    return asyncio.run(run_service(config))
+
+
+def _submit_payload(args):
+    if args.psnr is not None:
+        mode, target = "psnr", args.psnr
+    elif args.ratio is not None:
+        mode, target = "ratio", args.ratio
+    else:
+        mode, target = "nrmse", args.nrmse
+    payload = {
+        "dataset": args.dataset,
+        "field": args.field,
+        "mode": mode,
+        "target": target,
+        "codec": args.codec,
+        "priority": args.priority,
+    }
+    if args.refine:
+        payload["refine"] = args.refine
+    if args.scale is not None:
+        payload["scale"] = args.scale
+    if args.deadline is not None:
+        payload["deadline_s"] = args.deadline
+    return payload
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    job_id = client.submit("compress", _submit_payload(args))
+    if args.no_wait:
+        print(job_id)
+        return 0
+    doc = client.wait(job_id, timeout=args.timeout)
+    state = doc.get("state")
+    result = doc.get("result") or {}
+    if state == "done":
+        achieved = result.get("achieved_psnr")
+        line = f"{job_id}: done"
+        if achieved is not None:
+            line += f"  achieved PSNR {achieved:.2f} dB"
+        if result.get("ratio"):
+            line += f"  ratio {result['ratio']:.2f}"
+        print(line)
+        if args.out:
+            blob = client.fetch_blob(job_id)
+            with open(args.out, "wb") as fh:
+                fh.write(blob)
+            print(f"wrote {len(blob)} bytes to {args.out}")
+        return 0
+    print(
+        f"{job_id}: {state}"
+        + (f" ({doc['error']})" if doc.get("error") else ""),
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_status(args) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    doc = ServiceClient(args.url).status(args.job)
+    print(_json.dumps(doc, indent=2, sort_keys=True))
+    return 0 if doc.get("state") in ("queued", "running", "done") else 1
+
+
+def _cmd_fetch(args) -> int:
+    from repro.service.client import ServiceClient
+
+    blob = ServiceClient(args.url).fetch_blob(args.job)
+    with open(args.out, "wb") as fh:
+        fh.write(blob)
+    print(f"wrote {len(blob)} bytes to {args.out}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service.client import ServiceClient
+
+    doc = ServiceClient(args.url).cancel(args.job)
+    print(f"{args.job}: {doc.get('state')}")
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "autotune": _cmd_autotune,
@@ -1454,6 +1686,11 @@ _COMMANDS = {
     "ledger": _cmd_ledger,
     "drift": _cmd_drift,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
+    "cancel": _cmd_cancel,
 }
 
 

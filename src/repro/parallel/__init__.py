@@ -17,7 +17,12 @@ decompositions that workload needs:
   the pickle channel).
 """
 
-from repro.parallel.executor import FieldResult, sweep_dataset, run_field_task
+from repro.parallel.executor import (
+    Executor,
+    FieldResult,
+    run_field_task,
+    sweep_dataset,
+)
 from repro.parallel.chunking import compress_chunked, decompress_chunked
 from repro.parallel.comm import scatter_gather, allreduce
 from repro.parallel.shm import (
@@ -29,6 +34,7 @@ from repro.parallel.shm import (
 )
 
 __all__ = [
+    "Executor",
     "FieldResult",
     "sweep_dataset",
     "run_field_task",

@@ -82,6 +82,21 @@ def _decompress_slab(args):
     return publish_array(prefix, part)
 
 
+def _chunk_pool(executor, n_workers: int):
+    """Resolve the (pool, effective worker count, shm eligibility) a
+    chunked call should use.  With an :class:`~repro.parallel.executor.
+    Executor` the pool is the executor's long-lived one and shm is only
+    eligible for process kinds; otherwise callers spin up (and tear
+    down) their own ``ProcessPoolExecutor``.  The arena stays per-call
+    either way -- chunked payloads are one-shot, and adopting them into
+    a persistent arena would accumulate segments for its lifetime."""
+    if executor is None:
+        return None, n_workers, True
+    if executor.inline:
+        return None, 0, True
+    return executor.pool, executor.n_workers, executor.kind == "process"
+
+
 def compress_chunked(
     data,
     error_bound: float,
@@ -89,6 +104,7 @@ def compress_chunked(
     n_chunks: int = 4,
     n_workers: int = 0,
     transport: str = "auto",
+    executor=None,
     **compressor_options,
 ) -> bytes:
     """Compress ``data`` as ``n_chunks`` independent slabs along axis 0.
@@ -100,6 +116,10 @@ def compress_chunked(
     through a zero-copy :class:`~repro.parallel.shm.ShmSliceRef`;
     compressed streams travel back through segments too.  The output
     container is bit-identical across transports and worker counts.
+
+    ``executor`` runs the slabs on a long-lived
+    :class:`repro.parallel.executor.Executor` pool (``n_workers`` is
+    then taken from it); the shm arena remains per-call.
     """
     from repro.parallel.shm import ShmArena, resolve_transport, take_bytes
 
@@ -111,6 +131,7 @@ def compress_chunked(
         if n_chunks < 1:
             raise ParameterError("n_chunks must be >= 1")
         n_chunks = min(n_chunks, arr.shape[0])
+        ext_pool, n_workers, shm_ok = _chunk_pool(executor, n_workers)
         if trace.enabled:
             root.count("n_points", int(arr.size))
             root.set("n_chunks", n_chunks)
@@ -122,7 +143,7 @@ def compress_chunked(
         eb_abs = probe.resolve_error_bound(arr)
         slabs = np.array_split(arr, n_chunks, axis=0)
         chunk_rows = [int(s.shape[0]) for s in slabs]
-        use_shm = resolve_transport(transport, n_workers)
+        use_shm = shm_ok and resolve_transport(transport, n_workers)
         arena: Optional[ShmArena] = None
         prefix = None
         try:
@@ -140,6 +161,9 @@ def compress_chunked(
             t0 = time.perf_counter()
             if n_workers <= 0:
                 results = [_compress_slab(t) for t in tasks]
+            elif ext_pool is not None:
+                futures = [ext_pool.submit(_compress_slab, t) for t in tasks]
+                results = [f.result() for f in futures]
             else:
                 with ProcessPoolExecutor(max_workers=n_workers) as pool:
                     results = list(pool.map(_compress_slab, tasks))
@@ -178,13 +202,15 @@ def compress_chunked(
 
 
 def decompress_chunked(
-    blob: bytes, n_workers: int = 0, transport: str = "auto"
+    blob: bytes, n_workers: int = 0, transport: str = "auto", executor=None
 ) -> np.ndarray:
     """Decompress a CHUNKED container back into one array.
 
     With a pool and ``transport="auto"``/``"shm"``, chunk streams go
     out and reconstructed slabs come back through shared segments (the
     parent adopts each slab and concatenates the read-only views).
+    ``executor`` reuses a long-lived pool, exactly as in
+    :func:`compress_chunked`.
     """
     from repro.parallel.shm import ShmArena, resolve_transport
 
@@ -201,7 +227,8 @@ def decompress_chunked(
     if len(chunk_rows) != n_chunks or sum(chunk_rows) != shape[0]:
         raise FormatError("chunk geometry inconsistent with array shape")
     blobs = [container.stream(f"chunk{i}") for i in range(n_chunks)]
-    use_shm = resolve_transport(transport, n_workers)
+    ext_pool, n_workers, shm_ok = _chunk_pool(executor, n_workers)
+    use_shm = shm_ok and resolve_transport(transport, n_workers)
     arena: Optional[ShmArena] = None
     prefix = None
     try:
@@ -216,6 +243,9 @@ def decompress_chunked(
         tasks = [(payload, prefix) for payload in payloads]
         if n_workers <= 0:
             raw = [_decompress_slab(t) for t in tasks]
+        elif ext_pool is not None:
+            futures = [ext_pool.submit(_decompress_slab, t) for t in tasks]
+            raw = [f.result() for f in futures]
         else:
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 raw = list(pool.map(_decompress_slab, tasks))

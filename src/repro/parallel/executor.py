@@ -27,7 +27,13 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, asdict, field as dc_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +42,7 @@ from repro.errors import ErrorCode, ParameterError
 
 __all__ = [
     "FieldResult",
+    "Executor",
     "run_field_task",
     "sweep_dataset",
     "default_workers",
@@ -43,7 +50,231 @@ __all__ = [
 ]
 
 
-def map_tasks(fn, argtuples, n_workers: int = 0):
+def _warm_worker(index: int) -> int:
+    """No-op task submitted at :meth:`Executor.warm` time: imports the
+    hot modules so the first real task pays no import cost, and sleeps
+    a beat so the pool actually spawns one process per submission
+    instead of reusing an idle worker."""
+    import repro.core.fixed_psnr  # noqa: F401 -- import is the point
+    import repro.sz.compressor  # noqa: F401
+
+    time.sleep(0.02)
+    return os.getpid()
+
+
+class Executor:
+    """Long-lived worker pool + shared-memory arena context.
+
+    Before this class, every parallel entry point created (and tore
+    down) its own ``ProcessPoolExecutor`` and :class:`ShmArena` per
+    call -- fine for one-shot CLI runs, wasteful for anything
+    long-lived.  An ``Executor`` owns both for its whole lifetime and
+    is accepted by :func:`sweep_dataset`, :func:`map_tasks`,
+    :func:`repro.autotune.autotune` and
+    :func:`repro.parallel.chunking.compress_chunked` /
+    ``decompress_chunked`` via their ``executor=`` keyword, so repeated
+    calls reuse warm workers and already-shared payloads::
+
+        with Executor(n_workers=4) as ex:
+            ex.warm()                       # spawn + import up front
+            r1 = sweep_dataset("ATM", [60.0], executor=ex)
+            r2 = sweep_dataset("ATM", [80.0], executor=ex)   # no new pool
+
+    ``kind`` selects the pool flavour: ``"process"`` (the default; the
+    only kind that can use the shm data plane), ``"thread"`` (same
+    results, zero-copy by construction -- what the service uses in
+    tests and benches to avoid process spawn cost), or ``"inline"``
+    (no pool at all; ``n_workers <= 0`` forces it).  ``start_method``
+    optionally pins the multiprocessing start method -- the service
+    passes ``"spawn"`` because forking from a multi-threaded process
+    is unsafe (and a ``DeprecationWarning`` on 3.12+).
+
+    Results are bit-identical across kinds and transports -- the same
+    differential contract the data plane already guarantees.
+    """
+
+    _KINDS = ("process", "thread", "inline")
+
+    def __init__(
+        self,
+        n_workers: int = 0,
+        transport: str = "auto",
+        kind: str = "process",
+        start_method: Optional[str] = None,
+    ):
+        from repro.parallel.shm import TRANSPORTS
+
+        if kind not in self._KINDS:
+            raise ParameterError(
+                f"unknown executor kind {kind!r}; expected one of "
+                f"{self._KINDS}"
+            )
+        if transport not in TRANSPORTS:
+            raise ParameterError(
+                f"unknown transport {transport!r}; expected one of "
+                f"{TRANSPORTS}"
+            )
+        self.n_workers = int(n_workers)
+        self.kind = "inline" if self.n_workers <= 0 else kind
+        self.transport = transport
+        self.start_method = start_method
+        self._pool = None
+        self._arena = None
+        self._cache: Dict = {}
+        self._closed = False
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def inline(self) -> bool:
+        return self.kind == "inline"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ParameterError("executor is closed")
+
+    @property
+    def pool(self):
+        """The lazily created pool (``None`` for the inline kind)."""
+        self._check_open()
+        if self.kind == "inline":
+            return None
+        if self._pool is None:
+            if self.kind == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="repro-exec",
+                )
+            elif self.start_method:
+                import multiprocessing
+
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=multiprocessing.get_context(self.start_method),
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    @property
+    def arena(self):
+        """The lazily created :class:`~repro.parallel.shm.ShmArena`,
+        or ``None`` when the transport resolves to pickle (non-process
+        kinds never get an arena -- threads already share memory)."""
+        from repro.parallel.shm import ShmArena, resolve_transport
+
+        self._check_open()
+        if self.kind != "process":
+            return None
+        if not resolve_transport(self.transport, self.n_workers):
+            return None
+        if self._arena is None:
+            self._arena = ShmArena()
+        return self._arena
+
+    # -- work -----------------------------------------------------------
+
+    def submit(self, fn, *args) -> Future:
+        """Submit one call; inline executors run it immediately and
+        return an already-completed future."""
+        self._check_open()
+        if self.kind == "inline":
+            f: Future = Future()
+            try:
+                f.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 -- future carries it
+                f.set_exception(exc)
+            return f
+        return self.pool.submit(fn, *args)
+
+    def map(self, fn, argtuples) -> List:
+        """Order-preserving map over argument tuples (the
+        :func:`map_tasks` contract, against this executor's pool)."""
+        tasks = list(argtuples)
+        if not tasks:
+            return []
+        if self.kind == "inline":
+            return [fn(*t) for t in tasks]
+        futures = [self.pool.submit(fn, *t) for t in tasks]
+        return [f.result() for f in futures]
+
+    def warm(self) -> int:
+        """Spawn every worker now (and pre-import the codec modules in
+        each) instead of on first use; returns the number of distinct
+        workers that answered.  A no-op for thread/inline kinds."""
+        if self.kind != "process":
+            return 0
+        futures = [
+            self.pool.submit(_warm_worker, i) for i in range(self.n_workers)
+        ]
+        return len({f.result() for f in futures})
+
+    # -- payload cache --------------------------------------------------
+
+    def share(self, key, supplier):
+        """Get-or-create a cached payload for ``key``.
+
+        ``supplier`` is a zero-argument callable producing the array;
+        it runs only on the first call for a given key.  Process
+        executors with an arena return a shared-memory ref (one copy
+        for the executor's lifetime); thread/inline executors return
+        the materialized array itself (zero-copy in-process); process
+        executors on the pickle transport also return the array (the
+        caller decides whether shipping it beats regenerating).
+        """
+        import numpy as np
+
+        self._check_open()
+        if key in self._cache:
+            return self._cache[key]
+        arena = self.arena
+        if arena is not None:
+            payload = arena.share(supplier())
+        else:
+            payload = np.asarray(supplier())
+        self._cache[key] = payload
+        return payload
+
+    def drop_cached(self, key) -> bool:
+        """Forget a cached payload (releasing its segment when it was
+        shared); returns True when the key existed."""
+        from repro.parallel.shm import ShmArrayRef
+
+        payload = self._cache.pop(key, None)
+        if payload is None:
+            return False
+        if isinstance(payload, ShmArrayRef) and self._arena is not None:
+            self._arena.release(payload)
+        return True
+
+    # -- teardown -------------------------------------------------------
+
+    def close(self, cancel_futures: bool = False) -> None:
+        """Shut the pool down and release every shared segment.
+        Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._cache.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=cancel_futures)
+            self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def map_tasks(fn, argtuples, n_workers: int = 0, executor: Optional[Executor] = None):
     """Order-preserving parallel map over argument tuples.
 
     The generic fan-out primitive the autotune driver uses for
@@ -52,7 +283,11 @@ def map_tasks(fn, argtuples, n_workers: int = 0):
     positional arguments.  ``n_workers <= 0`` runs inline -- same
     results, no pool -- which is what unit tests and small searches
     use.  An empty task list short-circuits without spawning a pool.
+    With ``executor=`` the map runs on the given :class:`Executor`'s
+    long-lived pool (``n_workers`` is ignored) instead of a fresh one.
     """
+    if executor is not None:
+        return executor.map(fn, argtuples)
     tasks = list(argtuples)
     if not tasks:
         return []
@@ -396,7 +631,8 @@ def _sweep_inline_with_retry(tasks, policy, fault, counters):
     return results
 
 
-def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers):
+def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers,
+                           external_pool=None):
     rng = policy.rng()
     results: List[Optional[FieldResult]] = [None] * len(tasks)
     states = [_TaskState(i, t) for i, t in enumerate(tasks)]
@@ -424,8 +660,11 @@ def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers):
     # Nothing may sit between pool creation and the try: an exception
     # in that gap would leak the pool's worker processes (the finally
     # below is the only shutdown path for this non-context-managed
-    # executor -- it must cover *every* exit).
-    pool = ProcessPoolExecutor(max_workers=n_workers)
+    # executor -- it must cover *every* exit).  An external pool (a
+    # long-lived Executor's) is never shut down here; note that an
+    # abandoned hung attempt then keeps one of its workers busy until
+    # the attempt finishes on its own.
+    pool = external_pool or ProcessPoolExecutor(max_workers=n_workers)
     try:
         for state in states:
             submit(state)
@@ -474,7 +713,8 @@ def _sweep_pool_with_retry(tasks, policy, fault, counters, n_workers):
     finally:
         # Don't block on abandoned (hung) workers; queued futures are
         # cancelled, running ones are left to finish in the background.
-        pool.shutdown(wait=False, cancel_futures=True)
+        if external_pool is None:
+            pool.shutdown(wait=False, cancel_futures=True)
     return results
 
 
@@ -491,6 +731,7 @@ def sweep_dataset(
     retry=None,
     fault=None,
     transport: str = "auto",
+    executor: Optional[Executor] = None,
 ) -> List[FieldResult]:
     """Run every (field, target) combination of a data set.
 
@@ -520,6 +761,12 @@ def sweep_dataset(
     profitable whenever a field serves more tasks than there are
     workers.  The outputs are bit-identical in every mode; shm
     silently degrades to pickle when unavailable.
+
+    ``executor`` runs the sweep on a long-lived :class:`Executor`
+    instead of a per-call pool: ``n_workers``/``transport`` are taken
+    from the executor, field payloads go through its ``share`` cache
+    (so a second sweep over the same dataset re-uses the segments), and
+    nothing is torn down afterwards.
     """
     from repro.datasets.registry import get_dataset
     from repro.parallel.shm import ShmArena, ShmArrayRef, resolve_transport
@@ -535,10 +782,29 @@ def sweep_dataset(
     unknown = set(names) - set(ds.field_names)
     if unknown:
         raise ParameterError(f"unknown fields for {dataset}: {sorted(unknown)}")
-    use_shm = resolve_transport(transport, n_workers)
     arena: Optional[ShmArena] = None
-    refs: Dict[str, Optional[ShmArrayRef]] = {}
-    if use_shm:
+    refs: Dict[str, Optional[object]] = {}
+    if executor is not None:
+        n_workers = 0 if executor.inline else executor.n_workers
+        if executor.kind == "thread":
+            # Same address space: hand workers the array itself.
+            for fname in names:
+                refs[fname] = executor.share(
+                    ("field", dataset, scale, fname),
+                    lambda f=fname: ds.field(f),
+                )
+        elif executor.arena is not None:
+            for fname in names:
+                payload = executor.share(
+                    ("field", dataset, scale, fname),
+                    lambda f=fname: ds.field(f),
+                )
+                # A guard fallback means the worker is better off
+                # regenerating the field than receiving it by pickle.
+                refs[fname] = (
+                    payload if isinstance(payload, ShmArrayRef) else None
+                )
+    elif resolve_transport(transport, n_workers):
         arena = ShmArena()
         for fname in names:
             ref = arena.share(ds.field(fname))
@@ -552,10 +818,18 @@ def sweep_dataset(
         for fname in names
     ]
     _metrics().counter("parallel.field_tasks_total").inc(len(tasks))
+    external_pool = (
+        executor.pool if executor is not None and not executor.inline else None
+    )
     try:
         if retry is None:
             if n_workers <= 0:
                 results = [run_field_task(*t) for t in tasks]
+            elif external_pool is not None:
+                futures = [
+                    external_pool.submit(run_field_task, *t) for t in tasks
+                ]
+                results = [f.result() for f in futures]
             else:
                 with ProcessPoolExecutor(max_workers=n_workers) as pool:
                     results = list(
@@ -569,7 +843,8 @@ def sweep_dataset(
                 )
             else:
                 results = _sweep_pool_with_retry(
-                    tasks, retry, fault, counters, n_workers
+                    tasks, retry, fault, counters, n_workers,
+                    external_pool=external_pool,
                 )
     finally:
         if arena is not None:

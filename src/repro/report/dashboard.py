@@ -41,6 +41,7 @@ __all__ = [
     "render_drift_section",
     "render_metrics_section",
     "render_bench_section",
+    "render_service_section",
     "render_timeline_section",
     "sparkline",
     "load_bench_dir",
@@ -389,6 +390,77 @@ def render_bench_section(bench: Optional[Dict[str, Dict]]) -> str:
     )
 
 
+#: (metric name, tile label) pairs the service panel summarizes.
+_SERVICE_TILES = (
+    ("service.jobs_submitted_total", "submitted"),
+    ("service.jobs_completed_total", "completed"),
+    ("service.jobs_failed_total", "failed"),
+    ("service.jobs_rejected_total", "rejected (429)"),
+    ("service.jobs_cancelled_total", "cancelled"),
+    ("service.jobs_timeout_total", "deadline timeouts"),
+)
+
+
+def render_service_section(
+    entries: Sequence = (), snapshot: Optional[Dict] = None
+) -> str:
+    """The compression service's traffic: job-outcome tiles from the
+    ``service.*`` metric family plus the most recent service-submitted
+    ledger runs (entries carrying an ``extra.service`` object)."""
+    metrics = (snapshot or {}).get("metrics", {})
+    tiles = []
+    for name, label in _SERVICE_TILES:
+        entry = metrics.get(name)
+        if entry is None:
+            continue
+        tiles.append(
+            '<div class="tile">'
+            f'<div class="tile-v">{_esc(_fmt(entry.get("value")))}</div>'
+            f'<div class="tile-l">{_esc(label)}</div></div>'
+        )
+    service_rows = []
+    for entry in entries:
+        extra = getattr(entry, "extra", None) or {}
+        svc = extra.get("service")
+        if isinstance(svc, dict):
+            service_rows.append((entry, svc))
+    if not tiles and not service_rows:
+        return _section(
+            "service", "Compression service",
+            _empty("no service traffic recorded"),
+        )
+    parts = []
+    if tiles:
+        parts.append(f'<div class="tiles">{"".join(tiles)}</div>')
+    if service_rows:
+        headers = [
+            "job", "kind", "dataset", "field", "target", "achieved PSNR",
+            "batch", "attempts", "queued",
+        ]
+        rows = []
+        for entry, svc in service_rows[-20:][::-1]:
+            queued_s = svc.get("queued_s")
+            rows.append([
+                f"<code>{_esc(svc.get('job_id', '?'))}</code>",
+                _esc(getattr(entry, "kind", "?")),
+                _esc(getattr(entry, "dataset", "?")),
+                _esc(getattr(entry, "field", "") or "–"),
+                _esc(_fmt(getattr(entry, "target", None))),
+                _esc(_fmt(getattr(entry, "achieved_psnr", None))),
+                _esc(_fmt(svc.get("batched"))),
+                _esc(_fmt(svc.get("attempts"))),
+                _esc(
+                    "–" if queued_s is None else f"{1e3 * queued_s:.1f} ms"
+                ),
+            ])
+        parts.append(_table(headers, rows))
+    return _section(
+        "service", "Compression service", "".join(parts),
+        "job outcomes from the service.* metric family; runs land in "
+        "the same ledger and drift history as CLI runs",
+    )
+
+
 def _trace_events(trace) -> List[Dict]:
     if isinstance(trace, dict):
         events = trace.get("traceEvents", [])
@@ -589,6 +661,7 @@ def render_dashboard(
     sections = [
         render_ledger_section(entries, limit=limit),
         render_drift_section(drift),
+        render_service_section(entries, snapshot),
         render_timeline_section(trace),
         render_bench_section(bench),
         render_metrics_section(snapshot),

@@ -1,0 +1,183 @@
+"""Thin synchronous client for the compression service.
+
+Built on :mod:`http.client` (stdlib, blocking) because the consumers
+are scripts, tests and the ``fpzc submit/status/fetch/cancel``
+subcommands -- none of which want an event loop.  One TCP connection
+per call matches the server's ``Connection: close`` discipline.
+
+The server URL resolves from (in order): the explicit ``url``
+argument, the ``FPZC_SERVICE_URL`` environment variable, and the
+default ``http://127.0.0.1:8077``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ParameterError, ReproError
+
+__all__ = ["ServiceError", "ServiceClient", "DEFAULT_URL"]
+
+DEFAULT_URL = "http://127.0.0.1:8077"
+
+
+class ServiceError(ReproError):
+    """A non-2xx response (or transport failure) from the service."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+        super().__init__(f"service answered {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+def resolve_url(url: Optional[str] = None) -> str:
+    return url or os.environ.get("FPZC_SERVICE_URL") or DEFAULT_URL
+
+
+class ServiceClient:
+    """Scriptable access to every service endpoint."""
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 60.0):
+        split = urlsplit(resolve_url(url))
+        if split.scheme != "http" or not split.hostname:
+            raise ParameterError(
+                f"service URL must be http://host:port, got {resolve_url(url)!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = (
+                {"Content-Type": "application/json"} if payload else {}
+            )
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return (
+                resp.status,
+                {k.lower(): v for k, v in resp.getheaders()},
+                data,
+            )
+        except OSError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.host}:{self.port}: {exc}"
+            )
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        status, headers, data = self._request(method, path, body)
+        try:
+            doc = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            doc = {"error": data[:200].decode("latin-1")}
+        if status >= 400:
+            retry_after = None
+            if "retry-after" in headers:
+                try:
+                    retry_after = float(headers["retry-after"])
+                except ValueError:
+                    pass
+            raise ServiceError(
+                status, str(doc.get("error", "unknown error")), retry_after
+            )
+        return doc
+
+    # -- ops ------------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._json("GET", "/healthz")
+
+    def readyz(self) -> bool:
+        status, _, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def metrics_text(self) -> str:
+        status, _, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, "metrics unavailable")
+        return data.decode("utf-8")
+
+    def metrics_json(self) -> Dict:
+        return self._json("GET", "/metrics?format=json")
+
+    # -- jobs -----------------------------------------------------------
+
+    def submit(self, kind: str, payload: Dict) -> str:
+        """Submit one job; returns its id.  Raises
+        :class:`ServiceError` (with ``retry_after`` set) on a 429."""
+        doc = self._json("POST", f"/v1/{kind}", payload)
+        return str(doc["id"])
+
+    def submit_compress(
+        self,
+        dataset: str,
+        field: str,
+        *,
+        mode: str = "psnr",
+        target: float,
+        codec: str = "sz",
+        **options,
+    ) -> str:
+        payload = {
+            "dataset": dataset,
+            "field": field,
+            "mode": mode,
+            "target": target,
+            "codec": codec,
+        }
+        payload.update(options)
+        return self.submit("compress", payload)
+
+    def status(self, job_id: str) -> Dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def fetch_blob(self, job_id: str) -> bytes:
+        status, _, data = self._request("GET", f"/v1/jobs/{job_id}/blob")
+        if status != 200:
+            message = data[:200].decode("latin-1")
+            raise ServiceError(status, message)
+        return data
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; returns its
+        final status document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc.get("state") in ("done", "failed", "timeout", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408, f"job {job_id} still {doc.get('state')} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_s)

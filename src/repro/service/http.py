@@ -1,0 +1,163 @@
+"""Minimal HTTP/1.1 on raw asyncio streams.
+
+The service speaks just enough HTTP for its job API: request-line +
+headers + ``Content-Length`` bodies in, fixed-length responses out,
+``Connection: close`` per exchange (the clients are scripts and
+side-cars, not browsers holding keep-alive pools).  Implemented
+directly on :mod:`asyncio` streams -- no ``http.server``, no threads
+per connection, no framework -- because the dispatcher must live on
+the same event loop that reads the sockets.
+
+Hard limits guard the parser (header block and body size caps, 400 on
+malformed syntax, 413 over the body cap, 501 for chunked bodies) so a
+misbehaving client cannot balloon memory before admission control even
+sees the request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_body",
+]
+
+#: Cap on the request line + header block.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps straight to a response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = dc_field(default_factory=dict)
+    headers: Dict[str, str] = dc_field(default_factory=dict)
+    body: bytes = b""
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = 16 * 1024 * 1024
+) -> Optional[Request]:
+    """Parse one request off ``reader``.
+
+    Returns ``None`` on a cleanly closed connection before any bytes;
+    raises :class:`HttpError` for anything malformed or over limits.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "header block too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header block too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise HttpError(400, "undecodable request head")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            n = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if n < 0:
+            raise HttpError(400, "bad Content-Length")
+        if n > max_body:
+            raise HttpError(413, f"body exceeds the {max_body}-byte cap")
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query={k: v for k, v in parse_qsl(split.query)},
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """Serialize one complete ``Connection: close`` response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers:
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(request: Request) -> Dict:
+    """Decode the request body as a JSON object (400 otherwise)."""
+    if not request.body:
+        raise HttpError(400, "request needs a JSON body")
+    try:
+        doc = json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HttpError(400, f"bad JSON body: {exc}")
+    if not isinstance(doc, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return doc

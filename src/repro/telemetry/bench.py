@@ -8,7 +8,11 @@ files:
 * ``BENCH_compress.json`` -- one entry per compress case,
 * ``BENCH_sweep.json`` -- the mini sweep's outcome,
 * ``BENCH_autotune.json`` -- the measurement-driven searches' cost
-  (trial count, convergence, converged bound).
+  (trial count, convergence, converged bound),
+* ``BENCH_service.json`` -- the same jobs submitted through a live
+  in-process compression service (``repro.service``): per-job bytes
+  and achieved PSNR must match the serial pipeline exactly, plus
+  service throughput timing.
 
 ``fpzc bench --check`` re-runs the same corpus and compares against
 the committed baselines:
@@ -42,9 +46,11 @@ __all__ = [
     "TRANSPORT_SWEEP_CASE",
     "SHM_SPEEDUP_THRESHOLD",
     "AUTOTUNE_CASES",
+    "SERVICE_CASES",
     "run_compress_bench",
     "run_sweep_bench",
     "run_autotune_bench",
+    "run_service_bench",
     "write_baselines",
     "compare_bench",
     "check_baselines",
@@ -59,6 +65,7 @@ BASELINE_FILES = {
     "compress": "BENCH_compress.json",
     "sweep": "BENCH_sweep.json",
     "autotune": "BENCH_autotune.json",
+    "service": "BENCH_service.json",
 }
 
 #: The compress corpus: (dataset, field, codec, target PSNR).  Small
@@ -101,6 +108,17 @@ SHM_SPEEDUP_THRESHOLD = 0.8
 AUTOTUNE_CASES: Tuple[Tuple[str, str, str, str, float], ...] = (
     ("ATM", "CLDHGH", "sz", "ratio", 10.0),
     ("ATM", "FLDS", "sz", "bitrate", 4.0),
+)
+
+#: The service corpus: compress jobs submitted concurrently through a
+#: live in-process service (``kind`` is the job route).  Per-job bytes
+#: and PSNR are deterministic -- the service runs the exact serial
+#: pipeline -- while throughput lands under ``timing``.
+SERVICE_CASES: Tuple[Tuple[str, str, str, float], ...] = (
+    ("compress", "ATM", "CLDHGH", 40.0),
+    ("compress", "ATM", "CLDHGH", 80.0),
+    ("compress", "ATM", "FLDS", 40.0),
+    ("compress", "ATM", "FLDS", 80.0),
 )
 
 
@@ -318,6 +336,74 @@ def run_autotune_bench() -> Dict:
     }
 
 
+def run_service_bench() -> Dict:
+    """Submit the service corpus through a live in-process service and
+    return the ``BENCH_service.json`` document.
+
+    Every job is submitted up front (so micro-batching and the queue
+    actually engage) and awaited; the deterministic block per job is
+    the serial pipeline's output -- compressed bytes, ratio, achieved
+    PSNR, terminal state -- which the service must reproduce exactly.
+    Queue/batch scheduling shows up only under ``timing``.
+    """
+    import time
+
+    from repro.service.testing import ServiceThread
+
+    t0 = time.perf_counter()
+    rows: List[Dict] = []
+    with ServiceThread(n_workers=2, no_ledger=True) as st:
+        client = st.client(timeout=300)
+        jobs = [
+            (
+                client.submit(
+                    kind,
+                    {
+                        "dataset": dataset,
+                        "field": field,
+                        "target": target,
+                    },
+                ),
+                (kind, dataset, field, target),
+            )
+            for kind, dataset, field, target in SERVICE_CASES
+        ]
+        for job_id, (kind, dataset, field, target) in jobs:
+            doc = client.wait(job_id, timeout=300)
+            result = doc.get("result") or {}
+            rows.append(
+                {
+                    "id": f"{kind}:{_case_id(dataset, field, 'sz', target)}",
+                    "deterministic": {
+                        "state": doc.get("state"),
+                        "compressed_bytes": result.get("compressed_bytes"),
+                        "ratio": round(float(result.get("ratio", 0.0)), 6),
+                        "achieved_psnr": round(
+                            float(result.get("achieved_psnr", 0.0)), 6
+                        ),
+                    },
+                    "timing": {
+                        "queued_s": doc.get("queued_s"),
+                        "running_s": doc.get("running_s"),
+                    },
+                }
+            )
+    wall = time.perf_counter() - t0
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "service",
+        "git_rev": git_rev(),
+        "case": {
+            "cases": [r["id"] for r in rows],
+            "results": rows,
+            "timing": {
+                "wall_s": wall,
+                "jobs_per_s": round(len(rows) / wall, 4) if wall > 0 else 0.0,
+            },
+        },
+    }
+
+
 def write_baselines(directory: str = ".") -> List[Path]:
     """Run the full corpus and write both baseline files into
     ``directory``.  Returns the paths written."""
@@ -328,6 +414,7 @@ def write_baselines(directory: str = ".") -> List[Path]:
         ("compress", run_compress_bench()),
         ("sweep", run_sweep_bench()),
         ("autotune", run_autotune_bench()),
+        ("service", run_service_bench()),
     ):
         path = outdir / BASELINE_FILES[name]
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -478,6 +565,7 @@ def check_baselines(
         "compress": run_compress_bench,
         "sweep": run_sweep_bench,
         "autotune": run_autotune_bench,
+        "service": run_service_bench,
     }
     failures: List[str] = []
     warnings: List[str] = []

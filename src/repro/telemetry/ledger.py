@@ -189,9 +189,54 @@ def ledger_path(override: Optional[str] = None) -> Path:
     return DEFAULT_LEDGER_PATH
 
 
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _fcntl = None
+
+
+def _write_line(target: Path, line: str) -> None:
+    """Write one complete ledger line, safely under concurrent writers.
+
+    Two layers of protection: the line goes out as a **single**
+    ``os.write`` on an ``O_APPEND`` descriptor -- POSIX appends each
+    ``write`` atomically at the current end of file, so concurrent
+    writers cannot interleave *within* a line (pipe-style splitting
+    only starts past ``PIPE_BUF``-ish sizes on regular files, which is
+    why the advisory lock below also holds) -- and, where available, an
+    ``flock`` around the write serializes whole lines even for records
+    larger than any atomicity guarantee (autotune trajectories can run
+    to tens of kilobytes).  The lock is advisory: foreign writers that
+    skip it still can't corrupt readers worse than today, and
+    :func:`read_entries` already skips torn lines by design.
+    """
+    data = line.encode("utf-8")
+    fd = os.open(
+        target, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        if _fcntl is not None:
+            _fcntl.flock(fd, _fcntl.LOCK_EX)
+        try:
+            view = memoryview(data)
+            while view:  # a short write would tear the line; finish it
+                n = os.write(fd, view)
+                view = view[n:]
+        finally:
+            if _fcntl is not None:
+                _fcntl.flock(fd, _fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
+
+
 def append_entry(entry: LedgerEntry, path: Optional[str] = None) -> Path:
     """Append ``entry`` to the ledger, creating directories as needed.
-    Returns the path written."""
+    Returns the path written.
+
+    Safe under concurrent writers (multiple service workers, parallel
+    CLI runs): the whole record is serialized first and written as one
+    atomic append -- see :func:`_write_line`.
+    """
     target = ledger_path(path)
     if target.parent != Path("."):
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -201,8 +246,7 @@ def append_entry(entry: LedgerEntry, path: Optional[str] = None) -> Path:
         )
     if not entry.git_rev:
         entry.git_rev = git_rev()
-    with open(target, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry.as_dict(), sort_keys=True) + "\n")
+    _write_line(target, json.dumps(entry.as_dict(), sort_keys=True) + "\n")
     return target
 
 

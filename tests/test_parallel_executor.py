@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.parallel.executor import FieldResult, run_field_task, sweep_dataset
+from repro.parallel.executor import (
+    Executor,
+    FieldResult,
+    map_tasks,
+    run_field_task,
+    sweep_dataset,
+)
 
 
 class TestRunFieldTask:
@@ -68,6 +74,125 @@ class TestSweep:
         dev_lo = np.mean([abs(r.deviation) for r in results if r.target_psnr == 30.0])
         dev_hi = np.mean([abs(r.deviation) for r in results if r.target_psnr == 100.0])
         assert dev_hi <= dev_lo + 0.5
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestExecutor:
+    def test_inline_kind_forced_for_zero_workers(self):
+        with Executor(n_workers=0, kind="process") as ex:
+            assert ex.inline
+            assert ex.pool is None
+            assert ex.arena is None
+            assert ex.map(_double, [(1,), (2,)]) == [2, 4]
+
+    def test_bad_kind_and_transport_rejected(self):
+        with pytest.raises(ParameterError):
+            Executor(n_workers=2, kind="fiber")
+        with pytest.raises(ParameterError):
+            Executor(n_workers=2, transport="carrier-pigeon")
+
+    def test_thread_kind_matches_inline(self):
+        kwargs = dict(targets=[60.0], fields=["temperature"])
+        inline = sweep_dataset("NYX", **kwargs)
+        with Executor(n_workers=2, kind="thread") as ex:
+            threaded = sweep_dataset("NYX", executor=ex, **kwargs)
+        assert [r.as_dict() for r in inline] == [
+            r.as_dict() for r in threaded
+        ]
+
+    def test_process_kind_reused_across_sweeps(self):
+        kwargs = dict(targets=[60.0], fields=["temperature"])
+        inline = sweep_dataset("NYX", **kwargs)
+        with Executor(n_workers=2) as ex:
+            first = sweep_dataset("NYX", executor=ex, **kwargs)
+            pool = ex._pool
+            second = sweep_dataset("NYX", executor=ex, **kwargs)
+            assert ex._pool is pool  # same long-lived pool, no respawn
+        assert [r.as_dict() for r in inline] == [r.as_dict() for r in first]
+        assert [r.as_dict() for r in first] == [r.as_dict() for r in second]
+
+    def test_share_cache_runs_supplier_once(self):
+        calls = []
+
+        def supplier():
+            calls.append(1)
+            return np.arange(8.0)
+
+        with Executor(n_workers=2, kind="thread") as ex:
+            a = ex.share("k", supplier)
+            b = ex.share("k", supplier)
+            assert a is b
+            assert len(calls) == 1
+            assert ex.drop_cached("k")
+            assert not ex.drop_cached("k")
+
+    def test_map_tasks_uses_executor(self):
+        with Executor(n_workers=2, kind="thread") as ex:
+            assert map_tasks(_double, [(3,), (4,)], executor=ex) == [6, 8]
+
+    def test_closed_executor_rejects_work(self):
+        ex = Executor(n_workers=2, kind="thread")
+        ex.close()
+        ex.close()  # idempotent
+        assert ex.closed
+        with pytest.raises(ParameterError):
+            ex.submit(_double, 1)
+
+    def test_warm_spawns_workers(self):
+        with Executor(n_workers=2) as ex:
+            n = ex.warm()
+            assert 1 <= n <= 2
+        with Executor(n_workers=2, kind="thread") as ex:
+            assert ex.warm() == 0
+
+    def test_retry_path_with_executor(self):
+        from repro.resilience.inject import WorkerFault
+        from repro.resilience.retry import RetryPolicy
+
+        with Executor(n_workers=2) as ex:
+            results = sweep_dataset(
+                "NYX",
+                targets=[60.0],
+                fields=["temperature"],
+                executor=ex,
+                retry=RetryPolicy(max_retries=2, backoff_base=0.01),
+                fault=WorkerFault(
+                    kind="exception",
+                    fields=("temperature",),
+                    fail_attempts=1,
+                ),
+            )
+        assert results[0].ok
+        assert results[0].attempts == 2
+
+    def test_autotune_accepts_executor(self, smooth2d):
+        from repro.autotune import autotune
+
+        solo = autotune(smooth2d, "psnr", 60.0, max_trials=6)
+        with Executor(n_workers=2, kind="thread") as ex:
+            pooled = autotune(
+                smooth2d, "psnr", 60.0, max_trials=6, executor=ex
+            )
+        assert pooled.eb_rel == pytest.approx(solo.eb_rel)
+        assert pooled.achieved == pytest.approx(solo.achieved)
+
+    def test_chunked_accepts_executor(self, smooth2d):
+        from repro.parallel.chunking import (
+            compress_chunked,
+            decompress_chunked,
+        )
+
+        solo = compress_chunked(smooth2d, 1e-3, mode="rel", n_chunks=3)
+        with Executor(n_workers=2, kind="thread") as ex:
+            pooled = compress_chunked(
+                smooth2d, 1e-3, mode="rel", n_chunks=3, executor=ex
+            )
+            assert pooled == solo
+            recon = decompress_chunked(pooled, executor=ex)
+        np.testing.assert_array_equal(recon, decompress_chunked(solo))
 
 
 class TestPoolLifecycle:

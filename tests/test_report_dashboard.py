@@ -14,6 +14,7 @@ from repro.report.dashboard import (
     render_drift_section,
     render_ledger_section,
     render_metrics_section,
+    render_service_section,
     render_timeline_section,
     sparkline,
 )
@@ -72,6 +73,8 @@ class TestSectionsEmpty:
             render_metrics_section({}),
             render_bench_section(None),
             render_bench_section({}),
+            render_service_section(),
+            render_service_section([], {}),
             render_timeline_section(None),
             render_timeline_section({"traceEvents": []}),
         ]
@@ -121,6 +124,25 @@ class TestSectionsPopulated:
     def test_bench_section_tolerates_foreign_doc(self):
         frag = render_bench_section({"weird.json": {"cases": ["not-a-dict"]}})
         assert "no cases" in frag
+
+    def test_service_section(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("service.jobs_submitted_total").inc(5)
+        reg.counter("service.jobs_completed_total").inc(4)
+        entry = _conf_entry(0.1)
+        entry.extra["service"] = {
+            "job_id": "j000042", "priority": 5, "attempts": 1,
+            "batched": 3, "queued_s": 0.0042,
+        }
+        frag = render_service_section([entry], reg.snapshot())
+        assert "j000042" in frag
+        assert "submitted" in frag and "completed" in frag
+        assert "4.2 ms" in frag
+        # CLI-only entries (no extra.service) stay out of the table.
+        frag2 = render_service_section([_conf_entry(0.1)], reg.snapshot())
+        assert "j000042" not in frag2
 
     def test_timeline_section(self):
         doc = {"traceEvents": [

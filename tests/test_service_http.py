@@ -1,0 +1,143 @@
+"""Unit tests for the stdlib asyncio HTTP layer of the service."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    Request,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def _parse(data: bytes, max_body: int = 16 * 1024 * 1024):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, max_body=max_body)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        req = _parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+
+    def test_query_string_parsed(self):
+        req = _parse(b"GET /metrics?format=json&x=1 HTTP/1.1\r\n\r\n")
+        assert req.path == "/metrics"
+        assert req.query == {"format": "json", "x": "1"}
+
+    def test_post_with_body(self):
+        body = json.dumps({"dataset": "ATM"}).encode()
+        raw = (
+            b"POST /v1/compress HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        req = _parse(raw)
+        assert req.method == "POST"
+        assert json_body(req) == {"dataset": "ATM"}
+
+    def test_clean_close_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET / HTTP/1.1\r\nHost: x\r\n")
+        assert exc.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET / HTTP/1.1\r\nno colon here\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_chunked_body_is_501(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(
+                b"POST /v1/compress HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+            )
+        assert exc.value.status == 501
+
+    def test_bad_content_length_is_400(self):
+        for value in (b"nope", b"-5"):
+            with pytest.raises(HttpError) as exc:
+                _parse(
+                    b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+                )
+            assert exc.value.status == 400
+
+    def test_body_over_cap_is_413(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body=10,
+            )
+        assert exc.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert exc.value.status == 400
+
+    def test_giant_header_block_is_413(self):
+        raw = (
+            b"GET / HTTP/1.1\r\n"
+            + b"X-Pad: " + b"a" * (70 * 1024) + b"\r\n\r\n"
+        )
+        with pytest.raises(HttpError) as exc:
+            _parse(raw)
+        assert exc.value.status == 413
+
+
+class TestRenderResponse:
+    def test_shape(self):
+        raw = render_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 12" in head
+        assert b"Connection: close" in head
+        assert body == b'{"ok": true}'
+
+    def test_extra_headers_and_reason(self):
+        raw = render_response(
+            429, b"{}", extra_headers=(("Retry-After", "1"),)
+        )
+        assert raw.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Retry-After: 1\r\n" in raw
+
+    def test_unknown_status_still_renders(self):
+        assert render_response(418, b"").startswith(b"HTTP/1.1 418 ")
+
+
+class TestJsonBody:
+    def test_empty_body_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            json_body(Request(method="POST", path="/"))
+        assert exc.value.status == 400
+
+    def test_invalid_json_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            json_body(Request(method="POST", path="/", body=b"{nope"))
+        assert exc.value.status == 400
+
+    def test_non_object_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            json_body(Request(method="POST", path="/", body=b"[1, 2]"))
+        assert exc.value.status == 400
