@@ -7,9 +7,10 @@ Intended for CI and pre-commit use::
     PYTHONPATH=src python scripts/bench_gate.py --update    # rewrite
 
 ``--update`` reruns the corpus and rewrites the ``BENCH_*.json``
-baselines (compress, sweep, autotune, service) at the repo top level -- do this (and commit the
-result) whenever a PR intentionally changes compression output; the
-gate exists so that such changes are always explicit in the diff.
+baselines (compress, sweep, autotune, service, cache) at the repo top
+level -- do this (and commit the result) whenever a PR intentionally
+changes compression output; the gate exists so that such changes are
+always explicit in the diff.
 
 Anything else is forwarded to ``fpzc bench --check`` (notably
 ``--time-factor``); the exit code is the gate's verdict (1 on

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Blob-cache smoke driver: cold, warm, evict.
+
+Intended for CI (the ``cache-smoke`` job) and local sanity::
+
+    PYTHONPATH=src python scripts/cache_smoke.py [workdir]
+
+End-to-end exercise of the content-addressed compression cache
+(:mod:`repro.cache`) through the real CLI, one subprocess per run so
+every invocation starts with a fresh metrics registry:
+
+1. A cold ``fpzc compress --cache`` must record a cache miss and
+   populate the store.
+2. The identical warm rerun must record a cache hit, write a
+   bit-identical container, and its trace must contain **zero** codec
+   spans -- the blob came off disk, nothing was recompressed.
+3. Two different fields through a store bounded just above one entry
+   (``--cache-max-bytes``) must evict the older entry and keep the
+   on-disk footprint under the bound.
+
+Exit code 0 when every stage holds; the first violated stage prints
+and fails the script.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+TARGET = "60"
+# Any of these in a warm-run trace means the codec actually ran.
+CODEC_SPANS = (
+    "fixed_psnr.compress",
+    "sz.compress",
+    "derive_bound",
+    "quantize",
+    "escape",
+    "entropy",
+)
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"{'ok' if ok else 'FAIL'}: {label}")
+    if not ok:
+        sys.exit(1)
+
+
+def fpzc(args, env) -> subprocess.CompletedProcess:
+    proc = subprocess.run(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.cli.main import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            *args,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr)
+    return proc
+
+
+def metric(path: Path, name: str) -> float:
+    doc = json.loads(path.read_text())
+    entry = doc.get("metrics", {}).get(name)
+    return float(entry["value"]) if entry else 0.0
+
+
+def tree_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def run(workdir: str = ".") -> int:
+    work = Path(workdir)
+    work.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+
+    field_a = work / "CLDHGH.npy"
+    field_b = work / "FLDS.npy"
+    check(
+        "generate inputs",
+        fpzc(["gen", "ATM", "CLDHGH", "-o", str(field_a)], env).returncode == 0
+        and fpzc(["gen", "ATM", "FLDS", "-o", str(field_b)], env).returncode == 0,
+    )
+
+    cache = work / "cache"
+    base = ["--psnr", TARGET, "--cache", "--cache-dir", str(cache)]
+
+    cold_out = work / "cold.fpz"
+    cold_metrics = work / "cold_metrics.json"
+    check(
+        "cold compress exits 0",
+        fpzc(
+            ["compress", str(field_a), "-o", str(cold_out), *base,
+             "--metrics", str(cold_metrics)],
+            env,
+        ).returncode == 0,
+    )
+    check(
+        "cold run is a miss",
+        metric(cold_metrics, "cache.misses_total") >= 1
+        and metric(cold_metrics, "cache.hits_total") == 0,
+    )
+
+    warm_out = work / "warm.fpz"
+    warm_metrics = work / "warm_metrics.json"
+    warm_trace = work / "warm_trace.json"
+    check(
+        "warm compress exits 0",
+        fpzc(
+            ["compress", str(field_a), "-o", str(warm_out), *base,
+             "--metrics", str(warm_metrics), "--trace-json", str(warm_trace)],
+            env,
+        ).returncode == 0,
+    )
+    check("warm run is a hit", metric(warm_metrics, "cache.hits_total") >= 1)
+    check(
+        "warm output bit-identical to cold",
+        cold_out.read_bytes() == warm_out.read_bytes(),
+    )
+    spans = json.loads(warm_trace.read_text()).get("spans", [])
+    codec_hits = [
+        s["path"] for s in spans
+        if any(name in s["path"].split("/") for name in CODEC_SPANS)
+    ]
+    check(f"warm trace has zero codec spans {codec_hits or ''}", not codec_hits)
+
+    # Eviction: bound the store just above one entry, push two through.
+    tight = work / "tight_cache"
+    bound = cold_out.stat().st_size + 4096
+    evict_metrics = work / "evict_metrics.json"
+    check(
+        "bounded-store compresses exit 0",
+        fpzc(
+            ["compress", str(field_a), "-o", str(work / "tight_a.fpz"),
+             "--psnr", TARGET, "--cache", "--cache-dir", str(tight),
+             "--cache-max-bytes", str(bound)],
+            env,
+        ).returncode == 0
+        and fpzc(
+            ["compress", str(field_b), "-o", str(work / "tight_b.fpz"),
+             "--psnr", TARGET, "--cache", "--cache-dir", str(tight),
+             "--cache-max-bytes", str(bound),
+             "--metrics", str(evict_metrics)],
+            env,
+        ).returncode == 0,
+    )
+    check(
+        "second entry evicted the first",
+        metric(evict_metrics, "cache.evictions_total") >= 1,
+    )
+    check(
+        f"store stays under --cache-max-bytes ({tree_bytes(tight)} <= {bound})",
+        tree_bytes(tight) <= bound,
+    )
+
+    print("cache smoke: all stages passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1] if len(sys.argv) > 1 else "."))

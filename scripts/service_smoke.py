@@ -20,7 +20,11 @@ End-to-end exercise of the compression service as a real subprocess
 4. Both runs must land in the ledger with ``extra.service`` attached,
    and ``fpzc drift --ledger`` must read that history (exit 0 or 2 --
    anything but a parse/IO failure).
-5. ``SIGTERM`` must drain the server to exit code 0 within the grace
+5. With ``--expect-cache-hit``, the server runs with ``--cache`` and a
+   second identical compress submit must answer an instant ``200``
+   with ``cached: true`` and the exact blob of the first run, and the
+   ``fpzc_cache_hits_total`` counter must be nonzero.
+6. ``SIGTERM`` must drain the server to exit code 0 within the grace
    window.
 
 Exit code 0 when every stage holds; the first violated stage prints
@@ -68,21 +72,26 @@ def wait_ready(client: ServiceClient, budget_s: float = 30.0) -> bool:
     return False
 
 
-def run(workdir: str = ".") -> int:
+def run(workdir: str = ".", expect_cache_hit: bool = False) -> int:
     work = Path(workdir)
     work.mkdir(parents=True, exist_ok=True)
     ledger = str(work / "service_ledger.jsonl")
 
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
+    serve_args = [
+        "serve",
+        "--port", str(PORT), "--workers", "2", "--pool", "process",
+        "--ledger", ledger, "--grace", "30",
+    ]
+    if expect_cache_hit:
+        serve_args += ["--cache", "--cache-dir", str(work / "cache")]
     server = subprocess.Popen(
         [
             sys.executable, "-c",
             "import sys; from repro.cli.main import main; "
             "sys.exit(main(sys.argv[1:]))",
-            "serve",
-            "--port", str(PORT), "--workers", "2", "--pool", "process",
-            "--ledger", ledger, "--grace", "30",
+            *serve_args,
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -138,11 +147,33 @@ def run(workdir: str = ".") -> int:
             and value("fpzc_service_queue_seconds_count") >= 1,
         )
 
+        if expect_cache_hit:
+            # Same spec as the first compress job: the blob cache must
+            # answer at admission, without touching the queue.
+            doc = client._json(
+                "POST",
+                "/v1/compress",
+                {
+                    "dataset": "ATM",
+                    "field": "CLDHGH",
+                    "mode": "psnr",
+                    "target": TARGET,
+                    "codec": "sz",
+                },
+            )
+            check("warm submit answered from cache", doc.get("cached") is True)
+            check("warm submit already done", doc.get("state") == "done")
+            warm_blob = client.fetch_blob(str(doc["id"]))
+            check("cached blob bit-identical to first run", warm_blob == blob)
+            metrics = client.metrics_text()
+            check("cache hit counter nonzero", value("fpzc_cache_hits_total") >= 1)
+
         entries, skipped = read_entries(path=ledger)
+        expected_entries = 3 if expect_cache_hit else 2
         check(
-            "both runs in the ledger with extra.service",
+            "all runs in the ledger with extra.service",
             skipped == 0
-            and len(entries) == 2
+            and len(entries) == expected_entries
             and all("service" in (e.extra or {}) for e in entries),
         )
         check(
@@ -167,4 +198,7 @@ def run(workdir: str = ".") -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(run(sys.argv[1] if len(sys.argv) > 1 else "."))
+    argv = sys.argv[1:]
+    expect_hit = "--expect-cache-hit" in argv
+    argv = [a for a in argv if a != "--expect-cache-hit"]
+    sys.exit(run(argv[0] if argv else ".", expect_cache_hit=expect_hit))

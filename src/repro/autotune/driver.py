@@ -37,7 +37,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 import repro.observe as observe
-from repro.autotune.cache import TrialCache, fingerprint, warm_start
+from repro.autotune.cache import (
+    TrialCache,
+    fingerprint,
+    warm_start,
+    warm_start_from_store,
+)
 from repro.autotune.objective import Objective, get_objective
 from repro.autotune.search import (
     DEFAULT_EB_HI,
@@ -249,6 +254,7 @@ def autotune(
     transport: str = "auto",
     executor=None,
     cache: Optional[TrialCache] = None,
+    store=None,
     ledger_entries: Optional[Sequence] = None,
     keep_blob: bool = True,
     **codec_options,
@@ -290,6 +296,12 @@ def autotune(
     cache:
         A :class:`TrialCache` to reuse across calls (sibling fields,
         repeated targets); a private one is created per call otherwise.
+    store:
+        A :class:`repro.cache.CacheStore` backing the trial cache, so
+        trials persist across processes and the warm start can mine
+        prior runs' achieved PSNR from the store when the ledger has
+        nothing (ignored when an explicit ``cache`` is passed that
+        already has a backend).
     keep_blob:
         Keep the compressed container of the best full-data trial on
         the result (so converged output needs no recompression).
@@ -324,7 +336,10 @@ def autotune(
     from repro.telemetry.registry import RATIO_BUCKETS, metrics
 
     reg = metrics()
-    cache = cache if cache is not None else TrialCache()
+    if cache is None:
+        cache = TrialCache(store=store)
+    elif store is not None and cache.store is None:
+        cache.store = store
     fan_out = (
         executor is not None and not executor.inline
     ) or n_workers > 0
@@ -339,6 +354,8 @@ def autotune(
         guess = initial
         if guess is None and ledger_entries:
             guess = warm_start(obj, ledger_entries)
+        if guess is None and cache.store is not None:
+            guess = warm_start_from_store(obj, cache.store, fp)
         if guess is None:
             guess = obj.default_guess(data)
         guess = min(eb_hi, max(eb_lo, float(guess)))
@@ -437,6 +454,12 @@ def autotune(
     if result.converged:
         reg.counter("autotune.converged_total").inc()
     reg.counter("autotune.cache_hits_total").inc(cache.hits)
+    if cache.store_hits:
+        reg.counter(
+            "autotune.store_hits_total",
+            help="trial-cache hits served by the persistent store",
+            deterministic=False,
+        ).inc(cache.store_hits)
     reg.gauge("autotune.last_trials").set(n_trials)
     reg.histogram(
         "autotune.cache_hit_ratio", buckets=RATIO_BUCKETS

@@ -1,0 +1,26 @@
+"""Content-addressed compression cache shared by every entry point.
+
+See :mod:`repro.cache.store` for the on-disk contract and
+``docs/CACHING.md`` for the operator's view (key schema, invalidation,
+eviction, service semantics).
+"""
+
+from repro.cache.store import (
+    CACHE_SCHEMA_VERSION,
+    CacheEntry,
+    CacheStore,
+    blob_key,
+    cache_path,
+    data_digest,
+    trial_key,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheEntry",
+    "CacheStore",
+    "blob_key",
+    "cache_path",
+    "data_digest",
+    "trial_key",
+]

@@ -77,6 +77,59 @@ def _transport(args) -> str:
     return "shm" if args.shm else "pickle"
 
 
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the shared-cache flag set (``--cache``/``--no-cache``,
+    ``--cache-dir``, ``--cache-max-bytes``).
+
+    The cache is opt-in (``--cache``); ``--no-cache`` exists so a
+    wrapper script that defaults the flag on can still be overridden
+    per invocation.  See :mod:`repro.cache` / ``docs/CACHING.md``.
+    """
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=False,
+        help="serve and record results through the content-addressed "
+        "blob cache (default dir .fpzc/cache or $FPZC_CACHE)",
+    )
+    group.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="bypass the blob cache even when a wrapper enables it",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="cache directory (default .fpzc/cache or $FPZC_CACHE)",
+    )
+    p.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        dest="cache_max_bytes",
+        metavar="N",
+        help="LRU size bound for the cache; an eviction pass runs "
+        "after every write (default: unbounded)",
+    )
+
+
+def _cache_store(args):
+    """The :class:`repro.cache.CacheStore` the flags ask for, or None
+    when caching is off."""
+    if not getattr(args, "cache", False):
+        return None
+    from repro.cache import CacheStore, cache_path
+
+    return CacheStore(
+        root=str(cache_path(getattr(args, "cache_dir", None))),
+        max_bytes=getattr(args, "cache_max_bytes", None),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     from repro.version import __version__
@@ -209,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not append this traced run to the ledger",
     )
+    _add_cache_flags(p_c)
 
     p_at = sub.add_parser(
         "autotune",
@@ -314,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not append this run to the ledger",
     )
+    _add_cache_flags(p_at)
 
     p_d = sub.add_parser("decompress", help="decompress a container")
     p_d.add_argument("input", help="compressed container file")
@@ -457,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not append this traced sweep to the ledger",
     )
+    _add_cache_flags(p_s)
 
     p_b = sub.add_parser(
         "bench",
@@ -627,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept deterministic fault specs in job payloads "
         "(testing only)",
     )
+    _add_cache_flags(p_sv)
 
     p_sub = sub.add_parser(
         "submit", help="submit a compression job to a running service"
@@ -687,13 +744,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _compress_blob(args, data):
+def _compress_blob(args, data, store=None):
     """Dispatch ``compress`` arguments to the right codec.
 
     Returns ``(blob, mode, target)`` where ``mode`` names the control
     mode the user asked for (``"psnr"``, ``"nrmse"``, ``"mse"``,
     ``"ratio"``, ``"rate"`` or ``"bound"``) and ``target`` is the
     requested value in that unit (``None`` for plain error-bound runs).
+    ``store`` (a :class:`repro.cache.CacheStore`) feeds the ``--ratio``
+    autotune search's trial cache so repeated searches converge from
+    prior probes instead of from scratch.
     """
     from repro.core.fixed_psnr import FixedPSNRCompressor
     from repro.errors import ParameterError
@@ -743,6 +803,7 @@ def _compress_blob(args, data):
             codec=args.codec,
             tol=args.tol,
             keep_blob=True,
+            store=store,
         )
         print(result.report(), file=sys.stderr)
         blob = result.blob
@@ -845,6 +906,61 @@ def _compress_chunked_blob(args, data):
     )
 
 
+def _compress_cache_key(args, data) -> str:
+    """The content-addressed cache key for this ``compress`` invocation.
+
+    Mirrors :func:`_compress_blob`'s mode dispatch so that every knob
+    that can change the output bytes (mode, target/bound, codec,
+    refinement, entropy stage, chunking, ratio tolerance) lands in the
+    key.  The fixed-PSNR key deliberately matches the one written by
+    :func:`repro.parallel.executor.sweep_dataset`, so a sweep warms the
+    cache for later single-field ``compress`` calls and vice versa.
+    """
+    from repro.cache import blob_key, data_digest
+
+    digest = data_digest(data)
+    opts = dict(
+        refine="histogram" if args.refine else None,
+        entropy=args.entropy,
+        chunks=args.chunks or None,
+    )
+    if args.psnr is not None:
+        return blob_key(
+            digest, codec=args.codec, mode="psnr",
+            target=float(args.psnr), **opts,
+        )
+    if args.nrmse is not None:
+        return blob_key(
+            digest, codec=args.codec, mode="nrmse",
+            target=float(args.nrmse), **opts,
+        )
+    if args.mse is not None:
+        return blob_key(
+            digest, codec=args.codec, mode="mse",
+            target=float(args.mse), **opts,
+        )
+    if args.ratio is not None:
+        return blob_key(
+            digest, codec=args.codec, mode="ratio",
+            target=float(args.ratio), tol=float(args.tol), **opts,
+        )
+    if args.bit_rate is not None:
+        return blob_key(
+            digest, codec=args.codec, mode="rate",
+            target=float(args.bit_rate), **opts,
+        )
+    if args.pw_rel_bound is not None:
+        return blob_key(
+            digest, codec=args.codec, mode="pw_rel",
+            bound=float(args.pw_rel_bound), **opts,
+        )
+    bmode = "abs" if args.abs_bound is not None else "rel"
+    bound = args.abs_bound if args.abs_bound is not None else args.rel_bound
+    return blob_key(
+        digest, codec=args.codec, mode=bmode, bound=float(bound), **opts,
+    )
+
+
 def _write_metrics(path: str) -> None:
     """Dump the process metrics registry to ``path`` (format by suffix)."""
     from repro.report import render_metrics_json, render_prometheus
@@ -900,11 +1016,29 @@ def _cmd_compress(args) -> int:
     from repro.observe import Trace, use_trace
 
     data = np.load(args.input)
+    store = _cache_store(args)
+    cache_key = None
+    cache_entry = None
+    if store is not None:
+        cache_key = _compress_cache_key(args, data)
+        cache_entry = store.get(cache_key)
+    cache_hit = cache_entry is not None
     traced = (
         args.trace or args.trace_json or args.trace_perfetto
         or args.profile_mem
     )
-    if traced:
+    if cache_hit:
+        # Serve the stored bytes without touching a codec: the only
+        # span a traced warm run records is ``cache.hit``.
+        blob = cache_entry.payload
+        mode = cache_entry.meta.get("mode", "bound")
+        target = cache_entry.meta.get("target")
+        if traced:
+            tr = Trace()
+            with use_trace(tr):
+                with tr.span("cache.hit") as sp:
+                    sp.set("bytes", len(blob))
+    elif traced:
         tr = Trace()
         with ExitStack() as stack:
             stack.enter_context(use_trace(tr))
@@ -912,19 +1046,31 @@ def _cmd_compress(args) -> int:
                 from repro.telemetry.memory import profile_memory
 
                 stack.enter_context(profile_memory())
-            blob, mode, target = _compress_blob(args, data)
+            blob, mode, target = _compress_blob(args, data, store=store)
     else:
-        blob, mode, target = _compress_blob(args, data)
+        blob, mode, target = _compress_blob(args, data, store=store)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     ratio = data.nbytes / len(blob)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes (CR {ratio:.2f})")
 
     # When a quality (or ratio) target was requested, decompress once
-    # and report how close the run actually landed.
+    # and report how close the run actually landed.  A cache hit skips
+    # the measurement too: the achieved numbers were stored with the
+    # blob when it was first compressed and the bytes are identical.
     achieved_psnr = None
     achieved = None
-    if mode in ("psnr", "nrmse", "mse", "ratio") and args.codec != "embedded":
+    if cache_hit:
+        m = cache_entry.meta.get("metrics") or {}
+        achieved_psnr = m.get("achieved_psnr")
+        achieved = m.get("achieved")
+        print(f"cache: hit {cache_key[:16]} ({store.root})", file=sys.stderr)
+        if achieved_psnr is not None:
+            line = f"achieved: PSNR {achieved_psnr:.2f} dB"
+            if target is not None:
+                line += f" (target {target:g}, cached)"
+            print(line)
+    elif mode in ("psnr", "nrmse", "mse", "ratio") and args.codec != "embedded":
         from repro.metrics.distortion import mse as measure_mse
         from repro.metrics.distortion import nrmse as measure_nrmse
         from repro.metrics.distortion import psnr as measure_psnr
@@ -947,6 +1093,24 @@ def _cmd_compress(args) -> int:
             line += f" (target {target:g})"
         print(line)
 
+    if store is not None and not cache_hit:
+        meta = {
+            "kind": "blob",
+            "dataset": args.input,
+            "codec": args.codec,
+            "mode": mode,
+            "target": target,
+            "metrics": {
+                "achieved_psnr": achieved_psnr,
+                "achieved": achieved,
+                "ratio": float(ratio),
+                "raw_bytes": int(data.nbytes),
+                "compressed_bytes": len(blob),
+            },
+        }
+        store.put(cache_key, blob, meta)
+        print(f"cache: miss, stored {cache_key[:16]}", file=sys.stderr)
+
     if traced:
         from repro.telemetry.registry import record_trace
 
@@ -961,8 +1125,13 @@ def _cmd_compress(args) -> int:
             _write_perfetto(tr, args.trace_perfetto)
         # Fixed-PSNR conformance: the Eq. 7/8 prediction at the derived
         # bound next to what the run actually measured (ledger schema 3).
+        # Warm-cache runs never re-record conformance: the replayed
+        # measurement would double-count the original run's point in
+        # the drift history.
         extra = {}
-        if mode == "psnr" and achieved_psnr is not None:
+        if store is not None:
+            extra["cache"] = {"hit": cache_hit, "key": cache_key}
+        if not cache_hit and mode == "psnr" and achieved_psnr is not None:
             eb_rel = _trace_eb_rel(tr)
             if eb_rel is not None:
                 from repro.core.fixed_psnr import estimate_psnr_from_bound
@@ -1027,6 +1196,8 @@ def _cmd_autotune(args) -> int:
         except OSError:
             ledger_entries = None
 
+    store = _cache_store(args)
+
     # Always trace: the ledger record and --trace/--metrics output are
     # both built from the per-trial spans.
     tr = Trace()
@@ -1048,6 +1219,7 @@ def _cmd_autotune(args) -> int:
             transport=_transport(args),
             ledger_entries=ledger_entries,
             keep_blob=args.output is not None,
+            store=store,
         )
 
     from repro.telemetry.registry import record_trace
@@ -1077,6 +1249,25 @@ def _cmd_autotune(args) -> int:
     if not args.no_ledger:
         from repro.telemetry.ledger import entry_from_trace
 
+        at_extra = {
+            "objective": result.objective,
+            "eb_rel": result.eb_rel,
+            "tolerance": result.tolerance,
+            "converged": result.converged,
+            "n_trials": result.n_trials,
+            "cache_hits": result.cache_hits,
+            "subsample_trials": result.subsample_trials,
+            "stop_reason": result.stop_reason,
+            "trajectory": result.search.as_dict()["trajectory"],
+        }
+        if store is not None:
+            from repro.telemetry.registry import metrics as _metrics
+
+            m = _metrics().get("autotune.store_hits_total")
+            at_extra["cache"] = {
+                "store": str(store.root),
+                "store_hits": 0 if m is None else int(m.value),
+            }
         _append_ledger(
             args,
             entry_from_trace(
@@ -1096,17 +1287,7 @@ def _cmd_autotune(args) -> int:
                 compressed_bytes=(
                     len(result.blob) if result.blob else None
                 ),
-                extra={
-                    "objective": result.objective,
-                    "eb_rel": result.eb_rel,
-                    "tolerance": result.tolerance,
-                    "converged": result.converged,
-                    "n_trials": result.n_trials,
-                    "cache_hits": result.cache_hits,
-                    "subsample_trials": result.subsample_trials,
-                    "stop_reason": result.stop_reason,
-                    "trajectory": result.search.as_dict()["trajectory"],
-                },
+                extra=at_extra,
             ),
         )
     if args.metrics:
@@ -1180,6 +1361,7 @@ def _cmd_sweep(args) -> int:
             task_timeout=args.task_timeout,
             seed=args.retry_seed,
         )
+    cache = _cache_store(args)
     tr = None
     if args.trace or args.trace_perfetto or args.profile_mem:
         from contextlib import ExitStack
@@ -1203,6 +1385,7 @@ def _cmd_sweep(args) -> int:
                 profile_mem=args.profile_mem,
                 retry=retry,
                 transport=_transport(args),
+                cache=cache,
             )
     else:
         results = sweep_dataset(
@@ -1213,9 +1396,17 @@ def _cmd_sweep(args) -> int:
             n_workers=args.workers,
             retry=retry,
             transport=_transport(args),
+            cache=cache,
         )
     ok_results = [r for r in results if r.status == "ok"]
     failed = [r for r in results if r.status != "ok"]
+    if cache is not None:
+        hits = sum(1 for r in ok_results if r.cache_hit)
+        print(
+            f"cache: {hits} hit(s) / {len(ok_results) - hits} miss(es) "
+            f"({cache.root})",
+            file=sys.stderr,
+        )
     if tr is not None:
         from repro.telemetry.registry import record_trace
 
@@ -1226,7 +1417,18 @@ def _cmd_sweep(args) -> int:
             from repro.telemetry.ledger import entry_from_trace
 
             extra = {"targets": [float(t) for t in args.targets]}
-            if ok_results:
+            if cache is not None:
+                extra["cache"] = {
+                    "store": str(cache.root),
+                    "hits": sum(1 for r in ok_results if r.cache_hit),
+                    "misses": sum(
+                        1 for r in ok_results if not r.cache_hit
+                    ),
+                }
+            # Cache hits replay previously recorded measurements, so
+            # only freshly compressed fields feed the drift history.
+            fresh_results = [r for r in ok_results if not r.cache_hit]
+            if fresh_results:
                 # One conformance record per target: the mean Eq. 7/8
                 # prediction at each field's derived bound vs the mean
                 # achieved PSNR across the target's fields.
@@ -1234,7 +1436,7 @@ def _cmd_sweep(args) -> int:
                 from repro.telemetry.drift import record_conformance
 
                 by_target = {}
-                for r in ok_results:
+                for r in fresh_results:
                     by_target.setdefault(float(r.target_psnr), []).append(r)
                 extra["conformance"] = [
                     record_conformance(
@@ -1560,6 +1762,11 @@ def _cmd_serve(args) -> int:
 
     from repro.service import ServiceConfig, run_service
 
+    cache_dir = None
+    if args.cache:
+        from repro.cache import cache_path
+
+        cache_dir = str(cache_path(args.cache_dir))
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -1575,6 +1782,8 @@ def _cmd_serve(args) -> int:
         no_ledger=args.no_ledger,
         allow_faults=args.allow_faults,
         trace_perfetto=args.trace_perfetto,
+        cache_dir=cache_dir,
+        cache_max_bytes=args.cache_max_bytes if args.cache else None,
     )
     print(
         f"fpzc service on http://{config.host}:{config.port} "

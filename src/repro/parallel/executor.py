@@ -330,6 +330,11 @@ class FieldResult:
     error: Optional[str] = None
     error_code: Optional[str] = None
     attempts: int = 1
+    #: Whether the result was served from the shared blob cache
+    #: (:mod:`repro.cache`) instead of a fresh compression.  Excluded
+    #: from equality so cached and fresh outcomes compare identical --
+    #: the cache's correctness contract.
+    cache_hit: bool = dc_field(default=False, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -377,6 +382,7 @@ def run_field_task(
     collect_trace: bool = False,
     profile_mem: bool = False,
     data_ref=None,
+    cache=None,
     fault=None,
     attempt: int = 0,
 ) -> FieldResult:
@@ -400,6 +406,13 @@ def run_field_task(
     identical either way (the registry is deterministic), which is what
     the differential suite asserts.
 
+    ``cache`` is an optional :class:`repro.cache.CacheStore` (it
+    pickles into workers as just a path + bound): a prior run's blob
+    for the same (data, codec, target, refine) is replayed with its
+    recorded measurements instead of recompressing, and fresh blobs
+    are written through for the next run.  Cached and fresh results
+    are equal by construction (differential-tested).
+
     ``fault`` is an optional
     :class:`repro.resilience.inject.WorkerFault` evaluated before any
     real work -- the deterministic stand-in for worker crashes, hangs
@@ -418,7 +431,7 @@ def run_field_task(
         with open_payload(data_ref) as data:
             return _execute_field_task(
                 dataset, field, target_psnr, data, refine, codec,
-                collect_trace, profile_mem,
+                collect_trace, profile_mem, cache,
             )
     # Imports inside the function keep worker start-up lean.
     from repro.datasets.registry import get_dataset
@@ -426,8 +439,34 @@ def run_field_task(
     ds = get_dataset(dataset, scale=scale)
     return _execute_field_task(
         dataset, field, target_psnr, ds.field(field), refine, codec,
-        collect_trace, profile_mem,
+        collect_trace, profile_mem, cache,
     )
+
+
+def _cached_field_result(
+    dataset: str, field: str, target_psnr: float, entry
+) -> Optional[FieldResult]:
+    """Rebuild a :class:`FieldResult` from a cache entry's recorded
+    measurements, or None when the metadata is unusable (the caller
+    then recompresses -- a malformed entry must never poison a sweep).
+    """
+    m = entry.meta.get("metrics") or {}
+    try:
+        actual = float(m["achieved_psnr"])
+        return FieldResult(
+            dataset=dataset,
+            field=field,
+            target_psnr=float(target_psnr),
+            actual_psnr=actual,
+            deviation=actual - float(target_psnr),
+            met=bool(actual >= target_psnr),
+            compression_ratio=float(m["ratio"]),
+            bit_rate=float(m["bit_rate"]),
+            eb_rel=float(m["eb_rel"]),
+            cache_hit=True,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def _execute_field_task(
@@ -439,10 +478,30 @@ def _execute_field_task(
     codec: str,
     collect_trace: bool,
     profile_mem: bool,
+    cache=None,
 ) -> FieldResult:
     from repro.core.fixed_psnr import FixedPSNRCompressor
     from repro.metrics.distortion import psnr as measure_psnr
 
+    cache_key = None
+    if cache is not None:
+        from repro.cache.store import blob_key, data_digest
+
+        # Mirrors the CLI compress key exactly (same entropy default),
+        # so `fpzc compress` of the identical field shares the entry.
+        cache_key = blob_key(
+            data_digest(data),
+            codec=codec,
+            mode="psnr",
+            target=float(target_psnr),
+            refine=refine,
+            entropy="huffman",
+        )
+        entry = cache.get(cache_key)
+        if entry is not None:
+            hit = _cached_field_result(dataset, field, target_psnr, entry)
+            if hit is not None:
+                return hit
     comp = FixedPSNRCompressor(target_psnr, refine=refine, codec=codec)
     eb_rel = comp.derive_bound(data)
     metrics = None
@@ -464,7 +523,7 @@ def _execute_field_task(
         blob = comp.compress(data)
     recon = comp.decompress(blob)
     actual = measure_psnr(data, recon)
-    return FieldResult(
+    result = FieldResult(
         dataset=dataset,
         field=field,
         target_psnr=float(target_psnr),
@@ -476,6 +535,28 @@ def _execute_field_task(
         eb_rel=float(eb_rel),
         metrics=metrics,
     )
+    if cache is not None and cache_key is not None:
+        cache.put(
+            cache_key,
+            blob,
+            {
+                "kind": "blob",
+                "dataset": dataset,
+                "field": field,
+                "codec": codec,
+                "mode": "psnr",
+                "target": float(target_psnr),
+                "metrics": {
+                    "achieved_psnr": result.actual_psnr,
+                    "ratio": result.compression_ratio,
+                    "bit_rate": result.bit_rate,
+                    "eb_rel": result.eb_rel,
+                    "raw_bytes": int(data.nbytes),
+                    "compressed_bytes": len(blob),
+                },
+            },
+        )
+    return result
 
 
 def default_workers() -> int:
@@ -732,6 +813,7 @@ def sweep_dataset(
     fault=None,
     transport: str = "auto",
     executor: Optional[Executor] = None,
+    cache=None,
 ) -> List[FieldResult]:
     """Run every (field, target) combination of a data set.
 
@@ -767,6 +849,12 @@ def sweep_dataset(
     from the executor, field payloads go through its ``share`` cache
     (so a second sweep over the same dataset re-uses the segments), and
     nothing is torn down afterwards.
+
+    ``cache`` is an optional :class:`repro.cache.CacheStore`: every
+    task consults and feeds the shared blob cache (see
+    :func:`run_field_task`), so a repeated sweep replays from disk.
+    Hit results carry ``cache_hit=True`` but compare equal to fresh
+    ones.
     """
     from repro.datasets.registry import get_dataset
     from repro.parallel.shm import ShmArena, ShmArrayRef, resolve_transport
@@ -813,7 +901,7 @@ def sweep_dataset(
             refs[fname] = ref if isinstance(ref, ShmArrayRef) else None
     tasks: List[Tuple] = [
         (dataset, fname, float(t), scale, refine, codec, collect_trace,
-         profile_mem, refs.get(fname))
+         profile_mem, refs.get(fname), cache)
         for t in targets
         for fname in names
     ]

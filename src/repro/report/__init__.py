@@ -39,6 +39,7 @@ __all__ = [
     "render_salvage",
     "render_sweep_failures",
     "render_dashboard",
+    "render_cache_section",
 ]
 
 
@@ -361,4 +362,7 @@ def render_sweep_failures(results: Iterable[FieldResult]) -> str:
 # The HTML dashboard lives in its own module (it has no numpy/
 # FieldResult dependency); re-exported here so `from repro.report
 # import render_dashboard` works like every other renderer.
-from repro.report.dashboard import render_dashboard  # noqa: E402
+from repro.report.dashboard import (  # noqa: E402
+    render_cache_section,
+    render_dashboard,
+)

@@ -42,6 +42,7 @@ __all__ = [
     "render_metrics_section",
     "render_bench_section",
     "render_service_section",
+    "render_cache_section",
     "render_timeline_section",
     "sparkline",
     "load_bench_dir",
@@ -461,6 +462,86 @@ def render_service_section(
     )
 
 
+#: (metric name, tile label) pairs the cache panel summarizes.
+_CACHE_TILES = (
+    ("cache.hits_total", "hits"),
+    ("cache.misses_total", "misses"),
+    ("cache.evictions_total", "evictions"),
+    ("cache.bytes", "stored bytes"),
+)
+
+
+def render_cache_section(
+    entries: Sequence = (), snapshot: Optional[Dict] = None
+) -> str:
+    """The blob cache's behaviour: hit/miss/eviction/size tiles from
+    the ``cache.*`` metric family, the derived hit rate, and the most
+    recent runs that consulted the cache (ledger entries carrying an
+    ``extra.cache`` object)."""
+    metrics = (snapshot or {}).get("metrics", {})
+    tiles = []
+    values: Dict[str, float] = {}
+    for name, label in _CACHE_TILES:
+        entry = metrics.get(name)
+        if entry is None:
+            continue
+        values[name] = float(entry.get("value") or 0.0)
+        tiles.append(
+            '<div class="tile">'
+            f'<div class="tile-v">{_esc(_fmt(entry.get("value")))}</div>'
+            f'<div class="tile-l">{_esc(label)}</div></div>'
+        )
+    lookups = values.get("cache.hits_total", 0.0) + values.get(
+        "cache.misses_total", 0.0
+    )
+    if lookups > 0:
+        rate = values.get("cache.hits_total", 0.0) / lookups
+        tiles.append(
+            '<div class="tile">'
+            f'<div class="tile-v">{rate:.0%}</div>'
+            '<div class="tile-l">hit rate</div></div>'
+        )
+    cache_rows = []
+    for entry in entries:
+        extra = getattr(entry, "extra", None) or {}
+        doc = extra.get("cache")
+        if isinstance(doc, dict):
+            cache_rows.append((entry, doc))
+    if not tiles and not cache_rows:
+        return _section(
+            "cache", "Blob cache",
+            _empty("no cache traffic recorded"),
+        )
+    parts = []
+    if tiles:
+        parts.append(f'<div class="tiles">{"".join(tiles)}</div>')
+    if cache_rows:
+        headers = ["kind", "dataset", "field", "outcome", "key / store"]
+        rows = []
+        for entry, doc in cache_rows[-20:][::-1]:
+            if "hit" in doc:
+                outcome = "hit" if doc.get("hit") else "miss"
+            else:
+                outcome = (
+                    f"{_fmt(doc.get('hits'))} hit / "
+                    f"{_fmt(doc.get('misses'))} miss"
+                )
+            key = doc.get("key") or doc.get("store") or "–"
+            rows.append([
+                _esc(getattr(entry, "kind", "?")),
+                _esc(getattr(entry, "dataset", "?")),
+                _esc(getattr(entry, "field", "") or "–"),
+                _esc(outcome),
+                f"<code>{_esc(str(key)[:24])}</code>",
+            ])
+        parts.append(_table(headers, rows))
+    return _section(
+        "cache", "Blob cache", "".join(parts),
+        "content-addressed compression cache (repro.cache); hits serve "
+        "stored bytes without running a codec",
+    )
+
+
 def _trace_events(trace) -> List[Dict]:
     if isinstance(trace, dict):
         events = trace.get("traceEvents", [])
@@ -662,6 +743,7 @@ def render_dashboard(
         render_ledger_section(entries, limit=limit),
         render_drift_section(drift),
         render_service_section(entries, snapshot),
+        render_cache_section(entries, snapshot),
         render_timeline_section(trace),
         render_bench_section(bench),
         render_metrics_section(snapshot),

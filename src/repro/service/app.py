@@ -86,6 +86,8 @@ class ServiceConfig:
     keep_jobs: int = 512           # terminal jobs retained for GETs
     allow_faults: bool = False     # gate for test-only fault specs
     trace_perfetto: Optional[str] = None
+    cache_dir: Optional[str] = None      # None = blob cache disabled
+    cache_max_bytes: Optional[int] = None
 
     def validate(self) -> None:
         if self.n_workers < 0:
@@ -96,6 +98,8 @@ class ServiceConfig:
             raise ParameterError("batch_max must be >= 1")
         if self.grace_s < 0:
             raise ParameterError("grace_s must be >= 0")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ParameterError("cache_max_bytes must be >= 1")
 
 
 def _service_metrics():
@@ -129,6 +133,11 @@ def _service_metrics():
         ),
         "cancelled": reg.counter(
             "service.jobs_cancelled_total", help="jobs cancelled by clients"
+        ),
+        "deduped": reg.counter(
+            "service.jobs_deduped_total",
+            help="compress jobs coalesced onto an identical in-flight job",
+            deterministic=False,
         ),
         "timeouts": reg.counter(
             "service.jobs_timeout_total",
@@ -199,6 +208,20 @@ class CompressionService:
         self.trace = (
             observe.Trace() if self.config.trace_perfetto else None
         )
+        self.cache = None
+        if self.config.cache_dir:
+            from repro.cache import CacheStore
+
+            self.cache = CacheStore(
+                root=self.config.cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+            )
+        # (dataset, field, scale) -> content digest, so admission-time
+        # cache lookups hash each synthetic field at most once.
+        self._digest_memo: Dict[Tuple, str] = {}
+        # cache key -> followers of the in-flight primary job with that
+        # key; resolved when the primary reaches a terminal state.
+        self._inflight_keys: Dict[str, List[Job]] = {}
         self._git_rev = git_rev()
         self._ids = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -449,6 +472,55 @@ class CompressionService:
             raise HttpError(404, "job kept no blob (keep_blob=false)")
         return (200, job.blob, "application/octet-stream", ())
 
+    def _field_digest(self, spec: JobSpec) -> Optional[str]:
+        """Content digest of the job's field data, memoized per
+        (dataset, field, scale).  ``None`` for fields the registry
+        cannot produce -- those jobs fail through the normal path."""
+        memo_key = (spec.dataset, spec.field, spec.scale)
+        digest = self._digest_memo.get(memo_key)
+        if digest is None:
+            from repro.cache import data_digest
+            from repro.datasets.registry import get_dataset
+
+            try:
+                ds = get_dataset(spec.dataset, scale=spec.scale)
+                digest = data_digest(ds.field(spec.field))
+            except Exception:  # noqa: BLE001 -- bad dataset/field
+                return None
+            self._digest_memo[memo_key] = digest
+        return digest
+
+    def _cache_key(self, spec: JobSpec) -> Optional[str]:
+        """The blob-cache key for a cacheable job, else ``None``.
+
+        Only fixed-PSNR compress jobs are cached: their pipeline is
+        deterministic in the spec, so the key fully pins the output
+        bytes.  Search modes (ratio/nrmse/mse) converge through
+        history-dependent trajectories and stay uncached here.  The
+        key deliberately matches the one ``fpzc compress``/``sweep``
+        write, so CLI runs warm the service and vice versa.
+        """
+        if (
+            self.cache is None
+            or spec.kind != "compress"
+            or spec.mode != "psnr"
+            or spec.fault is not None
+        ):
+            return None
+        digest = self._field_digest(spec)
+        if digest is None:
+            return None
+        from repro.cache import blob_key
+
+        return blob_key(
+            digest,
+            codec=spec.codec,
+            mode="psnr",
+            target=float(spec.target),
+            refine=spec.refine,
+            entropy="huffman",
+        )
+
     def _submit(self, kind: str, request: Request):
         if not self._accepting:
             return self._json(
@@ -462,7 +534,39 @@ class CompressionService:
                 400, "fault injection is disabled on this server"
             )
         spec.traced = self.trace is not None
+        cache_key = self._cache_key(spec)
+        if cache_key is not None:
+            entry = self.cache.get(cache_key)
+            if entry is not None:
+                # Admission-time hit: the job is born terminal and the
+                # client gets the result in the submit response itself.
+                job = Job(f"j{next(self._ids):06d}", spec)
+                job.cache_key = cache_key
+                self.jobs[job.id] = job
+                self.metrics["submitted"].inc()
+                self._finish_cached(job, entry)
+                self._prune_jobs()
+                return self._json(
+                    200,
+                    {"id": job.id, "state": job.state, "cached": True},
+                )
+            followers = self._inflight_keys.get(cache_key)
+            if followers is not None:
+                # An identical job is already queued or running: ride
+                # it instead of recompressing the same bytes.
+                job = Job(f"j{next(self._ids):06d}", spec)
+                job.follower_of = cache_key
+                self.jobs[job.id] = job
+                followers.append(job)
+                self.metrics["submitted"].inc()
+                self.metrics["deduped"].inc()
+                self._prune_jobs()
+                return self._json(
+                    202,
+                    {"id": job.id, "state": job.state, "deduped": True},
+                )
         job = Job(f"j{next(self._ids):06d}", spec)
+        job.cache_key = cache_key
         if not self.queue.offer(job):
             self.metrics["rejected"].inc()
             # Hint: roughly how long the backlog needs to half-drain.
@@ -476,6 +580,8 @@ class CompressionService:
             )
         self.jobs[job.id] = job
         self._cancel_events[job.id] = asyncio.Event()
+        if cache_key is not None:
+            self._inflight_keys[cache_key] = []
         self.metrics["submitted"].inc()
         self.metrics["depth"].set(len(self.queue))
         self._wake.set()
@@ -490,9 +596,13 @@ class CompressionService:
         job.cancel_requested = True
         if job.state == "queued":
             job.finish("cancelled")
-            self.queue.cancel_queued(job)
+            # Followers were never admitted to the queue, so there is
+            # no heap entry (or depth) to tombstone for them.
+            if job.follower_of is None:
+                self.queue.cancel_queued(job)
             self.metrics["cancelled"].inc()
             self.metrics["depth"].set(len(self.queue))
+            self._resolve_followers(job)
         event = self._cancel_events.get(job.id)
         if event is not None:
             event.set()
@@ -581,6 +691,7 @@ class CompressionService:
             self.metrics["inflight"].set(self._inflight)
             self.metrics["job_s"].observe(time.monotonic() - t0)
             self._cancel_events.pop(job.id, None)
+            self._resolve_followers(job)
 
     async def _execute(self, job: Job) -> None:
         if job.terminal:  # cancelled while queued, popped as tombstone
@@ -603,6 +714,14 @@ class CompressionService:
             spec["traced"] = job.spec.traced
             if job.spec.fault is not None:
                 spec["fault"] = dict(job.spec.fault)
+            if self.cache is not None and job.spec.fault is None:
+                # Workers read and write the shared store themselves:
+                # hits skip the codec inside the pool, misses persist
+                # the fresh blob for every later entry point.
+                spec["cache"] = {
+                    "dir": str(self.cache.root),
+                    "max_bytes": self.cache.max_bytes,
+                }
             job.attempts += 1
             fut = self._submit_to_pool(loop, job, spec)
             waiter = loop.create_task(cancel_event.wait())
@@ -731,11 +850,77 @@ class CompressionService:
                 ),
             }
         }
+        if self.cache is not None and job.spec.kind == "compress":
+            extra["cache"] = {
+                "hit": bool(result.get("cached")),
+                "key": job.cache_key,
+            }
         conformance = self._conformance(job, result)
         if conformance is not None:
             extra["conformance"] = conformance
         if not self.config.no_ledger:
             self._append_ledger(job, result, extra)
+
+    def _finish_cached(self, job: Job, entry) -> None:
+        """Complete ``job`` from a cache entry at admission time: same
+        terminal bookkeeping as :meth:`_finish_ok`, blob and achieved
+        metrics replayed from the store, zero pool involvement."""
+        m = entry.meta.get("metrics") or {}
+        raw = m.get("raw_bytes")
+        result: Dict = {
+            "status": "ok",
+            "cached": True,
+            "blob": entry.payload,
+            "mode": job.spec.mode,
+            "target": float(job.spec.target),
+            "eb_rel": m.get("eb_rel"),
+            "achieved": m.get("achieved_psnr"),
+            "achieved_psnr": m.get("achieved_psnr"),
+            "converged": True,
+            "raw_bytes": raw,
+            "compressed_bytes": len(entry.payload),
+            "ratio": (
+                float(raw) / len(entry.payload) if raw else None
+            ),
+            "seconds": 0.0,
+        }
+        self._finish_ok(job, result)
+
+    def _resolve_followers(self, job: Job) -> None:
+        """Propagate a terminal primary job's outcome to every job that
+        was coalesced onto it (and retire its in-flight key)."""
+        if job.cache_key is None:
+            return
+        followers = self._inflight_keys.pop(job.cache_key, None)
+        if not followers:
+            return
+        for f in followers:
+            if f.terminal:  # cancelled while waiting
+                continue
+            f.attempts = job.attempts
+            if job.state == "done":
+                blob = job.blob
+                if f.spec.keep_blob and blob is None and self.cache:
+                    # Primary dropped its blob (keep_blob=false) but the
+                    # worker persisted it -- serve the follower from
+                    # the store.
+                    e = self.cache.get(job.cache_key)
+                    blob = e.payload if e is not None else None
+                f.blob = blob if f.spec.keep_blob else None
+                f.result = dict(job.result or {})
+                f.result["deduped"] = True
+                f.finish("done")
+                self.metrics["completed"].inc()
+            else:
+                f.error = job.error
+                f.error_code = job.error_code
+                f.finish(job.state)
+                if job.state == "failed":
+                    self.metrics["failed"].inc()
+                elif job.state == "timeout":
+                    self.metrics["timeouts"].inc()
+                elif job.state == "cancelled":
+                    self.metrics["cancelled"].inc()
 
     def _conformance(self, job: Job, result: Dict):
         """The same Eq. 7/8 predicted-vs-achieved payload CLI runs
@@ -744,6 +929,10 @@ class CompressionService:
         from repro.telemetry.drift import record_conformance
 
         spec = job.spec
+        if result.get("cached"):
+            # A replayed measurement: its conformance point was
+            # recorded when the blob was first compressed.
+            return None
         if spec.kind in ("compress", "autotune") and spec.mode == "psnr":
             eb_rel = result.get("eb_rel")
             achieved = result.get("achieved_psnr", result.get("achieved"))

@@ -181,7 +181,7 @@ class Job:
     __slots__ = (
         "id", "spec", "state", "submitted_at", "started_at", "finished_at",
         "deadline_at", "result", "blob", "error", "error_code", "attempts",
-        "batched", "cancel_requested",
+        "batched", "cancel_requested", "cache_key", "follower_of",
     )
 
     def __init__(self, job_id: str, spec: JobSpec):
@@ -203,6 +203,12 @@ class Job:
         self.attempts = 0
         self.batched = 1
         self.cancel_requested = False
+        # Blob-cache bookkeeping (see repro.service.app): the primary
+        # job for a cache key carries the key; a job coalesced onto an
+        # identical in-flight one carries that primary's id instead and
+        # is never enqueued itself.
+        self.cache_key: Optional[str] = None
+        self.follower_of: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -244,6 +250,8 @@ class Job:
             ),
             "has_blob": self.blob is not None,
         }
+        if self.follower_of is not None:
+            doc["deduped_onto"] = self.follower_of
         if self.started_at is not None:
             doc["running_s"] = round(
                 (self.finished_at or now) - self.started_at, 6

@@ -45,6 +45,17 @@ def _spec_fault(spec: Dict):
     )
 
 
+def _spec_cache(spec: Dict):
+    """The shared :class:`repro.cache.CacheStore` named by the spec's
+    ``cache`` document, or ``None`` when the service runs uncached."""
+    doc = spec.get("cache")
+    if not doc:
+        return None
+    from repro.cache import CacheStore
+
+    return CacheStore(root=doc.get("dir"), max_bytes=doc.get("max_bytes"))
+
+
 def _maybe_poisoned(spec: Dict) -> Optional[Dict]:
     """Apply a deterministic fault; ``None`` means proceed, a dict is
     a poisoned result to return verbatim (the dispatcher classifies
@@ -86,10 +97,45 @@ def run_compress_job(spec: Dict) -> Dict:
     traced = bool(spec.get("traced"))
     local = observe.Trace() if traced else None
 
+    cache = _spec_cache(spec)
+
     def _run() -> Dict:
         if mode == "psnr":
             from repro.core.fixed_psnr import FixedPSNRCompressor
 
+            cache_key = None
+            if cache is not None:
+                # Same key fpzc compress/sweep use, so entries flow
+                # freely between the CLI and the service.
+                from repro.cache import blob_key, data_digest
+
+                cache_key = blob_key(
+                    data_digest(data),
+                    codec=codec,
+                    mode="psnr",
+                    target=target,
+                    refine=spec.get("refine"),
+                    entropy="huffman",
+                )
+                entry = cache.get(cache_key)
+                if entry is not None:
+                    m = entry.meta.get("metrics") or {}
+                    try:
+                        achieved = float(m["achieved_psnr"])
+                        return {
+                            "blob": entry.payload,
+                            "eb_rel": (
+                                float(m["eb_rel"])
+                                if m.get("eb_rel") is not None
+                                else None
+                            ),
+                            "achieved": achieved,
+                            "achieved_psnr": achieved,
+                            "converged": True,
+                            "cached": True,
+                        }
+                    except (KeyError, TypeError, ValueError):
+                        pass  # malformed meta: recompress (and re-store)
             comp = FixedPSNRCompressor(
                 target, refine=spec.get("refine"), codec=codec
             )
@@ -97,6 +143,27 @@ def run_compress_job(spec: Dict) -> Dict:
             blob = comp.compress(data)
             recon = comp.decompress(blob)
             achieved = float(measure_psnr(data, recon))
+            if cache is not None:
+                cache.put(
+                    cache_key,
+                    blob,
+                    {
+                        "kind": "blob",
+                        "dataset": spec["dataset"],
+                        "field": spec["field"],
+                        "codec": codec,
+                        "mode": "psnr",
+                        "target": target,
+                        "metrics": {
+                            "achieved_psnr": achieved,
+                            "ratio": data.nbytes / len(blob),
+                            "bit_rate": 8.0 * len(blob) / data.size,
+                            "eb_rel": eb_rel,
+                            "raw_bytes": int(data.nbytes),
+                            "compressed_bytes": len(blob),
+                        },
+                    },
+                )
             return {
                 "blob": blob,
                 "eb_rel": eb_rel,
@@ -173,6 +240,7 @@ def run_sweep_job(spec: Dict, executor=None) -> Dict:
         refine=spec.get("refine"),
         codec=spec.get("codec", "sz"),
         executor=executor,
+        cache=_spec_cache(spec),
     )
     rows = [r.as_dict() for r in results]
     for row in rows:

@@ -13,6 +13,10 @@ files:
   in-process compression service (``repro.service``): per-job bytes
   and achieved PSNR must match the serial pipeline exactly, plus
   service throughput timing.
+* ``BENCH_cache.json`` -- the blob cache's correctness wall: a cold
+  run misses, the warm rerun hits with bit-identical bytes and zero
+  codec spans, and an undersized store evicts; warm-over-cold wall
+  ratio lands under timing.
 
 ``fpzc bench --check`` re-runs the same corpus and compares against
 the committed baselines:
@@ -47,10 +51,13 @@ __all__ = [
     "SHM_SPEEDUP_THRESHOLD",
     "AUTOTUNE_CASES",
     "SERVICE_CASES",
+    "CACHE_CASE",
+    "CACHE_WARM_THRESHOLD",
     "run_compress_bench",
     "run_sweep_bench",
     "run_autotune_bench",
     "run_service_bench",
+    "run_cache_bench",
     "write_baselines",
     "compare_bench",
     "check_baselines",
@@ -66,6 +73,7 @@ BASELINE_FILES = {
     "sweep": "BENCH_sweep.json",
     "autotune": "BENCH_autotune.json",
     "service": "BENCH_service.json",
+    "cache": "BENCH_cache.json",
 }
 
 #: The compress corpus: (dataset, field, codec, target PSNR).  Small
@@ -119,6 +127,35 @@ SERVICE_CASES: Tuple[Tuple[str, str, str, float], ...] = (
     ("compress", "ATM", "CLDHGH", 80.0),
     ("compress", "ATM", "FLDS", 40.0),
     ("compress", "ATM", "FLDS", 80.0),
+)
+
+#: The blob-cache corpus: one fixed-PSNR compression, cold then warm,
+#: through a throwaway :class:`repro.cache.CacheStore`.  The warm run
+#: must hit, must return bit-identical bytes and must run **zero**
+#: codec spans -- a warm hit that recompresses is a hard gate failure.
+CACHE_CASE = {
+    "dataset": "ATM",
+    "field": "CLDHGH",
+    "codec": "sz",
+    "target": 60.0,
+}
+
+#: Warn when the warm (cache-hit) run takes more than this fraction of
+#: the cold run's wall time -- a hit is one file read and should be
+#: orders of magnitude cheaper than a compression.
+CACHE_WARM_THRESHOLD = 0.5
+
+#: Span names that mean a codec actually ran (the warm-run trace must
+#: contain none of them).
+_CODEC_SPAN_NAMES = frozenset(
+    (
+        "fixed_psnr.compress",
+        "sz.compress",
+        "derive_bound",
+        "quantize",
+        "escape",
+        "entropy",
+    )
 )
 
 
@@ -404,6 +441,108 @@ def run_service_bench() -> Dict:
     }
 
 
+def run_cache_bench() -> Dict:
+    """Cold-vs-warm fixed-PSNR compression through a throwaway blob
+    cache; returns the ``BENCH_cache.json`` document.
+
+    Deterministic block: the cold run misses, the warm run hits, the
+    warm bytes equal the cold bytes and the warm trace contains zero
+    codec spans.  Any drift there means the cache is serving wrong
+    bytes or silently recompressing -- both hard failures.  The
+    warm-over-cold wall ratio lands under ``timing`` (soft warning via
+    :data:`CACHE_WARM_THRESHOLD`).
+    """
+    import tempfile
+    import time
+
+    from repro.cache import CacheStore, blob_key, data_digest
+    from repro.core.fixed_psnr import FixedPSNRCompressor
+    from repro.datasets.registry import get_dataset
+
+    cc = CACHE_CASE
+    data = get_dataset(cc["dataset"]).field(cc["field"])
+    target = float(cc["target"])
+
+    def _cached_compress(store: CacheStore):
+        """The CLI's compress-through-cache path, inlined."""
+        key = blob_key(
+            data_digest(data),
+            codec=cc["codec"],
+            mode="psnr",
+            target=target,
+            refine=None,
+            entropy="huffman",
+        )
+        entry = store.get(key)
+        if entry is not None:
+            return entry.payload, True, key
+        blob = FixedPSNRCompressor(target, codec=cc["codec"]).compress(data)
+        store.put(key, blob, {"kind": "blob", "mode": "psnr"})
+        return blob, False, key
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CacheStore(root=tmp)
+        t0 = time.perf_counter()
+        cold_blob, cold_hit, key = _cached_compress(store)
+        cold_wall = time.perf_counter() - t0
+        tr = observe.Trace()
+        t0 = time.perf_counter()
+        with observe.use_trace(tr):
+            warm_blob, warm_hit, _ = _cached_compress(store)
+        warm_wall = time.perf_counter() - t0
+        codec_spans = sum(
+            1
+            for rec in tr.records
+            if rec.path and rec.path[-1] in _CODEC_SPAN_NAMES
+        )
+        # Eviction under pressure: a bound smaller than the one entry
+        # must leave the store empty after the next sweep.
+        tight = CacheStore(root=tmp, max_bytes=max(1, len(cold_blob) // 2))
+        tight.evict()
+        evicted = len(tight) == 0
+    base_id = _case_id(cc["dataset"], cc["field"], cc["codec"], target)
+    rows = [
+        {
+            "id": f"{base_id}/cold",
+            "deterministic": {
+                "hit": bool(cold_hit),
+                "compressed_bytes": len(cold_blob),
+                "ratio": round(data.nbytes / len(cold_blob), 6),
+            },
+        },
+        {
+            "id": f"{base_id}/warm",
+            "deterministic": {
+                "hit": bool(warm_hit),
+                "identical": warm_blob == cold_blob,
+                "codec_spans": codec_spans,
+            },
+        },
+        {
+            "id": f"{base_id}/eviction",
+            "deterministic": {"evicted_under_pressure": bool(evicted)},
+        },
+    ]
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "cache",
+        "git_rev": git_rev(),
+        "case": {
+            "dataset": cc["dataset"],
+            "cases": [r["id"] for r in rows],
+            "results": rows,
+            "timing": {
+                "wall_s": cold_wall + warm_wall,
+                "cold_wall_s": cold_wall,
+                "warm_wall_s": warm_wall,
+                "warm_over_cold": (
+                    round(warm_wall / cold_wall, 4) if cold_wall > 0 else 0.0
+                ),
+            },
+        },
+    }
+
+
 def write_baselines(directory: str = ".") -> List[Path]:
     """Run the full corpus and write both baseline files into
     ``directory``.  Returns the paths written."""
@@ -415,6 +554,7 @@ def write_baselines(directory: str = ".") -> List[Path]:
         ("sweep", run_sweep_bench()),
         ("autotune", run_autotune_bench()),
         ("service", run_service_bench()),
+        ("cache", run_cache_bench()),
     ):
         path = outdir / BASELINE_FILES[name]
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -464,6 +604,13 @@ def _check_timing(
             f"{prefix}: shm sweep took {float(ratio):.2f}x the pickle "
             f"sweep (target <= {SHM_SPEEDUP_THRESHOLD:g}x -- the "
             "shared-memory transport should be winning here)"
+        )
+    warm = fresh.get("warm_over_cold")
+    if warm is not None and float(warm) > CACHE_WARM_THRESHOLD:
+        warnings.append(
+            f"{prefix}: warm (cache-hit) run took {float(warm):.2f}x the "
+            f"cold run (target <= {CACHE_WARM_THRESHOLD:g}x -- a hit "
+            "should be one file read, not a recompression)"
         )
     base_wall = float(base.get("wall_s", 0.0))
     fresh_wall = float(fresh.get("wall_s", 0.0))
@@ -566,6 +713,7 @@ def check_baselines(
         "sweep": run_sweep_bench,
         "autotune": run_autotune_bench,
         "service": run_service_bench,
+        "cache": run_cache_bench,
     }
     failures: List[str] = []
     warnings: List[str] = []

@@ -85,6 +85,38 @@ class TestTrialCache:
         assert second.replace(cached=False) == first
 
 
+class TestFormatVersionInKey:
+    """A trial's measurements describe blobs in one container format;
+    a format bump must orphan them (regression: the fingerprint key
+    once omitted the version, replaying stale sizes after a bump)."""
+
+    def test_memory_level_misses_after_bump(self, monkeypatch):
+        from repro.io import container
+
+        cache = TrialCache()
+        cache.put("fp", "sz", "ratio", make_trial(1e-3, 10.0))
+        assert cache.get("fp", "sz", "ratio", 1e-3) is not None
+        monkeypatch.setattr(container, "VERSION", container.VERSION + 1)
+        assert cache.get("fp", "sz", "ratio", 1e-3) is None
+
+    def test_store_level_misses_after_bump(self, tmp_path, monkeypatch):
+        from repro.cache import CacheStore
+        from repro.io import container
+
+        store = CacheStore(root=str(tmp_path / "cache"))
+        cache = TrialCache(store=store)
+        cache.put("fp", "sz", "ratio", make_trial(1e-3, 10.0))
+        # A fresh TrialCache (new process) hits through the store ...
+        rerun = TrialCache(store=store)
+        assert rerun.get("fp", "sz", "ratio", 1e-3) is not None
+        assert rerun.store_hits == 1
+        # ... but not across a format bump.
+        monkeypatch.setattr(container, "VERSION", container.VERSION + 1)
+        bumped = TrialCache(store=store)
+        assert bumped.get("fp", "sz", "ratio", 1e-3) is None
+        assert bumped.store_hits == 0
+
+
 class TestWarmStart:
     def _autotune_entry(self, eb, achieved, objective="ratio", codec="sz"):
         return SimpleNamespace(

@@ -240,3 +240,100 @@ class TestAutotuneScenario:
         rows = a["case"]["results"]
         assert all(r["deterministic"]["converged"] for r in rows)
         assert all(r["deterministic"]["n_trials"] <= 12 for r in rows)
+
+
+class TestCacheScenario:
+    """The blob-cache part of the corpus: a warm run that recompresses
+    (or serves different bytes) is deterministic drift, a hard fail."""
+
+    def _mini_cache_doc(self):
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "kind": "cache",
+            "git_rev": "test",
+            "case": {
+                "dataset": "ATM",
+                "cases": ["c/cold", "c/warm", "c/eviction"],
+                "results": [
+                    {
+                        "id": "c/cold",
+                        "deterministic": {
+                            "hit": False,
+                            "compressed_bytes": 1000,
+                            "ratio": 4.0,
+                        },
+                    },
+                    {
+                        "id": "c/warm",
+                        "deterministic": {
+                            "hit": True,
+                            "identical": True,
+                            "codec_spans": 0,
+                        },
+                    },
+                    {
+                        "id": "c/eviction",
+                        "deterministic": {"evicted_under_pressure": True},
+                    },
+                ],
+                "timing": {
+                    "wall_s": 0.1,
+                    "cold_wall_s": 0.09,
+                    "warm_wall_s": 0.01,
+                    "warm_over_cold": 0.11,
+                },
+            },
+        }
+
+    def test_identical_docs_are_clean(self):
+        doc = self._mini_cache_doc()
+        failures, warnings = compare_bench(doc, copy.deepcopy(doc))
+        assert failures == [] and warnings == []
+
+    def test_warm_recompression_hard_fails(self):
+        # The acceptance wall: a warm run whose trace shows codec spans
+        # (or whose bytes stopped matching) recompressed behind the
+        # cache's back.
+        base = self._mini_cache_doc()
+        fresh = copy.deepcopy(base)
+        det = fresh["case"]["results"][1]["deterministic"]
+        det["hit"] = False
+        det["codec_spans"] = 6
+        det["identical"] = False
+        failures, _ = compare_bench(base, fresh)
+        assert any("hit" in f for f in failures)
+        assert any("codec_spans" in f for f in failures)
+        assert any("identical" in f for f in failures)
+
+    def test_lost_eviction_hard_fails(self):
+        base = self._mini_cache_doc()
+        fresh = copy.deepcopy(base)
+        fresh["case"]["results"][2]["deterministic"][
+            "evicted_under_pressure"
+        ] = False
+        failures, _ = compare_bench(base, fresh)
+        assert any("evicted_under_pressure" in f for f in failures)
+
+    def test_slow_warm_run_warns(self):
+        from repro.telemetry.bench import CACHE_WARM_THRESHOLD
+
+        base = self._mini_cache_doc()
+        fresh = copy.deepcopy(base)
+        fresh["case"]["timing"]["warm_over_cold"] = (
+            CACHE_WARM_THRESHOLD * 2
+        )
+        failures, warnings = compare_bench(base, fresh)
+        assert failures == []
+        assert any("warm (cache-hit) run" in w for w in warnings)
+
+    def test_real_run_is_reproducible(self):
+        from repro.telemetry.bench import run_cache_bench
+
+        a = run_cache_bench()
+        b = run_cache_bench()
+        failures, _ = compare_bench(a, b)
+        assert failures == []
+        rows = {r["id"]: r["deterministic"] for r in a["case"]["results"]}
+        warm = next(v for k, v in rows.items() if k.endswith("/warm"))
+        assert warm["hit"] and warm["identical"]
+        assert warm["codec_spans"] == 0

@@ -1,0 +1,149 @@
+"""CLI ``--cache`` behavior: cold/warm compress round trips, sweep
+hit accounting, and autotune trial persistence across invocations."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli.main import main
+
+CODEC_SPANS = {
+    "fixed_psnr.compress",
+    "sz.compress",
+    "derive_bound",
+    "quantize",
+    "escape",
+    "entropy",
+}
+
+
+@pytest.fixture
+def field_npy(tmp_path, smooth2d):
+    path = tmp_path / "field.npy"
+    np.save(path, np.asarray(smooth2d, dtype=np.float32))
+    return str(path)
+
+
+class TestCompressCache:
+    def _base(self, field_npy, tmp_path):
+        return [
+            field_npy, "--psnr", "60",
+            "--cache", "--cache-dir", str(tmp_path / "cache"), "--no-ledger",
+        ]
+
+    def test_cold_miss_then_warm_hit_bit_identical(
+        self, tmp_path, field_npy, capsys
+    ):
+        base = self._base(field_npy, tmp_path)
+        cold, warm = tmp_path / "cold.fpz", tmp_path / "warm.fpz"
+        assert main(["compress", *base, "-o", str(cold)]) == 0
+        assert "cache: miss, stored" in capsys.readouterr().err
+        assert main(["compress", *base, "-o", str(warm)]) == 0
+        captured = capsys.readouterr()
+        assert "cache: hit" in captured.err
+        assert ", cached)" in captured.out
+        assert warm.read_bytes() == cold.read_bytes()
+
+    def test_warm_trace_has_zero_codec_spans(self, tmp_path, field_npy, capsys):
+        base = self._base(field_npy, tmp_path)
+        assert main(["compress", *base, "-o", str(tmp_path / "a.fpz")]) == 0
+        trace = tmp_path / "warm_trace.json"
+        assert main([
+            "compress", *base, "-o", str(tmp_path / "b.fpz"),
+            "--trace-json", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        spans = json.loads(trace.read_text())["spans"]
+        names = {seg for s in spans for seg in s["path"].split("/")}
+        assert not names & CODEC_SPANS, names
+        assert any("cache.hit" in s["path"] for s in spans)
+
+    def test_without_cache_flag_no_cache_traffic(
+        self, tmp_path, field_npy, capsys
+    ):
+        args = [field_npy, "--psnr", "60", "--no-ledger"]
+        assert main(["compress", *args, "-o", str(tmp_path / "a.fpz")]) == 0
+        assert "cache:" not in capsys.readouterr().err
+        assert not (tmp_path / "cache").exists()
+
+    def test_ratio_mode_memoizes_search_outcome(
+        self, tmp_path, field_npy, capsys
+    ):
+        base = [
+            field_npy, "--ratio", "8", "--tol", "0.1",
+            "--cache", "--cache-dir", str(tmp_path / "cache"), "--no-ledger",
+        ]
+        cold, warm = tmp_path / "cold.fpz", tmp_path / "warm.fpz"
+        assert main(["compress", *base, "-o", str(cold)]) == 0
+        assert "cache: miss, stored" in capsys.readouterr().err
+        assert main(["compress", *base, "-o", str(warm)]) == 0
+        assert "cache: hit" in capsys.readouterr().err
+        assert warm.read_bytes() == cold.read_bytes()
+
+    def test_mode_and_target_miss_each_other(self, tmp_path, field_npy, capsys):
+        cache = str(tmp_path / "cache")
+        assert main([
+            "compress", field_npy, "-o", str(tmp_path / "a.fpz"),
+            "--psnr", "60", "--cache", "--cache-dir", cache, "--no-ledger",
+        ]) == 0
+        capsys.readouterr()
+        # Different target: a miss, not a wrong-blob hit.
+        assert main([
+            "compress", field_npy, "-o", str(tmp_path / "b.fpz"),
+            "--psnr", "80", "--cache", "--cache-dir", cache, "--no-ledger",
+        ]) == 0
+        assert "cache: miss" in capsys.readouterr().err
+
+
+class TestSweepCache:
+    def test_cold_then_warm_hit_accounting(self, tmp_path, capsys):
+        base = [
+            "sweep", "ATM", "--fields", "CLDHGH", "--targets", "60",
+            "--cache", "--cache-dir", str(tmp_path / "cache"), "--no-ledger",
+        ]
+        assert main(base) == 0
+        assert "cache: 0 hit(s) / 1 miss(es)" in capsys.readouterr().err
+        assert main(base) == 0
+        assert "cache: 1 hit(s) / 0 miss(es)" in capsys.readouterr().err
+
+    def test_warm_rows_match_cold_rows(self, tmp_path, capsys):
+        base = [
+            "sweep", "ATM", "--fields", "CLDHGH", "--targets", "60", "--json",
+            "--cache", "--cache-dir", str(tmp_path / "cache"), "--no-ledger",
+        ]
+        assert main(base) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(base) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert [r["cache_hit"] for r in cold] == [False]
+        assert [r["cache_hit"] for r in warm] == [True]
+
+        def comparable(rows):
+            return [
+                {
+                    k: v
+                    for k, v in row.items()
+                    if k not in ("cache_hit", "metrics")
+                }
+                for row in rows
+            ]
+
+        assert comparable(warm) == comparable(cold)
+
+
+class TestAutotuneCache:
+    def test_trials_persist_across_invocations(self, tmp_path, field_npy, capsys):
+        base = [
+            "autotune", field_npy, "--ratio", "8", "--tol", "0.1", "--json",
+            "--cache", "--cache-dir", str(tmp_path / "cache"), "--no-ledger",
+        ]
+        assert main(base) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(base) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["converged"]
+        # Identical convergence, replayed from the persistent store.
+        assert second["eb_rel"] == first["eb_rel"]
+        assert second["achieved"] == first["achieved"]
+        assert second["cache_hits"] >= 1

@@ -1,0 +1,115 @@
+"""Service-side cache behavior: instant answers for repeat submits,
+in-flight deduplication, and the cache metrics the server exports.
+Runs against a real in-process service (``ServiceThread``) driven by
+the blocking client, mirroring ``tests/test_service_e2e.py``."""
+
+import pytest
+
+from repro.service.testing import ServiceThread
+
+SPEC = {
+    "dataset": "ATM",
+    "field": "CLDHGH",
+    "mode": "psnr",
+    "target": 60.0,
+    "codec": "sz",
+}
+
+
+def _metric(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    return -1.0
+
+
+@pytest.fixture
+def svc(tmp_path):
+    with ServiceThread(
+        no_ledger=True, cache_dir=str(tmp_path / "cache")
+    ) as st:
+        yield st
+
+
+class TestRepeatSubmit:
+    def test_second_submit_answers_done_from_cache(self, svc):
+        client = svc.client()
+        first = client.submit("compress", dict(SPEC))
+        doc1 = client.wait(first, timeout=120)
+        assert doc1["state"] == "done"
+        assert not doc1["result"].get("cached")
+        blob1 = client.fetch_blob(first)
+
+        # The repeat submit never touches the queue: the response is
+        # already terminal, flagged cached, with the identical blob.
+        doc2 = client._json("POST", "/v1/compress", dict(SPEC))
+        assert doc2.get("cached") is True
+        assert doc2["state"] == "done"
+        status = client.status(doc2["id"])
+        assert status["state"] == "done"
+        assert status["result"]["cached"] is True
+        assert client.fetch_blob(doc2["id"]) == blob1
+
+    def test_cache_counters_exported(self, svc):
+        client = svc.client()
+        job = client.submit("compress", dict(SPEC))
+        client.wait(job, timeout=120)
+        client._json("POST", "/v1/compress", dict(SPEC))
+        text = client.metrics_text()
+        assert _metric(text, "fpzc_cache_hits_total") >= 1
+        assert _metric(text, "fpzc_cache_misses_total") >= 1
+
+    def test_different_target_is_not_a_hit(self, svc):
+        client = svc.client()
+        job = client.submit("compress", dict(SPEC))
+        client.wait(job, timeout=120)
+        other = dict(SPEC, target=80.0)
+        doc = client._json("POST", "/v1/compress", other)
+        assert not doc.get("cached")
+        done = client.wait(doc["id"], timeout=120)
+        assert done["state"] == "done"
+
+    def test_search_modes_not_blob_cached(self, svc):
+        client = svc.client()
+        spec = dict(SPEC, mode="ratio", target=8.0)
+        first = client.submit("compress", spec)
+        assert client.wait(first, timeout=180)["state"] == "done"
+        doc = client._json("POST", "/v1/compress", dict(spec))
+        # A repeat search enqueues (or dedupes in flight) -- it is
+        # never answered from the blob cache.
+        assert not doc.get("cached")
+        assert client.wait(doc["id"], timeout=180)["state"] == "done"
+
+
+class TestInflightDedupe:
+    def test_identical_inflight_jobs_share_one_result(self, svc):
+        client = svc.client()
+        spec = dict(SPEC, target=61.5)  # unique key for this test
+        primary = client._json("POST", "/v1/compress", dict(spec))
+        follower = client._json("POST", "/v1/compress", dict(spec))
+        done1 = client.wait(primary["id"], timeout=120)
+        done2 = client.wait(follower["id"], timeout=120)
+        assert done1["state"] == "done"
+        assert done2["state"] == "done"
+        # Either the follower rode the in-flight primary (deduped) or
+        # the primary had already finished (cached) -- both must serve
+        # the identical bytes, and neither recomputes.
+        assert follower.get("deduped") or follower.get("cached")
+        assert client.fetch_blob(follower["id"]) == client.fetch_blob(
+            primary["id"]
+        )
+        if follower.get("deduped"):
+            assert done2["result"].get("deduped") is True
+            text = client.metrics_text()
+            assert _metric(text, "fpzc_service_jobs_deduped_total") >= 1
+
+
+class TestUncachedService:
+    def test_without_cache_dir_no_cached_answers(self, tmp_path):
+        with ServiceThread(no_ledger=True) as st:
+            client = st.client()
+            job = client.submit("compress", dict(SPEC))
+            assert client.wait(job, timeout=120)["state"] == "done"
+            doc = client._json("POST", "/v1/compress", dict(SPEC))
+            assert not doc.get("cached")
+            assert client.wait(doc["id"], timeout=120)["state"] == "done"
