@@ -47,6 +47,7 @@ from repro.cli.main import main  # noqa: E402
 from repro.core.fixed_psnr import FixedPSNRCompressor  # noqa: E402
 from repro.datasets.registry import get_dataset  # noqa: E402
 from repro.metrics.distortion import psnr  # noqa: E402
+from repro.errors import TransportError  # noqa: E402
 from repro.service.client import ServiceClient, ServiceError  # noqa: E402
 from repro.telemetry.ledger import read_entries  # noqa: E402
 
@@ -66,7 +67,7 @@ def wait_ready(client: ServiceClient, budget_s: float = 30.0) -> bool:
         try:
             if client.readyz():
                 return True
-        except ServiceError:
+        except (ServiceError, TransportError):
             pass
         time.sleep(0.1)
     return False

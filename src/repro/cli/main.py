@@ -512,6 +512,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not append this traced sweep to the ledger",
     )
+    p_s.add_argument(
+        "--cluster",
+        metavar="TOPOLOGY",
+        help="scatter-gather the sweep across a cluster instead of "
+        "local workers: shard (field, target) tasks over the member "
+        "nodes in this JSON topology file by blob fingerprint, with "
+        "failover (see docs/CLUSTER.md)",
+    )
     _add_cache_flags(p_s)
 
     p_b = sub.add_parser(
@@ -684,6 +692,71 @@ def build_parser() -> argparse.ArgumentParser:
         "(testing only)",
     )
     _add_cache_flags(p_sv)
+
+    # -- the cluster tier (repro.cluster) -------------------------------
+    p_cl = sub.add_parser(
+        "cluster",
+        help="multi-node cluster: coordinator over N fpzc serve nodes "
+        "(consistent-hash routing, failover; see docs/CLUSTER.md)",
+    )
+    cl_sub = p_cl.add_subparsers(dest="cluster_command", required=True)
+    p_cls = cl_sub.add_parser(
+        "serve",
+        help="run the cluster coordinator in the foreground",
+    )
+    p_cls.add_argument(
+        "--topology", metavar="FILE",
+        help="JSON topology file (peers list + tuning keys)",
+    )
+    p_cls.add_argument(
+        "--peers", nargs="+", metavar="URL",
+        help="member node base URLs (alternative to --topology)",
+    )
+    p_cls.add_argument(
+        "--host", default=None, help="bind address (default 127.0.0.1)"
+    )
+    p_cls.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default 8076, 0 = any free)",
+    )
+    p_cls.add_argument(
+        "--vnodes", type=int, default=None,
+        help="virtual nodes per member on the hash ring (default 64)",
+    )
+    p_cls.add_argument(
+        "--probe-interval", type=float, default=None, dest="probe_interval",
+        metavar="SECONDS",
+        help="health probe interval for alive members (default 2.0)",
+    )
+    p_cls.add_argument(
+        "--dead-after", type=int, default=None, dest="dead_after",
+        help="consecutive probe failures before a member is declared "
+        "dead and loses its ring ownership (default 3)",
+    )
+    p_cls.add_argument(
+        "--max-retries", type=int, default=None, dest="max_retries",
+        help="ring successors to fail a job over to (default 2)",
+    )
+    p_cls.add_argument(
+        "--retry-seed", type=int, default=None, dest="retry_seed",
+        help="seed for failover/probe backoff jitter (default 0)",
+    )
+    p_cls.add_argument(
+        "--trace-perfetto", metavar="PATH", dest="trace_perfetto",
+        help="write a Chrome/Perfetto trace at drain; each member node "
+        "gets its own process lane",
+    )
+    p_clt = cl_sub.add_parser(
+        "status",
+        help="print a running coordinator's membership and ring state",
+    )
+    p_clt.add_argument(
+        "--url", default=None,
+        help="coordinator URL (default http://127.0.0.1:8076)",
+    )
+    p_clt.add_argument(
+        "--json", action="store_true", help="emit raw JSON"
+    )
 
     p_sub = sub.add_parser(
         "submit", help="submit a compression job to a running service"
@@ -1343,14 +1416,163 @@ def _cmd_table1(_args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from repro.parallel.executor import sweep_dataset
+def _render_sweep_output(args, results, tr) -> int:
+    """The reporting tail shared by the local and cluster sweep paths:
+    row table (or ``--json``), per-target summary, failure table, stage
+    breakdown, optional report file.  Exit 1 when any task failed."""
     from repro.report import (
         render_csv,
         render_markdown,
         render_text,
         summarize_by_target,
     )
+
+    ok_results = [r for r in results if r.status == "ok"]
+    failed = [r for r in results if r.status != "ok"]
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=2))
+        return 1 if failed else 0
+    print(f"{'target':>8} {'field':<16} {'actual':>8} {'dev':>7} {'CR':>8}")
+    for r in results:
+        if r.status == "ok":
+            print(
+                f"{r.target_psnr:>8.1f} {r.field:<16} {r.actual_psnr:>8.2f} "
+                f"{r.deviation:>+7.2f} {r.compression_ratio:>8.2f}"
+            )
+        else:
+            print(
+                f"{r.target_psnr:>8.1f} {r.field:<16} "
+                f"FAILED [{r.error_code}] after {r.attempts} attempt(s)"
+            )
+    if ok_results:
+        summaries = summarize_by_target(ok_results)
+        print()
+        print(
+            render_text(summaries, title="Per-target summary (Table II layout)")
+        )
+    else:
+        summaries = []
+        print("\nno tasks succeeded; nothing to summarize", file=sys.stderr)
+    if failed:
+        from repro.report import render_sweep_failures
+
+        print()
+        print(render_sweep_failures(results), file=sys.stderr)
+    if tr is not None:
+        from repro.report import render_stage_breakdown
+
+        print()
+        print(render_stage_breakdown(results))
+    if args.report and summaries:
+        renderer = render_markdown if args.report.endswith(".md") else render_csv
+        with open(args.report, "w") as fh:
+            fh.write(renderer(summaries))
+        print(f"\nreport written to {args.report}")
+    return 1 if failed else 0
+
+
+def _cmd_sweep_cluster(args) -> int:
+    """``fpzc sweep --cluster TOPOLOGY``: scatter-gather the sweep
+    across the member nodes of a running cluster instead of local
+    workers.  Tasks are sharded by blob fingerprint on the coordinator's
+    consistent-hash ring, failed over to ring successors when a node
+    dies mid-sweep, and the merged rows are bit-identical to the serial
+    path (see docs/CLUSTER.md)."""
+    from repro.cluster import ClusterConfig, build_router
+
+    overrides = {}
+    if args.max_retries > 0:
+        overrides["max_retries"] = args.max_retries
+    if args.retry_seed:
+        overrides["retry_seed"] = args.retry_seed
+    config = ClusterConfig.from_topology(args.cluster, **overrides)
+    tr = None
+    if args.trace or args.trace_perfetto:
+        from repro.observe import Trace
+
+        tr = Trace()
+    router = build_router(config, trace=tr)
+    results = router.sweep(
+        args.dataset,
+        targets=args.targets,
+        fields=args.fields,
+        refine="histogram" if args.refine else None,
+    )
+    alive = sorted(
+        url
+        for url, st in router.membership.states().items()
+        if st["status"] == "alive"
+    )
+    print(
+        f"cluster: {len(results)} task(s) over {len(alive)} alive node(s) "
+        f"({', '.join(alive) or 'none'})",
+        file=sys.stderr,
+    )
+    if tr is not None:
+        from repro.telemetry.registry import record_trace
+
+        record_trace(tr)
+        if args.trace_perfetto:
+            from repro.cluster.router import node_lane
+            from repro.telemetry.export import write_chrome_trace
+            from repro.telemetry.registry import metrics
+
+            write_chrome_trace(
+                tr,
+                args.trace_perfetto,
+                snapshot=metrics().snapshot(),
+                process_names={
+                    node_lane(url): f"node {url}" for url in config.peers
+                },
+            )
+            print(
+                f"perfetto trace written to {args.trace_perfetto}",
+                file=sys.stderr,
+            )
+        if not args.no_ledger:
+            from repro.telemetry.ledger import entry_from_trace
+
+            ok_results = [r for r in results if r.status == "ok"]
+            # No coordinator-side conformance records: each member node
+            # already recorded its own for freshly compressed jobs, so
+            # recording here would double-count the drift history.
+            _append_ledger(
+                args,
+                entry_from_trace(
+                    "sweep",
+                    tr,
+                    dataset=args.dataset,
+                    field="*",
+                    codec="sz",
+                    achieved_psnr=(
+                        float(np.mean([r.actual_psnr for r in ok_results]))
+                        if ok_results
+                        else None
+                    ),
+                    ratio=(
+                        float(
+                            np.mean([r.compression_ratio for r in ok_results])
+                        )
+                        if ok_results
+                        else None
+                    ),
+                    extra={
+                        "targets": [float(t) for t in args.targets],
+                        "cluster": {
+                            "topology": args.cluster,
+                            "nodes": list(config.peers),
+                            "alive": alive,
+                        },
+                    },
+                ),
+            )
+    return _render_sweep_output(args, results, tr)
+
+
+def _cmd_sweep(args) -> int:
+    if args.cluster:
+        return _cmd_sweep_cluster(args)
+    from repro.parallel.executor import sweep_dataset
 
     retry = None
     if args.max_retries > 0 or args.task_timeout is not None:
@@ -1493,46 +1715,7 @@ def _cmd_sweep(args) -> int:
                     extra=extra,
                 ),
             )
-    if args.json:
-        print(json.dumps([r.as_dict() for r in results], indent=2))
-        return 1 if failed else 0
-    print(f"{'target':>8} {'field':<16} {'actual':>8} {'dev':>7} {'CR':>8}")
-    for r in results:
-        if r.status == "ok":
-            print(
-                f"{r.target_psnr:>8.1f} {r.field:<16} {r.actual_psnr:>8.2f} "
-                f"{r.deviation:>+7.2f} {r.compression_ratio:>8.2f}"
-            )
-        else:
-            print(
-                f"{r.target_psnr:>8.1f} {r.field:<16} "
-                f"FAILED [{r.error_code}] after {r.attempts} attempt(s)"
-            )
-    if ok_results:
-        summaries = summarize_by_target(ok_results)
-        print()
-        print(
-            render_text(summaries, title="Per-target summary (Table II layout)")
-        )
-    else:
-        summaries = []
-        print("\nno tasks succeeded; nothing to summarize", file=sys.stderr)
-    if failed:
-        from repro.report import render_sweep_failures
-
-        print()
-        print(render_sweep_failures(results), file=sys.stderr)
-    if tr is not None:
-        from repro.report import render_stage_breakdown
-
-        print()
-        print(render_stage_breakdown(results))
-    if args.report and summaries:
-        renderer = render_markdown if args.report.endswith(".md") else render_csv
-        with open(args.report, "w") as fh:
-            fh.write(renderer(summaries))
-        print(f"\nreport written to {args.report}")
-    return 1 if failed else 0
+    return _render_sweep_output(args, results, tr)
 
 
 def _cmd_archive(args) -> int:
@@ -1794,6 +1977,61 @@ def _cmd_serve(args) -> int:
     return asyncio.run(run_service(config))
 
 
+def _cmd_cluster(args) -> int:
+    if args.cluster_command == "serve":
+        from repro.cluster import ClusterConfig, run_coordinator
+
+        overrides = {
+            k: v
+            for k, v in {
+                "host": args.host,
+                "port": args.port,
+                "vnodes": args.vnodes,
+                "probe_interval_s": args.probe_interval,
+                "dead_after": args.dead_after,
+                "max_retries": args.max_retries,
+                "retry_seed": args.retry_seed,
+                "trace_perfetto": args.trace_perfetto,
+            }.items()
+            if v is not None
+        }
+        if args.topology:
+            config = ClusterConfig.from_topology(args.topology, **overrides)
+        elif args.peers:
+            config = ClusterConfig(peers=tuple(args.peers), **overrides)
+        else:
+            from repro.errors import ParameterError
+
+            raise ParameterError(
+                "cluster serve needs --topology FILE or --peers URL..."
+            )
+        # run_coordinator prints its own banner with the bound port
+        # (which may differ from config.port when it is 0).
+        return run_coordinator(config)
+    if args.cluster_command == "status":
+        import json as _json
+
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.url or "http://127.0.0.1:8076")
+        nodes = client._json("GET", "/cluster/nodes", None)
+        ring = client._json("GET", "/cluster/ring", None)
+        if args.json:
+            print(_json.dumps({"nodes": nodes, "ring": ring}, indent=2,
+                              sort_keys=True))
+            return 0
+        print(f"{'node':<32} {'status':<9} {'owns':>7} {'failures':>9}")
+        ownership = ring.get("ownership", {})
+        for url, state in sorted(nodes.get("states", {}).items()):
+            frac = ownership.get(url, 0.0)
+            print(
+                f"{url:<32} {state.get('status', '?'):<9} "
+                f"{frac:>6.1%} {state.get('consecutive_failures', 0):>9}"
+            )
+        return 0
+    raise AssertionError(f"unknown cluster command {args.cluster_command!r}")
+
+
 def _submit_payload(args):
     if args.psnr is not None:
         mode, target = "psnr", args.psnr
@@ -1896,6 +2134,7 @@ _COMMANDS = {
     "drift": _cmd_drift,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "submit": _cmd_submit,
     "status": _cmd_status,
     "fetch": _cmd_fetch,

@@ -1,0 +1,234 @@
+"""Membership and health tracking for cluster member nodes.
+
+Each member is probed through its liveness endpoints (``/readyz``,
+falling back to nothing subtler -- a node that cannot answer is not
+routable) and classified into one of three states:
+
+``alive``
+    The last probe succeeded; the node receives new work.
+``degraded``
+    1..``dead_after - 1`` consecutive failures; the router skips it
+    for *new* keys but probes keep trying to rescue it.
+``dead``
+    ``dead_after`` consecutive failures; its ring ownership moves to
+    the successors (deterministically -- see
+    :class:`repro.cluster.ring.HashRing`) until a probe succeeds.
+
+Probe scheduling reuses the :class:`repro.resilience.retry.RetryPolicy`
+arithmetic: after the n-th consecutive failure the next probe backs
+off by ``policy.delay(n)`` with the policy's *seeded* jitter, so probe
+schedules (like every other retry schedule in this codebase) are a
+reproducible function of the seed.  Healthy nodes are re-probed every
+``probe_interval_s``.
+
+The class is synchronous and thread-safe (one lock); the asyncio
+coordinator drives it from an executor thread, tests drive it with a
+fake clock and a fake probe function.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ParameterError
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ALIVE", "DEGRADED", "DEAD", "PeerState", "Membership"]
+
+ALIVE = "alive"
+DEGRADED = "degraded"
+DEAD = "dead"
+
+
+def _default_probe(url: str, timeout: float) -> bool:
+    """Real probe: ``GET /readyz`` must answer 200.  Transport errors
+    propagate (the caller counts them as failures)."""
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(url, timeout=timeout, retry_429=0).readyz()
+
+
+class PeerState:
+    """One member's health ledger (owned by :class:`Membership`)."""
+
+    __slots__ = (
+        "url", "status", "failures", "probes", "last_error",
+        "next_probe_at", "last_change_at",
+    )
+
+    def __init__(self, url: str):
+        self.url = url
+        self.status = ALIVE  # optimistic: route until proven otherwise
+        self.failures = 0  # consecutive
+        self.probes = 0
+        self.last_error: Optional[str] = None
+        self.next_probe_at = 0.0  # due immediately
+        self.last_change_at = 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "url": self.url,
+            "status": self.status,
+            "consecutive_failures": self.failures,
+            "probes": self.probes,
+            "last_error": self.last_error,
+        }
+
+
+class Membership:
+    """Tracks which members are routable and when to probe them."""
+
+    def __init__(
+        self,
+        peers,
+        *,
+        dead_after: int = 3,
+        probe_interval_s: float = 2.0,
+        probe_timeout_s: float = 5.0,
+        policy: Optional[RetryPolicy] = None,
+        probe: Optional[Callable[[str], bool]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        peers = list(peers)
+        if not peers:
+            raise ParameterError("membership needs at least one peer")
+        if len(set(peers)) != len(peers):
+            raise ParameterError("duplicate peer URLs in topology")
+        if dead_after < 1:
+            raise ParameterError("dead_after must be >= 1")
+        self.dead_after = int(dead_after)
+        self.probe_interval_s = float(probe_interval_s)
+        self.policy = policy or RetryPolicy(
+            max_retries=6, backoff_base=0.25, backoff_max=5.0, seed=0
+        )
+        self._rng = self.policy.rng()
+        self._probe = probe or (
+            lambda url: _default_probe(url, probe_timeout_s)
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states = {url: PeerState(url) for url in peers}
+        self._listeners: List[Callable[[str, str, str], None]] = []
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def peers(self) -> List[str]:
+        """Every configured member, in topology order."""
+        return list(self._states)
+
+    def state(self, url: str) -> str:
+        with self._lock:
+            return self._states[url].status
+
+    def states(self) -> Dict[str, Dict]:
+        """JSON-able health snapshot (``/cluster/nodes``)."""
+        with self._lock:
+            return {url: st.as_dict() for url, st in self._states.items()}
+
+    def routable(self, url: str) -> bool:
+        """Whether new work may be sent to ``url`` (alive only;
+        degraded nodes must pass a probe before they earn traffic
+        back, dead nodes have lost their ring ownership)."""
+        with self._lock:
+            st = self._states.get(url)
+            return st is not None and st.status == ALIVE
+
+    def n_alive(self) -> int:
+        with self._lock:
+            return sum(
+                1 for st in self._states.values() if st.status == ALIVE
+            )
+
+    # -- transitions ----------------------------------------------------
+
+    def on_transition(self, cb: Callable[[str, str, str], None]) -> None:
+        """Register ``cb(url, old_status, new_status)``, fired outside
+        the lock on every status change (the router uses this to move
+        ring ownership)."""
+        self._listeners.append(cb)
+
+    def _set_status(self, st: PeerState, status: str):
+        old = st.status
+        if old == status:
+            return None
+        st.status = status
+        st.last_change_at = self._clock()
+        return (st.url, old, status)
+
+    def _fire(self, transition) -> None:
+        if transition is None:
+            return
+        for cb in self._listeners:
+            cb(*transition)
+
+    def report_success(self, url: str) -> None:
+        """A probe or a real request round-tripped: the node is alive
+        and its failure streak resets."""
+        with self._lock:
+            st = self._states[url]
+            st.failures = 0
+            st.last_error = None
+            st.next_probe_at = self._clock() + self.probe_interval_s
+            transition = self._set_status(st, ALIVE)
+        self._fire(transition)
+
+    def report_failure(self, url: str, error: Optional[str] = None) -> None:
+        """A probe or a forwarded job hit a transport failure.  The
+        streak grows, the next probe backs off (seeded jitter), and at
+        ``dead_after`` the node is declared dead."""
+        with self._lock:
+            st = self._states[url]
+            st.failures += 1
+            st.last_error = error
+            retry_index = min(st.failures, self.policy.max_retries + 1)
+            st.next_probe_at = self._clock() + self.policy.delay(
+                retry_index, self._rng
+            )
+            status = DEAD if st.failures >= self.dead_after else DEGRADED
+            transition = self._set_status(st, status)
+        self._fire(transition)
+
+    # -- probing --------------------------------------------------------
+
+    def due(self) -> List[str]:
+        """Members whose next probe time has arrived."""
+        now = self._clock()
+        with self._lock:
+            return [
+                url
+                for url, st in self._states.items()
+                if st.next_probe_at <= now
+            ]
+
+    def probe_one(self, url: str) -> bool:
+        """Probe one member now and record the outcome."""
+        with self._lock:
+            self._states[url].probes += 1
+        try:
+            ok = bool(self._probe(url))
+            error = None if ok else "readyz answered not-ready"
+        except Exception as exc:  # noqa: BLE001 -- any probe failure counts
+            ok = False
+            error = f"{type(exc).__name__}: {exc}"
+        if ok:
+            self.report_success(url)
+        else:
+            self.report_failure(url, error)
+        return ok
+
+    def probe_due(self) -> int:
+        """Probe every member whose schedule is due; returns how many
+        were probed.  The coordinator's health loop calls this."""
+        due = self.due()
+        for url in due:
+            self.probe_one(url)
+        return len(due)
+
+    def probe_all(self) -> int:
+        """Probe every member regardless of schedule (startup sync)."""
+        for url in self.peers:
+            self.probe_one(url)
+        return len(self._states)

@@ -1,0 +1,159 @@
+"""Consistent-hash ring over cache fingerprints.
+
+The routing substrate of the cluster tier: every cacheable job has a
+content-addressed fingerprint (the :func:`repro.cache.blob_key`
+schema, a SHA-256 hex digest over ``(data_digest, codec, mode,
+target, options)``), and the ring maps each fingerprint to the member
+node that *owns* it.  Because the same fingerprint always lands on
+the same node, repeat submissions of identical work hit that node's
+blob cache instead of recompressing -- the cluster-wide analogue of
+the single-node admission-time cache hit.
+
+Design: classic consistent hashing with virtual nodes.  Each member
+contributes ``vnodes`` points on a 64-bit circle, placed at
+``SHA-256(f"{node}#{i}")``; a key is owned by the first point at or
+clockwise-after ``SHA-256(key)``.  Virtual nodes flatten the
+per-member ownership share toward 1/N (the hypothesis property test
+bounds the deviation), and the scheme is *monotone*: removing a
+member moves only the keys it owned (to their ring successors), and
+adding one steals only the keys it now owns -- about 1/N of the
+keyspace -- so membership churn never reshuffles unrelated cache
+ownership.
+
+Everything here is pure data structure -- deterministic, no I/O, no
+clock -- which is what makes rebalancing reproducible across
+coordinator restarts: the same member list always yields the same
+ring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["HashRing", "ring_point", "RING_BITS"]
+
+#: Width of the hash circle; points live in ``[0, 2**RING_BITS)``.
+RING_BITS = 64
+
+
+def ring_point(label: str) -> int:
+    """Deterministic position of ``label`` on the circle: the first 8
+    bytes of its SHA-256, big-endian.  Used for both virtual-node
+    placement (``"{node}#{i}"``) and key lookup."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[: RING_BITS // 8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    ``nodes`` are opaque strings (member base URLs in the cluster
+    tier).  Mutations (:meth:`add`/:meth:`remove`) are cheap and
+    deterministic; lookup is ``O(log(n * vnodes))``.
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ParameterError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: set = set()
+        self._points: List[tuple] = []  # sorted (point, node)
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current members, sorted (deterministic iteration order)."""
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> bool:
+        """Add a member (idempotent); returns whether it was new."""
+        if not node:
+            raise ParameterError("ring nodes must be non-empty strings")
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (ring_point(f"{node}#{i}"), node))
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove a member (idempotent); returns whether it existed.
+        Only keys the member owned move -- each to its ring successor
+        (the monotone-remapping guarantee)."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        self._points = [(p, n) for p, n in self._points if n != node]
+        return True
+
+    # -- lookup ---------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The member that owns ``key``.  Raises on an empty ring."""
+        prefs = self.preference(key, 1)
+        if not prefs:
+            raise ParameterError("hash ring has no nodes")
+        return prefs[0]
+
+    def preference(self, key: str, n: int = 0) -> List[str]:
+        """The first ``n`` *distinct* members clockwise from ``key``'s
+        point: the owner first, then its failover successors in
+        deterministic order.  ``n <= 0`` returns every member.  This
+        is the exact order the router walks when nodes die."""
+        if not self._points:
+            return []
+        want = len(self._nodes) if n <= 0 else min(n, len(self._nodes))
+        # First virtual point at or clockwise-after the key's point
+        # ("" sorts before any node label, so ties resolve to the
+        # point itself).
+        idx = bisect.bisect_left(self._points, (ring_point(key), ""))
+        out: List[str] = []
+        seen: set = set()
+        for off in range(len(self._points)):
+            _, node = self._points[(idx + off) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= want:
+                    break
+        return out
+
+    # -- introspection --------------------------------------------------
+
+    def ownership(self) -> Dict[str, float]:
+        """Fraction of the keyspace each member owns (sums to 1.0).
+        The observability payload behind ``/cluster/ring``."""
+        if not self._points:
+            return {}
+        shares: Dict[str, int] = {n: 0 for n in self._nodes}
+        space = 1 << RING_BITS
+        for i, (point, node) in enumerate(self._points):
+            prev = (
+                self._points[i - 1][0] if i else self._points[-1][0] - space
+            )
+            shares[node] += point - prev
+        return {n: shares[n] / space for n in sorted(shares)}
+
+    def as_dict(self) -> Dict:
+        """JSON-able ring description (``/cluster/ring``)."""
+        return {
+            "vnodes": self.vnodes,
+            "nodes": self.nodes,
+            "points": len(self._points),
+            "ownership": {
+                n: round(f, 6) for n, f in self.ownership().items()
+            },
+        }

@@ -50,6 +50,9 @@ class ErrorCode:
     SHM_RELEASED = "shm_released"
     SHM_UNAVAILABLE = "shm_unavailable"
 
+    CONNECT_FAILED = "connect_failed"
+    NODE_UNAVAILABLE = "node_unavailable"
+
     #: Every defined code, for validation.
     ALL = (
         BAD_MAGIC,
@@ -67,6 +70,8 @@ class ErrorCode:
         POISONED_RESULT,
         SHM_RELEASED,
         SHM_UNAVAILABLE,
+        CONNECT_FAILED,
+        NODE_UNAVAILABLE,
     )
 
 
@@ -116,9 +121,21 @@ class TaskError(ReproError):
 
 
 class TransportError(ReproError):
-    """The shared-memory data plane was misused (double release, use
-    after close, attaching an unlinked segment).  Carries
-    :data:`ErrorCode.SHM_RELEASED` or :data:`ErrorCode.SHM_UNAVAILABLE`
-    in ``code``.  Transport *fallbacks* (shm missing, payload too
-    small/large) never raise -- they silently degrade to pickle and
-    count a metric; this error is reserved for genuine caller bugs."""
+    """A data-plane transport failed in a way the caller must handle.
+
+    Two domains share this type:
+
+    * Shared memory misuse (double release, use after close, attaching
+      an unlinked segment) -- carries :data:`ErrorCode.SHM_RELEASED` or
+      :data:`ErrorCode.SHM_UNAVAILABLE`.  Transport *fallbacks* (shm
+      missing, payload too small/large) never raise -- they silently
+      degrade to pickle and count a metric.
+    * Network transport to a compression service node (connection
+      refused/reset, dead or mid-restart server) -- carries
+      :data:`ErrorCode.CONNECT_FAILED`, or
+      :data:`ErrorCode.NODE_UNAVAILABLE` when a cluster router
+      exhausted every ring successor.  The cluster failover layer
+      treats exactly this type as "try the next node"; HTTP-level
+      errors (4xx/5xx responses) stay :class:`ServiceError` and are
+      never failed over blindly.
+    """

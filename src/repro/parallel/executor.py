@@ -34,7 +34,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, asdict, field as dc_field
+from dataclasses import dataclass, asdict, field as dc_field, fields as dc_fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro.observe as observe
@@ -46,6 +46,7 @@ __all__ = [
     "run_field_task",
     "sweep_dataset",
     "default_workers",
+    "failed_field_result",
     "map_tasks",
 ]
 
@@ -344,6 +345,14 @@ class FieldResult:
         """JSON-friendly representation."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "FieldResult":
+        """Rebuild a result from :meth:`as_dict` output -- how rows
+        cross HTTP boundaries (the cluster scatter-gather path) and
+        still compare equal to locally produced ones."""
+        known = {f.name for f in dc_fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
 
 def _failed_result(
     dataset: str,
@@ -369,6 +378,24 @@ def _failed_result(
         error=error,
         error_code=error_code,
         attempts=attempts,
+    )
+
+
+def failed_field_result(
+    dataset: str,
+    field: str,
+    target_psnr: float,
+    *,
+    error: str,
+    error_code: str,
+    attempts: int,
+) -> FieldResult:
+    """Public constructor for a ``status="failed"`` row -- what a task
+    degrades to when it exhausts its retry budget (resilient sweeps)
+    or every cluster node that could run it (scatter-gather)."""
+    return _failed_result(
+        dataset, field, target_psnr,
+        error=error, error_code=error_code, attempts=attempts,
     )
 
 

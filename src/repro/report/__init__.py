@@ -40,6 +40,7 @@ __all__ = [
     "render_sweep_failures",
     "render_dashboard",
     "render_cache_section",
+    "render_cluster_section",
 ]
 
 
@@ -364,5 +365,6 @@ def render_sweep_failures(results: Iterable[FieldResult]) -> str:
 # import render_dashboard` works like every other renderer.
 from repro.report.dashboard import (  # noqa: E402
     render_cache_section,
+    render_cluster_section,
     render_dashboard,
 )

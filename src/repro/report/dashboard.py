@@ -43,6 +43,7 @@ __all__ = [
     "render_bench_section",
     "render_service_section",
     "render_cache_section",
+    "render_cluster_section",
     "render_timeline_section",
     "sparkline",
     "load_bench_dir",
@@ -542,6 +543,82 @@ def render_cache_section(
     )
 
 
+#: (metric name, tile label) pairs the cluster panel summarizes.
+_CLUSTER_TILES = (
+    ("cluster.jobs_routed_total", "jobs routed"),
+    ("cluster.failovers_total", "failovers"),
+    ("cluster.jobs_exhausted_total", "exhausted"),
+    ("cluster.sweep_tasks_total", "sweep tasks"),
+    ("cluster.nodes_alive", "nodes alive"),
+    ("cluster.nodes_total", "nodes total"),
+)
+
+
+def render_cluster_section(
+    entries: Sequence = (), snapshot: Optional[Dict] = None
+) -> str:
+    """The cluster tier's behaviour: routing/failover tiles from the
+    ``cluster.*`` metric family (a coordinator's own snapshot or a
+    ``/cluster/metrics`` merged scrape) and the most recent runs that
+    went through a coordinator (ledger entries carrying an
+    ``extra.cluster`` object -- member-side job records stamped with
+    forwarding provenance, or coordinator-side sweep entries)."""
+    metrics = (snapshot or {}).get("metrics", {})
+    tiles = []
+    for name, label in _CLUSTER_TILES:
+        entry = metrics.get(name)
+        if entry is None:
+            continue
+        tiles.append(
+            '<div class="tile">'
+            f'<div class="tile-v">{_esc(_fmt(entry.get("value")))}</div>'
+            f'<div class="tile-l">{_esc(label)}</div></div>'
+        )
+    cluster_rows = []
+    for entry in entries:
+        extra = getattr(entry, "extra", None) or {}
+        doc = extra.get("cluster")
+        if isinstance(doc, dict):
+            cluster_rows.append((entry, doc))
+    if not tiles and not cluster_rows:
+        return _section(
+            "cluster", "Cluster",
+            _empty("no cluster activity recorded"),
+        )
+    parts = []
+    if tiles:
+        parts.append(f'<div class="tiles">{"".join(tiles)}</div>')
+    if cluster_rows:
+        headers = ["kind", "dataset", "field", "node(s)", "route / attempt"]
+        rows = []
+        for entry, doc in cluster_rows[-20:][::-1]:
+            if "node" in doc:
+                # Member-side record: one forwarded job.
+                nodes = str(doc.get("node") or "?")
+                route = (
+                    f"<code>{_esc(str(doc.get('key') or '')[:16])}</code> "
+                    f"attempt {_fmt(doc.get('attempt', 0))}"
+                )
+            else:
+                # Coordinator-side sweep entry.
+                alive = doc.get("alive") or doc.get("nodes") or []
+                nodes = f"{len(alive)} alive"
+                route = _esc(str(doc.get("topology") or "–"))
+            rows.append([
+                _esc(getattr(entry, "kind", "?")),
+                _esc(getattr(entry, "dataset", "?")),
+                _esc(getattr(entry, "field", "") or "–"),
+                _esc(nodes),
+                route,
+            ])
+        parts.append(_table(headers, rows))
+    return _section(
+        "cluster", "Cluster", "".join(parts),
+        "coordinator tier (repro.cluster): consistent-hash routing over "
+        "member nodes with health-probed failover",
+    )
+
+
 def _trace_events(trace) -> List[Dict]:
     if isinstance(trace, dict):
         events = trace.get("traceEvents", [])
@@ -744,6 +821,7 @@ def render_dashboard(
         render_drift_section(drift),
         render_service_section(entries, snapshot),
         render_cache_section(entries, snapshot),
+        render_cluster_section(entries, snapshot),
         render_timeline_section(trace),
         render_bench_section(bench),
         render_metrics_section(snapshot),

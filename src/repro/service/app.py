@@ -855,6 +855,10 @@ class CompressionService:
                 "hit": bool(result.get("cached")),
                 "key": job.cache_key,
             }
+        if job.spec.cluster is not None:
+            # Coordinator-forwarded job: keep the routing provenance
+            # (node, route key, failover attempt) next to the result.
+            extra["cluster"] = dict(job.spec.cluster)
         conformance = self._conformance(job, result)
         if conformance is not None:
             extra["conformance"] = conformance

@@ -15,11 +15,12 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import random
 import time
 from typing import Dict, Optional, Tuple
 from urllib.parse import urlsplit
 
-from repro.errors import ParameterError, ReproError
+from repro.errors import ErrorCode, ParameterError, ReproError, TransportError
 
 __all__ = ["ServiceError", "ServiceClient", "DEFAULT_URL"]
 
@@ -27,7 +28,7 @@ DEFAULT_URL = "http://127.0.0.1:8077"
 
 
 class ServiceError(ReproError):
-    """A non-2xx response (or transport failure) from the service."""
+    """A non-2xx response from the service."""
 
     def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
         super().__init__(f"service answered {status}: {message}")
@@ -40,9 +41,28 @@ def resolve_url(url: Optional[str] = None) -> str:
 
 
 class ServiceClient:
-    """Scriptable access to every service endpoint."""
+    """Scriptable access to every service endpoint.
 
-    def __init__(self, url: Optional[str] = None, timeout: float = 60.0):
+    Transport failures (connection refused/reset -- a dead or
+    mid-restart server) raise :class:`~repro.errors.TransportError`
+    with :data:`~repro.errors.ErrorCode.CONNECT_FAILED`, never a raw
+    ``OSError``; HTTP-level errors raise :class:`ServiceError`.
+
+    A 429 (queue full) is retried up to ``retry_429`` times, sleeping
+    the server's ``Retry-After`` hint (capped at ``retry_after_cap_s``)
+    with deterministic seeded jitter, before the :class:`ServiceError`
+    is surfaced.  ``retry_429=0`` restores fail-fast admission.
+    """
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        timeout: float = 60.0,
+        retry_429: int = 2,
+        retry_backoff_s: float = 0.05,
+        retry_after_cap_s: float = 5.0,
+        retry_seed: int = 0,
+    ):
         split = urlsplit(resolve_url(url))
         if split.scheme != "http" or not split.hostname:
             raise ParameterError(
@@ -51,6 +71,12 @@ class ServiceClient:
         self.host = split.hostname
         self.port = split.port or 80
         self.timeout = timeout
+        if retry_429 < 0:
+            raise ParameterError("retry_429 must be >= 0")
+        self.retry_429 = int(retry_429)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.retry_after_cap_s = float(retry_after_cap_s)
+        self._rng = random.Random(retry_seed)
 
     # -- transport ------------------------------------------------------
 
@@ -59,6 +85,7 @@ class ServiceClient:
         method: str,
         path: str,
         body: Optional[Dict] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -67,10 +94,10 @@ class ServiceClient:
             payload = (
                 json.dumps(body).encode("utf-8") if body is not None else None
             )
-            headers = (
-                {"Content-Type": "application/json"} if payload else {}
-            )
-            conn.request(method, path, body=payload, headers=headers)
+            hdrs = dict(headers or {})
+            if payload:
+                hdrs.setdefault("Content-Type", "application/json")
+            conn.request(method, path, body=payload, headers=hdrs)
             resp = conn.getresponse()
             data = resp.read()
             return (
@@ -79,14 +106,21 @@ class ServiceClient:
                 data,
             )
         except OSError as exc:
-            raise ServiceError(
-                0, f"cannot reach {self.host}:{self.port}: {exc}"
+            raise TransportError(
+                f"cannot reach {self.host}:{self.port}: {exc}",
+                code=ErrorCode.CONNECT_FAILED,
             )
         finally:
             conn.close()
 
-    def _json(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
-        status, headers, data = self._request(method, path, body)
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict:
+        status, headers, data = self._request(method, path, body, headers)
         try:
             doc = json.loads(data.decode("utf-8")) if data else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -123,11 +157,50 @@ class ServiceClient:
 
     # -- jobs -----------------------------------------------------------
 
-    def submit(self, kind: str, payload: Dict) -> str:
-        """Submit one job; returns its id.  Raises
-        :class:`ServiceError` (with ``retry_after`` set) on a 429."""
-        doc = self._json("POST", f"/v1/{kind}", payload)
+    def submit(
+        self,
+        kind: str,
+        payload: Dict,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> str:
+        """Submit one job; returns its id.
+
+        A 429 (admission control) is retried honoring the server's
+        ``Retry-After`` hint -- capped, seeded-jitter backoff, at most
+        ``retry_429`` extra attempts -- then raised as
+        :class:`ServiceError` (with ``retry_after`` set)."""
+        doc = self.submit_doc(kind, payload, headers=headers)
         return str(doc["id"])
+
+    def submit_doc(
+        self,
+        kind: str,
+        payload: Dict,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict:
+        """Like :meth:`submit` but returns the full submit response
+        document (``cached``/``deduped`` flags included)."""
+        for attempt in range(self.retry_429 + 1):
+            try:
+                return self._json("POST", f"/v1/{kind}", payload, headers)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= self.retry_429:
+                    raise
+                time.sleep(self._backoff_429(attempt, exc.retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff_429(self, attempt: int, retry_after: Optional[float]) -> float:
+        """How long to sleep before re-submitting after a 429: the
+        server's hint when it sent one (else exponential from
+        ``retry_backoff_s``), capped, with deterministic +-25% jitter
+        so synchronized clients don't re-stampede the queue."""
+        base = (
+            float(retry_after)
+            if retry_after is not None
+            else self.retry_backoff_s * (2.0 ** attempt)
+        )
+        base = min(max(base, 0.0), self.retry_after_cap_s)
+        return base * (0.75 + 0.5 * self._rng.random())
 
     def submit_compress(
         self,

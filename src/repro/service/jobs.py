@@ -77,6 +77,12 @@ class JobSpec:
     keep_blob: bool = True
     traced: bool = False
     fault: Optional[Dict] = None
+    #: Forwarding provenance stamped by a cluster coordinator (node,
+    #: route key, failover attempt, dedupe key).  Pure metadata: it
+    #: never changes what the job computes, travels into the ledger as
+    #: ``extra.cluster``, and lets failed-over re-submissions be
+    #: traced back to one logical job.
+    cluster: Optional[Dict] = None
 
     @classmethod
     def from_payload(cls, kind: str, doc: Dict) -> "JobSpec":
@@ -115,6 +121,7 @@ class JobSpec:
             ),
             keep_blob=bool(doc.get("keep_blob", True)),
             fault=(dict(doc["fault"]) if doc.get("fault") else None),
+            cluster=(dict(doc["cluster"]) if doc.get("cluster") else None),
         )
         spec.validate()
         return spec

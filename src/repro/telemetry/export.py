@@ -75,6 +75,7 @@ def _us(seconds: float) -> float:
 def chrome_trace_events(
     trace,
     snapshot: Optional[Dict] = None,
+    process_names: Optional[Dict[int, str]] = None,
 ) -> List[Dict]:
     """Flatten ``trace`` into a list of Chrome trace events.
 
@@ -82,6 +83,11 @@ def chrome_trace_events(
     counters are appended as final ``"C"`` samples (name
     ``metric:<name>``) at the end of the timeline, so process-lifetime
     aggregates sit next to the per-span series.
+
+    ``process_names`` optionally maps pids to display names for the
+    ``process_name`` metadata events.  The cluster tier uses this to
+    label each member node's synthetic lane with its URL; unmapped
+    pids keep the ``fpzc pid N`` default.
     """
     records = list(getattr(trace, "records", ()) or ())
     starts = [r.t_start for r in records if r.t_start > 0.0]
@@ -106,7 +112,11 @@ def chrome_trace_events(
                     "dur": 0.0,
                     "pid": pid,
                     "tid": tid,
-                    "args": {"name": f"fpzc pid {pid}"},
+                    "args": {
+                        "name": (process_names or {}).get(
+                            pid, f"fpzc pid {pid}"
+                        )
+                    },
                 }
             )
         args: Dict[str, float] = {}
@@ -163,23 +173,34 @@ def chrome_trace_events(
     return events
 
 
-def to_chrome_trace(trace, snapshot: Optional[Dict] = None) -> Dict:
+def to_chrome_trace(
+    trace,
+    snapshot: Optional[Dict] = None,
+    process_names: Optional[Dict[int, str]] = None,
+) -> Dict:
     """The full trace-event JSON document for ``trace`` (the object
     form with ``traceEvents``, which both Perfetto and
     ``chrome://tracing`` load directly)."""
     return {
-        "traceEvents": chrome_trace_events(trace, snapshot=snapshot),
+        "traceEvents": chrome_trace_events(
+            trace, snapshot=snapshot, process_names=process_names
+        ),
         "displayTimeUnit": "ms",
         "otherData": {"producer": "fpzc", "spans": len(trace.records)},
     }
 
 
 def write_chrome_trace(
-    trace, path, snapshot: Optional[Dict] = None
+    trace,
+    path,
+    snapshot: Optional[Dict] = None,
+    process_names: Optional[Dict[int, str]] = None,
 ) -> Path:
     """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
     target = Path(path)
-    doc = to_chrome_trace(trace, snapshot=snapshot)
+    doc = to_chrome_trace(
+        trace, snapshot=snapshot, process_names=process_names
+    )
     target.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
     return target
 

@@ -1,0 +1,203 @@
+"""Unit tests for cluster membership/health tracking.
+
+All driven with a fake clock and a scripted probe function, so every
+assertion about state transitions, probe scheduling and seeded
+backoff is exact -- no sleeping, no sockets.
+"""
+
+import pytest
+
+from repro.cluster.membership import ALIVE, DEAD, DEGRADED, Membership
+from repro.errors import ParameterError
+from repro.resilience.retry import RetryPolicy
+
+PEERS = ("http://a:1", "http://b:2", "http://c:3")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(probe=None, clock=None, **kw):
+    kw.setdefault("dead_after", 3)
+    kw.setdefault("probe_interval_s", 2.0)
+    kw.setdefault(
+        "policy",
+        RetryPolicy(max_retries=4, backoff_base=0.5, backoff_max=8.0, seed=7),
+    )
+    return Membership(
+        PEERS,
+        probe=probe or (lambda url: True),
+        clock=clock or FakeClock(),
+        **kw,
+    )
+
+
+class TestConstruction:
+    def test_empty_peers_rejected(self):
+        with pytest.raises(ParameterError):
+            Membership([])
+
+    def test_duplicate_peers_rejected(self):
+        with pytest.raises(ParameterError):
+            Membership(["http://a:1", "http://a:1"])
+
+    def test_bad_dead_after_rejected(self):
+        with pytest.raises(ParameterError):
+            Membership(PEERS, dead_after=0)
+
+    def test_starts_optimistically_alive(self):
+        m = make()
+        assert m.peers == list(PEERS)
+        assert m.n_alive() == len(PEERS)
+        assert all(m.routable(url) for url in PEERS)
+        # ... and every peer is immediately due for its first probe.
+        assert set(m.due()) == set(PEERS)
+
+
+class TestTransitions:
+    def test_failure_streak_degrades_then_kills(self):
+        m = make()
+        url = PEERS[0]
+        m.report_failure(url, "boom")
+        assert m.state(url) == DEGRADED
+        assert not m.routable(url)
+        m.report_failure(url, "boom")
+        assert m.state(url) == DEGRADED
+        m.report_failure(url, "boom")
+        assert m.state(url) == DEAD
+        assert m.n_alive() == len(PEERS) - 1
+
+    def test_success_resets_streak(self):
+        m = make()
+        url = PEERS[1]
+        m.report_failure(url)
+        m.report_failure(url)
+        m.report_success(url)
+        assert m.state(url) == ALIVE and m.routable(url)
+        # The streak restarted: two more failures stay short of dead.
+        m.report_failure(url)
+        m.report_failure(url)
+        assert m.state(url) == DEGRADED
+
+    def test_transition_callbacks_fire_once_per_change(self):
+        m = make()
+        seen = []
+        m.on_transition(lambda url, old, new: seen.append((url, old, new)))
+        url = PEERS[0]
+        m.report_failure(url)      # alive -> degraded
+        m.report_failure(url)      # degraded (no change)
+        m.report_failure(url)      # degraded -> dead
+        m.report_success(url)      # dead -> alive
+        assert seen == [
+            (url, ALIVE, DEGRADED),
+            (url, DEGRADED, DEAD),
+            (url, DEAD, ALIVE),
+        ]
+
+    def test_states_snapshot_is_jsonable(self):
+        m = make()
+        m.report_failure(PEERS[2], "connection refused")
+        doc = m.states()
+        assert set(doc) == set(PEERS)
+        entry = doc[PEERS[2]]
+        assert entry["status"] == DEGRADED
+        assert entry["consecutive_failures"] == 1
+        assert entry["last_error"] == "connection refused"
+
+
+class TestProbeScheduling:
+    def test_success_schedules_next_interval(self):
+        clock = FakeClock()
+        m = make(clock=clock)
+        m.report_success(PEERS[0])
+        assert PEERS[0] not in m.due()
+        clock.now += 2.0
+        assert PEERS[0] in m.due()
+
+    def test_failure_backoff_is_seeded_and_reproducible(self):
+        clock_a, clock_b = FakeClock(), FakeClock()
+        a = make(clock=clock_a)
+        b = make(clock=clock_b)
+        for _ in range(4):
+            a.report_failure(PEERS[0])
+            b.report_failure(PEERS[0])
+        # Same seed, same draw order -> identical probe schedules.
+        sa = a._states[PEERS[0]].next_probe_at  # noqa: SLF001
+        sb = b._states[PEERS[0]].next_probe_at  # noqa: SLF001
+        assert sa == sb
+
+    def test_backoff_grows_with_streak(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_retries=4, backoff_base=0.5, backoff_max=64.0,
+            jitter=0.0, seed=0,
+        )
+        m = make(clock=clock, policy=policy)
+        url = PEERS[0]
+        delays = []
+        for _ in range(4):
+            m.report_failure(url)
+            delays.append(
+                m._states[url].next_probe_at - clock.now  # noqa: SLF001
+            )
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(0.5)
+        assert delays[-1] == pytest.approx(4.0)
+
+
+class TestProbing:
+    def test_probe_one_success(self):
+        m = make(probe=lambda url: True)
+        assert m.probe_one(PEERS[0])
+        assert m.state(PEERS[0]) == ALIVE
+        assert m.states()[PEERS[0]]["probes"] == 1
+
+    def test_probe_one_not_ready_counts_as_failure(self):
+        m = make(probe=lambda url: False)
+        assert not m.probe_one(PEERS[0])
+        assert m.state(PEERS[0]) == DEGRADED
+        assert "not-ready" in m.states()[PEERS[0]]["last_error"]
+
+    def test_probe_exception_counts_as_failure(self):
+        def explode(url):
+            raise ConnectionRefusedError("nope")
+
+        m = make(probe=explode)
+        assert not m.probe_one(PEERS[0])
+        assert "ConnectionRefusedError" in m.states()[PEERS[0]]["last_error"]
+
+    def test_probe_due_respects_schedule(self):
+        clock = FakeClock()
+        calls = []
+
+        def probe(url):
+            calls.append(url)
+            return True
+
+        m = make(probe=probe, clock=clock)
+        assert m.probe_due() == len(PEERS)  # everyone due at start
+        assert m.probe_due() == 0           # now scheduled in the future
+        clock.now += 2.5
+        assert m.probe_due() == len(PEERS)
+        assert len(calls) == 2 * len(PEERS)
+
+    def test_probe_all_ignores_schedule(self):
+        m = make()
+        assert m.probe_all() == len(PEERS)
+        assert m.probe_all() == len(PEERS)
+
+    def test_dead_node_rescued_by_probe(self):
+        healthy = {"state": False}
+        m = make(probe=lambda url: healthy["state"])
+        url = PEERS[0]
+        for _ in range(3):
+            m.report_failure(url)
+        assert m.state(url) == DEAD
+        healthy["state"] = True
+        assert m.probe_one(url)
+        assert m.state(url) == ALIVE and m.routable(url)

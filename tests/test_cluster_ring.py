@@ -1,0 +1,139 @@
+"""Unit tests for the consistent-hash ring (repro.cluster.ring).
+
+The ring is the cluster's routing substrate, so its guarantees are
+load-bearing: deterministic placement (same member list -> same ring,
+across processes and restarts), monotone remapping under membership
+churn (only the departed member's keys move), distinct preference
+walks (the failover order the router follows), and ownership
+accounting that sums to the whole keyspace.
+"""
+
+import pytest
+
+from repro.cluster.ring import RING_BITS, HashRing, ring_point
+from repro.errors import ParameterError
+
+NODES = ("http://10.0.0.1:8077", "http://10.0.0.2:8077",
+         "http://10.0.0.3:8077")
+
+
+def keys(n=400):
+    return [f"blob:{i:04d}" for i in range(n)]
+
+
+class TestRingPoint:
+    def test_deterministic_and_bounded(self):
+        p = ring_point("abc")
+        assert p == ring_point("abc")
+        assert 0 <= p < (1 << RING_BITS)
+
+    def test_distinct_labels_distinct_points(self):
+        pts = {ring_point(f"n#{i}") for i in range(1000)}
+        assert len(pts) == 1000
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = HashRing(vnodes=8)
+        assert ring.add("a")
+        assert not ring.add("a")
+        assert len(ring) == 1 and "a" in ring
+
+    def test_remove_is_idempotent(self):
+        ring = HashRing(["a", "b"], vnodes=8)
+        assert ring.remove("a")
+        assert not ring.remove("a")
+        assert ring.nodes == ["b"]
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(ParameterError):
+            HashRing([""], vnodes=8)
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ParameterError):
+            HashRing(vnodes=0)
+
+    def test_nodes_sorted(self):
+        ring = HashRing(["c", "a", "b"], vnodes=4)
+        assert ring.nodes == ["a", "b", "c"]
+
+
+class TestLookup:
+    def test_owner_deterministic_across_builds(self):
+        a = HashRing(NODES, vnodes=32)
+        b = HashRing(reversed(NODES), vnodes=32)  # insertion order moot
+        for k in keys(100):
+            assert a.owner(k) == b.owner(k)
+
+    def test_owner_raises_on_empty_ring(self):
+        with pytest.raises(ParameterError):
+            HashRing(vnodes=8).owner("k")
+
+    def test_preference_distinct_owner_first(self):
+        ring = HashRing(NODES, vnodes=32)
+        for k in keys(50):
+            prefs = ring.preference(k)
+            assert prefs[0] == ring.owner(k)
+            assert len(prefs) == len(set(prefs)) == len(NODES)
+
+    def test_preference_prefix_property(self):
+        ring = HashRing(NODES, vnodes=32)
+        for k in keys(50):
+            full = ring.preference(k)
+            assert ring.preference(k, 1) == full[:1]
+            assert ring.preference(k, 2) == full[:2]
+            # n beyond the member count truncates, never repeats
+            assert ring.preference(k, 10) == full
+
+    def test_preference_empty_ring(self):
+        assert HashRing(vnodes=8).preference("k") == []
+
+
+class TestMonotoneRemapping:
+    def test_remove_moves_only_departed_keys(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = {k: ring.owner(k) for k in keys()}
+        gone = NODES[1]
+        ring.remove(gone)
+        for k, old in before.items():
+            new = ring.owner(k)
+            if old == gone:
+                # Departed keys move to the old ring's first successor.
+                assert new != gone
+            else:
+                assert new == old
+
+    def test_add_steals_only_its_own_keys(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = {k: ring.owner(k) for k in keys()}
+        ring.add("http://10.0.0.4:8077")
+        for k, old in before.items():
+            new = ring.owner(k)
+            assert new in (old, "http://10.0.0.4:8077")
+
+    def test_remove_then_add_restores_ownership(self):
+        ring = HashRing(NODES, vnodes=64)
+        before = {k: ring.owner(k) for k in keys()}
+        ring.remove(NODES[0])
+        ring.add(NODES[0])
+        assert {k: ring.owner(k) for k in keys()} == before
+
+
+class TestOwnership:
+    def test_fractions_sum_to_one(self):
+        ring = HashRing(NODES, vnodes=64)
+        shares = ring.ownership()
+        assert set(shares) == set(NODES)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(f > 0 for f in shares.values())
+
+    def test_empty_ring(self):
+        assert HashRing(vnodes=8).ownership() == {}
+
+    def test_as_dict_shape(self):
+        ring = HashRing(NODES, vnodes=16)
+        doc = ring.as_dict()
+        assert doc["vnodes"] == 16
+        assert doc["nodes"] == sorted(NODES)
+        assert doc["points"] == 16 * len(NODES)
+        assert sum(doc["ownership"].values()) == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,144 @@
+"""Property-based tests for the consistent-hash ring.
+
+Two statistical/structural invariants hold for *every* member set,
+not just the fixtures:
+
+* **near-uniform ownership**: with enough virtual nodes each member's
+  keyspace share stays within a constant factor of 1/N -- the property
+  that makes fingerprint routing a load balancer and not a hot-spot
+  generator;
+* **monotone remapping**: removing any member moves exactly the keys
+  it owned (each to its ring successor) and adding one steals only
+  the keys it now owns -- ~1/N of the keyspace, never a reshuffle.
+
+With ``hypothesis`` installed the member sets are drawn by its search
+strategies; otherwise a seeded deterministic sweep covers the same
+space.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+#: Virtual-node count used by the statistical checks; matches the
+#: cluster default.  The ownership bound below is calibrated to it.
+VNODES = 64
+
+KEYS = [f"key:{i:05d}" for i in range(600)]
+
+
+def node_set(seed: int, n: int):
+    rng = random.Random(seed)
+    return [f"http://10.0.{rng.randrange(256)}.{i}:8077" for i in range(n)]
+
+
+def check_uniform(nodes):
+    ring = HashRing(nodes, vnodes=VNODES)
+    shares = ring.ownership()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    ideal = 1.0 / len(nodes)
+    for url, frac in shares.items():
+        # With 64 vnodes the per-member share concentrates around 1/N;
+        # a factor-of-three band is loose enough to never flake and
+        # tight enough to catch a broken placement hash (which yields
+        # shares near 0 or near 1).
+        assert ideal / 3.0 < frac < ideal * 3.0, (url, frac)
+
+
+def check_monotone_remove(nodes, victim_index):
+    ring = HashRing(nodes, vnodes=VNODES)
+    victim = sorted(nodes)[victim_index % len(nodes)]
+    before = {k: ring.owner(k) for k in KEYS}
+    successors = {
+        k: [n for n in ring.preference(k) if n != victim]
+        for k in KEYS
+    }
+    ring.remove(victim)
+    moved = 0
+    for k, old in before.items():
+        new = ring.owner(k)
+        if old == victim:
+            moved += 1
+            # A departed key lands on its old preference successor.
+            assert new == successors[k][0]
+        else:
+            assert new == old
+    if len(nodes) > 1:
+        # Roughly 1/N of the sampled keys move (within a loose band).
+        assert moved <= len(KEYS) * 3.0 / len(nodes)
+
+
+def check_monotone_add(nodes, seed):
+    ring = HashRing(nodes, vnodes=VNODES)
+    before = {k: ring.owner(k) for k in KEYS}
+    newcomer = f"http://10.9.9.{seed % 256}:8077"
+    if newcomer in nodes:
+        return
+    ring.add(newcomer)
+    stolen = 0
+    for k, old in before.items():
+        new = ring.owner(k)
+        assert new in (old, newcomer)
+        stolen += new == newcomer
+    n = len(nodes) + 1
+    assert stolen <= len(KEYS) * 3.0 / n
+
+
+if HAVE_HYPOTHESIS:
+
+    member_counts = st.integers(min_value=1, max_value=8)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 2**20), n=st.integers(2, 8))
+    def test_ownership_near_uniform(seed, n):
+        check_uniform(node_set(seed, n))
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**20),
+        n=st.integers(2, 8),
+        victim=st.integers(0, 7),
+    )
+    def test_remove_is_monotone(seed, n, victim):
+        check_monotone_remove(node_set(seed, n), victim)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 2**20), n=st.integers(1, 8))
+    def test_add_is_monotone(seed, n):
+        check_monotone_add(node_set(seed, n), seed)
+
+else:  # pragma: no cover - hypothesis always present in CI
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ownership_near_uniform(seed):
+        check_uniform(node_set(seed, 2 + seed % 6))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_remove_is_monotone(seed):
+        check_monotone_remove(node_set(seed, 2 + seed % 6), seed)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_add_is_monotone(seed):
+        check_monotone_add(node_set(seed, 1 + seed % 6), seed)

@@ -21,7 +21,8 @@ from repro.core.fixed_psnr import FixedPSNRCompressor
 from repro.datasets.registry import get_dataset
 from repro.errors import ErrorCode
 from repro.metrics.distortion import psnr
-from repro.service.client import ServiceError
+from repro.errors import TransportError
+from repro.service.client import ServiceClient, ServiceError
 from repro.service.testing import ServiceThread
 
 DATASET = "ATM"
@@ -225,8 +226,11 @@ class TestAdmissionControl:
                 client.submit_compress(DATASET, FIELD, target=TARGET)
                 for _ in range(2)
             ]
+            # retry_429=0 restores fail-fast admission so the raw 429
+            # contract (status + Retry-After hint) stays observable.
+            failfast = ServiceClient(st.url, retry_429=0)
             with pytest.raises(ServiceError) as exc:
-                client.submit_compress(DATASET, FIELD, target=TARGET)
+                failfast.submit_compress(DATASET, FIELD, target=TARGET)
             assert exc.value.status == 429
             assert exc.value.retry_after == pytest.approx(1.0)
             text = client.metrics_text()
@@ -397,7 +401,7 @@ class TestDrain:
                         seen["readyz_503"] = True
                         seen["healthz"] = client.healthz()
                         return
-                except ServiceError:
+                except (ServiceError, TransportError):
                     return  # socket already closed: too late, no signal
                 time.sleep(0.002)
 
